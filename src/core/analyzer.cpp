@@ -1,0 +1,269 @@
+#include "core/analyzer.h"
+
+#include "core/body_interp.h"
+
+namespace sspar::core {
+
+using sym::ExprPtr;
+using sym::Range;
+
+// ---------------------------------------------------------------------------
+// eval_pure
+// ---------------------------------------------------------------------------
+
+Range eval_pure(const ast::Expr& expr, const ScalarEnv& env,
+                const std::set<const ast::VarDecl*>* lambda_vars) {
+  switch (expr.kind) {
+    case ast::ExprNodeKind::IntLit:
+      return Range::exact(sym::make_const(expr.as<ast::IntLit>()->value));
+    case ast::ExprNodeKind::VarRef: {
+      const auto* decl = expr.as<ast::VarRef>()->decl;
+      if (!decl || decl->is_array() || decl->elem_type != ast::TypeKind::Int) {
+        return Range::bottom();
+      }
+      if (lambda_vars && lambda_vars->count(decl)) {
+        return Range::exact(sym::make_iter_start(decl->symbol));
+      }
+      if (const Range* r = env.find(decl)) return *r;
+      return Range::exact(sym::make_sym(decl->symbol));
+    }
+    case ast::ExprNodeKind::ArrayRef: {
+      const auto* a = expr.as<ast::ArrayRef>();
+      auto subs = a->subscripts();
+      const ast::VarRef* root = a->root();
+      if (!root || !root->decl || subs.size() != 1 ||
+          root->decl->elem_type != ast::TypeKind::Int) {
+        return Range::bottom();
+      }
+      Range idx = eval_pure(*subs[0], env, lambda_vars);
+      if (!idx.is_exact()) return Range::bottom();
+      return Range::exact(sym::make_array_elem(root->decl->symbol, idx.exact_value()));
+    }
+    case ast::ExprNodeKind::Binary: {
+      const auto* b = expr.as<ast::Binary>();
+      Range lhs = eval_pure(*b->lhs, env, lambda_vars);
+      Range rhs = eval_pure(*b->rhs, env, lambda_vars);
+      switch (b->op) {
+        case ast::BinaryOp::Add:
+          return range_add(lhs, rhs);
+        case ast::BinaryOp::Sub:
+          return range_sub(lhs, rhs);
+        case ast::BinaryOp::Mul:
+          if (lhs.is_exact() && rhs.is_exact()) {
+            return Range::exact(sym::mul(lhs.exact_value(), rhs.exact_value()));
+          }
+          if (rhs.is_exact()) {
+            if (auto c = sym::const_value(rhs.exact_value())) return range_mul_const(lhs, *c);
+          }
+          if (lhs.is_exact()) {
+            if (auto c = sym::const_value(lhs.exact_value())) return range_mul_const(rhs, *c);
+          }
+          return Range::bottom();
+        case ast::BinaryOp::Div:
+          if (lhs.is_exact() && rhs.is_exact()) {
+            return Range::exact(sym::div_floor(lhs.exact_value(), rhs.exact_value()));
+          }
+          return Range::bottom();
+        case ast::BinaryOp::Rem:
+          if (lhs.is_exact() && rhs.is_exact()) {
+            return Range::exact(sym::mod(lhs.exact_value(), rhs.exact_value()));
+          }
+          return Range::bottom();
+        default:
+          return Range::of_consts(0, 1);
+      }
+    }
+    case ast::ExprNodeKind::Unary: {
+      const auto* u = expr.as<ast::Unary>();
+      if (u->op == ast::UnaryOp::Neg) {
+        return range_negate(eval_pure(*u->operand, env, lambda_vars));
+      }
+      return Range::of_consts(0, 1);
+    }
+    case ast::ExprNodeKind::Conditional: {
+      const auto* c = expr.as<ast::Conditional>();
+      return range_join(eval_pure(*c->then_expr, env, lambda_vars),
+                        eval_pure(*c->else_expr, env, lambda_vars));
+    }
+    default:
+      return Range::bottom();  // assignments / increments / calls are impure
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+Analyzer::Analyzer(const ast::Program& program, sym::SymbolTable& symbols,
+                   AnalyzerOptions options)
+    : program_(program), symbols_(symbols), options_(options) {}
+
+void Analyzer::assume(const ast::VarDecl* decl, Range range) {
+  base_ctx_.assume(decl->symbol, std::move(range));
+}
+
+void Analyzer::assume_ge(const ast::VarDecl* decl, int64_t lo) {
+  base_ctx_.assume_ge(decl->symbol, lo);
+}
+
+void Analyzer::run() {
+  for (const auto& function : program_.functions) {
+    analyze_function(*function);
+  }
+}
+
+void Analyzer::analyze_function(const ast::FuncDecl& function) {
+  ScalarEnv env;
+  // Globals with constant initializers have a known entry value; everything
+  // else starts as its own symbol.
+  for (const auto& g : program_.globals) {
+    if (g->is_array() || g->elem_type != ast::TypeKind::Int) continue;
+    if (g->init) {
+      if (const auto* lit = g->init->as<ast::IntLit>()) {
+        env.set(g.get(), Range::exact(sym::make_const(lit->value)));
+      }
+    }
+  }
+  FactDB facts;
+  flow_stmt(*function.body, env, facts);
+  end_facts_[&function] = std::move(facts);
+}
+
+void Analyzer::flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts) {
+  switch (stmt.kind) {
+    case ast::StmtNodeKind::Compound:
+      for (const auto& s : stmt.as<ast::Compound>()->body) flow_stmt(*s, env, facts);
+      return;
+    case ast::StmtNodeKind::For: {
+      const auto& loop = *stmt.as<ast::For>();
+      // Snapshot the state at loop entry for the parallelizer.
+      LoopSnapshot snap;
+      snap.loop = &loop;
+      snap.info = recognize_loop(loop);
+      snap.facts_at_entry = facts;
+      snap.scalars_at_entry = env;
+      int key = next_key_++;
+      loop_keys_[&loop] = key;
+      snapshots_[key] = std::move(snap);
+      // Also snapshot nested loops (entry state approximated by the outer
+      // loop's entry state; sound for facts because inner snapshots are only
+      // used for reporting and their own dependence tests re-derive bounds).
+      for (const ast::For* inner : ast::collect_loops(loop.body.get())) {
+        if (!loop_keys_.count(inner)) {
+          LoopSnapshot inner_snap;
+          inner_snap.loop = inner;
+          inner_snap.info = recognize_loop(*inner);
+          inner_snap.facts_at_entry = facts;
+          inner_snap.scalars_at_entry = env;
+          int inner_key = next_key_++;
+          loop_keys_[inner] = inner_key;
+          snapshots_[inner_key] = std::move(inner_snap);
+        }
+      }
+      LoopEffect effect = analyze_loop(loop, env, facts);
+      apply_effect(loop, effect, env, facts);
+      return;
+    }
+    case ast::StmtNodeKind::While: {
+      // Conservative: havoc everything the while loop writes.
+      const auto& w = *stmt.as<ast::While>();
+      for (const ast::VarDecl* decl : written_scalars(*w.body)) {
+        env.set(decl, Range::bottom());
+      }
+      for (const ast::VarDecl* arr : written_arrays(*w.body)) {
+        facts.kill_all(arr->symbol);
+      }
+      return;
+    }
+    case ast::StmtNodeKind::If:
+    case ast::StmtNodeKind::ExprStmt:
+    case ast::StmtNodeKind::DeclStmt: {
+      // Straight-line interpretation (single-trip "loop").
+      BodyInterp interp(*this, stmt, /*index=*/nullptr, env, facts);
+      if (!interp.run()) {
+        for (const ast::VarDecl* decl : written_scalars(stmt)) env.set(decl, Range::bottom());
+        for (const ast::VarDecl* arr : written_arrays(stmt)) facts.kill_all(arr->symbol);
+        return;
+      }
+      for (const auto& [decl, value] : interp.env.values) env.set(decl, value);
+      for (const auto& w : interp.writes) {
+        if (!w.array) continue;
+        if (w.index_range.is_bottom() || w.dims != 1) {
+          facts.kill_all(w.array->symbol);
+        } else {
+          facts.kill_overlapping(w.array->symbol, w.index_range.lo(), w.index_range.hi(),
+                                 base_ctx_);
+        }
+        // Single unconditional write with known value: point fact
+        // (e.g. rowptr[0] = 0 in Fig. 9).
+        if (!w.conditional && w.index && !w.value.is_bottom() && w.dims == 1) {
+          facts.add_value(w.array->symbol, ValueFact{w.index, w.index, w.value});
+        }
+      }
+      return;
+    }
+    default:
+      return;  // Break/Continue/Return/Empty at top level: no effect to model
+  }
+}
+
+LoopEffect Analyzer::analyze_loop(const ast::For& loop, const ScalarEnv& entry_env,
+                                  const FactDB& entry_facts) {
+  auto info = recognize_loop(loop);
+  if (!info) {
+    LoopEffect effect;
+    effect.analyzable = false;
+    return effect;
+  }
+  BodyInterp body(*this, *loop.body, info->index, entry_env, entry_facts);
+  if (!body.run()) {
+    LoopEffect effect;
+    effect.analyzable = false;
+    return effect;
+  }
+  return aggregate(loop, *info, entry_env, entry_facts, body);
+}
+
+void Analyzer::apply_effect(const ast::For& loop, const LoopEffect& effect, ScalarEnv& env,
+                            FactDB& facts) {
+  if (!effect.analyzable) {
+    // Havoc everything the loop could touch.
+    for (const ast::VarDecl* decl : written_scalars(loop)) env.set(decl, Range::bottom());
+    if (auto info = recognize_loop(loop)) env.set(info->index, Range::bottom());
+    for (const ast::VarDecl* arr : written_arrays(loop)) facts.kill_all(arr->symbol);
+    return;
+  }
+  for (const auto& [decl, final] : effect.scalar_finals) env.set(decl, final);
+  // Kills first...
+  for (const auto& w : effect.writes) {
+    if (!w.array) continue;
+    if (w.dims != 1 || w.index_range.is_bottom() ||
+        (!w.index_range.lo_bounded() && !w.index_range.hi_bounded())) {
+      facts.kill_all(w.array->symbol);
+    } else {
+      facts.kill_overlapping(w.array->symbol, w.index_range.lo(), w.index_range.hi(),
+                             base_ctx_);
+    }
+  }
+  // ...then the produced facts.
+  for (const auto& f : effect.facts) {
+    if (f.identity) facts.add_identity(f.array, *f.identity);
+    if (f.value) facts.add_value(f.array, *f.value);
+    if (f.step) facts.add_step(f.array, *f.step);
+    if (f.injective) facts.add_injective(f.array, *f.injective);
+  }
+}
+
+const LoopSnapshot* Analyzer::snapshot(const ast::For* loop) const {
+  auto it = loop_keys_.find(loop);
+  if (it == loop_keys_.end()) return nullptr;
+  auto found = snapshots_.find(it->second);
+  return found == snapshots_.end() ? nullptr : &found->second;
+}
+
+const FactDB* Analyzer::facts_at_end(const ast::FuncDecl* function) const {
+  auto it = end_facts_.find(function);
+  return it == end_facts_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sspar::core

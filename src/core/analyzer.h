@@ -1,0 +1,184 @@
+// The paper's compile-time index-array analysis (Section 3).
+//
+// The Analyzer walks each function in program order. For every canonical
+// loop it runs:
+//
+//   Phase 1 (BodyInterp): abstract interpretation of one iteration of the
+//   loop body with symbolic range propagation. Scalars written in the body
+//   start at λ(x) (IterStart); the loop index is the symbol i; reads of
+//   loop-invariant scalars use their entry values. The phase produces
+//   (a) the end-of-body value range of every written scalar as a function of
+//   λ and i, and (b) the list of array-write effects with symbolic subscripts.
+//
+//   Phase 2 (aggregate): extends the one-iteration effect across the whole
+//   iteration space [lb : ub-1] with trip count n:
+//     * scalar λ+k effects become entry + n*k (ranges component-wise),
+//     * scalar λ+g(i) effects use the closed-form sum Σ g(i),
+//     * array writes a[i+k] = v expand the subscript across the loop range
+//       and produce Value/Step/Injective/Identity facts; in particular the
+//       recurrence a[i] = a[i-1] + (value with provably non-negative range)
+//       yields the Monotonic_inc step fact that drives the CG pattern,
+//     * everything else degrades soundly (facts killed, values unbounded).
+//
+// After Phase 2 the loop is *collapsed*: the caller's scalar environment and
+// fact database are updated with the loop's aggregate effect and analysis
+// proceeds with the next statement (the paper's program-order, inside-out
+// traversal falls out of the recursion).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/facts.h"
+#include "core/loop_info.h"
+#include "frontend/ast.h"
+#include "symbolic/context.h"
+
+namespace sspar::core {
+
+// May-range values of integer scalars at a program point.
+struct ScalarEnv {
+  std::map<const ast::VarDecl*, sym::Range> values;
+
+  const sym::Range* find(const ast::VarDecl* decl) const {
+    auto it = values.find(decl);
+    return it == values.end() ? nullptr : &it->second;
+  }
+  void set(const ast::VarDecl* decl, sym::Range r) { values[decl] = std::move(r); }
+};
+
+// A guard `array[index] >= min` enclosing an access (paper Fig. 5: the
+// access pattern references only the injective subset).
+struct AccessGuard {
+  const ast::VarDecl* array = nullptr;
+  sym::ExprPtr index;
+  int64_t min = 0;
+};
+
+// One array access as observed by Phase 1 (per-iteration view) or aggregated
+// by Phase 2 (whole-loop view; subscripts then no longer mention the index).
+struct ArrayWriteEffect {
+  const ast::VarDecl* array = nullptr;
+  size_t dims = 1;              // number of subscripts at the access site
+  sym::ExprPtr index;           // exact symbolic subscript (innermost), may be null
+  sym::Range index_range;       // may-range of the subscript (for kills)
+  sym::Range value;             // may-range of the stored value (writes only)
+  bool conditional = false;     // access may not execute every iteration
+  bool from_inner = false;      // aggregated from a nested loop
+  std::vector<AccessGuard> guards;  // enclosing array-value guards
+  // Indirection structure a[b[t]] preserved through aggregation: the access
+  // touches positions {b[t] : t ∈ via_domain}. When b is injective, position
+  // disjointness reduces to domain disjointness (Fig. 6: Blk[p[k]] with
+  // k ∈ [r[b] : r[b+1]-1]).
+  const ast::VarDecl* via_array = nullptr;
+  sym::Range via_domain;
+  // Subscript was literally `x++` on an integer scalar (dense-prefix pattern,
+  // paper Fig. 9 line 6; aggregation rule is an extension of Section 3.4).
+  const ast::VarDecl* post_inc_subscript = nullptr;
+};
+
+// Aggregate effect of one loop, expressed in terms of values at loop entry.
+struct LoopEffect {
+  // Final value of every scalar the loop may modify (loop index included when
+  // it outlives the loop).
+  std::map<const ast::VarDecl*, sym::Range> scalar_finals;
+  // All array writes/reads, aggregated across the iteration space.
+  std::vector<ArrayWriteEffect> writes;
+  std::vector<ArrayWriteEffect> reads;
+  // Facts established by this loop (applied by the caller after kills).
+  struct ProducedFact {
+    sym::SymbolId array;
+    std::optional<ValueFact> value;
+    std::optional<StepFact> step;
+    std::optional<InjectiveFact> injective;
+    std::optional<IdentityFact> identity;
+  };
+  std::vector<ProducedFact> facts;
+  bool analyzable = true;  // false => caller must havoc conservatively
+};
+
+// Result snapshots keyed by For::loop_id, for consumption by the
+// parallelizer / dependence test.
+struct LoopSnapshot {
+  const ast::For* loop = nullptr;
+  std::optional<LoopInfo> info;
+  FactDB facts_at_entry;
+  ScalarEnv scalars_at_entry;
+};
+
+struct AnalyzerOptions {
+  // Extension rules (paper Section 3.4 "forthcoming aggregation algebra");
+  // individually toggleable for the ablation bench.
+  bool enable_identity_rule = true;       // x[i] = i  =>  Identity
+  bool enable_affine_value_rule = true;   // x[i] = p*i+q => strict monotone
+  bool enable_recurrence_rule = true;     // x[i] = x[i-1] + nonneg => Monotonic
+  bool enable_inverse_perm_rule = true;   // a[b[i]] = i, b bijective => injective
+  bool enable_dense_prefix_rule = true;   // a[x++] = v gather loops
+  bool enable_branch_rules = true;        // subset-injective / disjoint strided
+  bool enable_copy_rule = true;           // a[i] = b[i] propagates facts
+  bool enable_lambda_sum_rule = true;     // λ+g(i) closed-form aggregation
+};
+
+class Analyzer {
+ public:
+  Analyzer(const ast::Program& program, sym::SymbolTable& symbols,
+           AnalyzerOptions options = {});
+
+  // Declares an assumption about a global/parameter symbol (e.g. N >= 1).
+  void assume(const ast::VarDecl* decl, sym::Range range);
+  void assume_ge(const ast::VarDecl* decl, int64_t lo);
+
+  // Analyzes every function in the program.
+  void run();
+
+  // Snapshot of the analysis state at the entry of `loop` (after run()).
+  const LoopSnapshot* snapshot(const ast::For* loop) const;
+
+  // Facts at the end of `function` (after run()).
+  const FactDB* facts_at_end(const ast::FuncDecl* function) const;
+
+  const sym::AssumptionContext& base_context() const { return base_ctx_; }
+  sym::SymbolTable& symbols() const { return symbols_; }
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  friend class BodyInterp;
+
+  void analyze_function(const ast::FuncDecl& function);
+  // Interprets a statement sequence at "top level" (not inside a loop being
+  // summarized), updating env/facts in flow order and snapshotting loops.
+  void flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts);
+
+  // Phase 1 + Phase 2 for one loop. Returns the collapsed effect relative to
+  // `entry_env`; `entry_facts` supplies array facts for in-loop proofs.
+  LoopEffect analyze_loop(const ast::For& loop, const ScalarEnv& entry_env,
+                          const FactDB& entry_facts);
+
+  // Applies a loop effect (or a havoc if !analyzable) at a flow point.
+  void apply_effect(const ast::For& loop, const LoopEffect& effect, ScalarEnv& env,
+                    FactDB& facts);
+
+  // Phase 2 helpers (implemented in aggregate.cpp).
+  LoopEffect aggregate(const ast::For& loop, const LoopInfo& info, const ScalarEnv& entry_env,
+                       const FactDB& entry_facts, class BodyInterp& body);
+
+  const ast::Program& program_;
+  sym::SymbolTable& symbols_;
+  AnalyzerOptions options_;
+  sym::AssumptionContext base_ctx_;
+  std::map<int, LoopSnapshot> snapshots_;  // keyed by loop_id per function
+  std::map<const ast::For*, int> loop_keys_;
+  std::map<const ast::FuncDecl*, FactDB> end_facts_;
+  int next_key_ = 0;
+};
+
+// Evaluates an AST expression to a symbolic may-range under `env`.
+// Pure (no side effects); assignment/increment sub-expressions make the
+// result bottom. Used by the parallelizer for loop bounds and subscripts.
+sym::Range eval_pure(const ast::Expr& expr, const ScalarEnv& env,
+                     const std::set<const ast::VarDecl*>* lambda_vars = nullptr);
+
+}  // namespace sspar::core

@@ -1,0 +1,80 @@
+// Phase 1: abstract interpretation of one loop iteration (internal header).
+#pragma once
+
+#include <set>
+
+#include "core/analyzer.h"
+
+namespace sspar::core {
+
+class BodyInterp {
+ public:
+  // Loop mode: `index` is the loop variable; scalars written in `body` start
+  // at λ(x). Straight-line mode: `index` is null and reads use entry values
+  // directly (the "loop" has exactly one iteration).
+  BodyInterp(Analyzer& analyzer, const ast::Stmt& body, const ast::VarDecl* index,
+             const ScalarEnv& entry_env, const FactDB& entry_facts);
+
+  // Interprets the body once. Returns false if it is not analyzable
+  // (calls, while loops, break/continue/return).
+  bool run();
+
+  // Forces If statements to a fixed branch (true = then); used by the
+  // parallelizer's first-iteration peeling. Must be set before run().
+  void force_branches(const std::map<const ast::If*, bool>* forced) { forced_ = forced; }
+
+  // --- Phase 1 results -------------------------------------------------------
+  ScalarEnv env;                                   // end-of-body state
+  std::vector<ArrayWriteEffect> writes;            // in execution order
+  std::vector<ArrayWriteEffect> reads;             // array read references
+  std::set<const ast::VarDecl*> written;           // scalars written (λ-tracked)
+  std::set<const ast::VarDecl*> definitely_written;  // assigned on every path
+  std::set<const ast::VarDecl*> lambda_reads;      // scalars read before written
+  std::set<const ast::VarDecl*> body_locals;       // declared inside the body
+
+  // Guarded branch-write pairs used by the branch rules (subset-injective and
+  // disjoint-strided): index expression shared by both branches.
+  struct BranchWritePair {
+    const ast::VarDecl* array;
+    sym::ExprPtr index;                 // common subscript (exact)
+    sym::ExprPtr then_value, else_value;  // exact values (may be null)
+  };
+  std::vector<BranchWritePair> branch_pairs;
+
+ private:
+  sym::Range eval(const ast::Expr& expr);
+  sym::Range read_scalar(const ast::VarDecl* decl);
+  void write_scalar(const ast::VarDecl* decl, sym::Range value);
+  void record_array_write(const ast::ArrayRef& target, sym::Range value,
+                          bool also_read = false);
+  bool exec(const ast::Stmt& stmt);  // false => unanalyzable
+  void merge_branches(const ScalarEnv& before, ScalarEnv then_env, ScalarEnv else_env);
+
+  // True if the array has an earlier write effect in this body (reads of it
+  // must degrade to bottom to avoid stale-element values).
+  bool array_written(const ast::VarDecl* array) const;
+
+  Analyzer& analyzer_;
+  const ast::Stmt& body_;
+  const ast::VarDecl* index_;  // null in straight-line mode
+  const ScalarEnv& entry_env_;
+  const FactDB& entry_facts_;
+  const std::map<const ast::If*, bool>* forced_ = nullptr;
+  std::vector<AccessGuard> guard_stack_;
+  // Non-int scalars assigned so far in this iteration (values not modeled).
+  std::set<const ast::VarDecl*> double_assigned_;
+  int cond_depth_ = 0;
+};
+
+// Recognizes a guard condition of the form `b[e] >= c` / `b[e] > c` (also
+// with the comparison flipped); returns nullopt otherwise. `eval` supplies
+// subscript evaluation.
+std::optional<AccessGuard> match_guard(const ast::Expr& cond,
+                                       const std::function<sym::Range(const ast::Expr&)>& eval);
+
+// Static path-sensitive check: is `decl` assigned on every execution path
+// through `stmt`? (Conservative: loops/branches handled; break/continue make
+// it false.)
+bool definitely_assigns(const ast::Stmt& stmt, const ast::VarDecl* decl);
+
+}  // namespace sspar::core

@@ -1,0 +1,471 @@
+#include "core/parallelizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/body_interp.h"
+#include "support/text.h"
+
+namespace sspar::core {
+
+using sym::ExprPtr;
+using sym::Range;
+using sym::Truth;
+
+namespace {
+
+// First-iteration peel detection: top-level `if` statements whose condition
+// distinguishes exactly the first iteration (i == lb or i > lb).
+struct PeelPlan {
+  std::map<const ast::If*, bool> general;  // branch taken for i >= lb+1
+  std::map<const ast::If*, bool> first;    // branch taken for i == lb
+  bool empty() const { return general.empty(); }
+};
+
+PeelPlan find_peelable_ifs(const ast::Stmt& body, const ast::VarDecl* index,
+                           const ExprPtr& lb, const ScalarEnv& env) {
+  PeelPlan plan;
+  const auto* compound = body.as<ast::Compound>();
+  if (!compound) return plan;
+  for (const auto& stmt : compound->body) {
+    const auto* s = stmt->as<ast::If>();
+    if (!s || !s->else_branch) continue;
+    const auto* cond = s->cond->as<ast::Binary>();
+    if (!cond) continue;
+    const auto* var = cond->lhs->as<ast::VarRef>();
+    if (!var || var->decl != index) continue;
+    Range rhs = eval_pure(*cond->rhs, env);
+    if (!rhs.is_exact()) continue;
+    if (cond->op == ast::BinaryOp::Eq && sym::equal(rhs.exact_value(), lb)) {
+      plan.general[s] = false;  // i != lb in the steady state
+      plan.first[s] = true;
+    } else if (cond->op == ast::BinaryOp::Gt && sym::equal(rhs.exact_value(), lb)) {
+      plan.general[s] = true;  // i > lb in the steady state
+      plan.first[s] = false;
+    } else if (cond->op == ast::BinaryOp::Ge &&
+               sym::equal(rhs.exact_value(), sym::add(lb, sym::make_const(1)))) {
+      plan.general[s] = true;
+      plan.first[s] = false;
+    }
+  }
+  return plan;
+}
+
+struct ArrayAccessSet {
+  const ast::VarDecl* array = nullptr;
+  std::vector<const ArrayWriteEffect*> writes;
+  std::vector<const ArrayWriteEffect*> reads;
+};
+
+std::map<const ast::VarDecl*, ArrayAccessSet> group_accesses(const BodyInterp& interp) {
+  std::map<const ast::VarDecl*, ArrayAccessSet> groups;
+  for (const auto& w : interp.writes) {
+    auto& g = groups[w.array];
+    g.array = w.array;
+    g.writes.push_back(&w);
+  }
+  for (const auto& r : interp.reads) {
+    auto& g = groups[r.array];
+    g.array = r.array;
+    g.reads.push_back(&r);
+  }
+  return groups;
+}
+
+// Combined per-iteration access range of an array (join over all accesses).
+// Bottom if any access has an unknown subscript.
+Range combined_range(const ArrayAccessSet& set) {
+  Range acc;
+  bool started = false;
+  auto fold = [&](const ArrayWriteEffect* e) {
+    if (!started) {
+      acc = e->index_range;
+      started = true;
+    } else {
+      acc = range_join(acc, e->index_range);
+    }
+  };
+  for (const auto* w : set.writes) fold(w);
+  for (const auto* r : set.reads) fold(r);
+  return acc;
+}
+
+ExprPtr shift_index(const ExprPtr& e, sym::SymbolId index_sym, int64_t delta) {
+  if (!e) return nullptr;
+  return sym::subst_sym(e, index_sym, sym::add(sym::make_sym(index_sym), sym::make_const(delta)));
+}
+
+}  // namespace
+
+bool uses_subscripted_subscripts(const ast::For& loop) {
+  bool found = false;
+  // Scalars assigned (anywhere in the loop) from an expression that reads an
+  // array; a subscript through such a scalar is an indirection too
+  // (Fig. 2: iel = mt_to_id[miel]; id_to_mt[iel] = miel).
+  std::set<const ast::VarDecl*> indirection_scalars;
+  ast::walk_exprs(&loop, [&indirection_scalars](const ast::Expr* e) {
+    const ast::Expr* target = nullptr;
+    const ast::Expr* value = nullptr;
+    if (const auto* assign = e->as<ast::Assign>()) {
+      target = assign->target.get();
+      value = assign->value.get();
+    }
+    if (!target || !value) return;
+    const auto* var = target->as<ast::VarRef>();
+    if (!var || !var->decl) return;
+    bool reads_array = false;
+    ast::walk_subexprs(value, [&reads_array](const ast::Expr* sub) {
+      if (sub->kind == ast::ExprNodeKind::ArrayRef) reads_array = true;
+    });
+    if (reads_array) indirection_scalars.insert(var->decl);
+  });
+  // DeclStmt initializers count as well (int iel = mt_to_id[miel]).
+  ast::walk_stmts(static_cast<const ast::Stmt*>(&loop), [&](const ast::Stmt* s) {
+    if (const auto* ds = s->as<ast::DeclStmt>()) {
+      for (const auto& d : ds->decls) {
+        if (!d->init) continue;
+        bool reads_array = false;
+        ast::walk_subexprs(d->init.get(), [&reads_array](const ast::Expr* sub) {
+          if (sub->kind == ast::ExprNodeKind::ArrayRef) reads_array = true;
+        });
+        if (reads_array) indirection_scalars.insert(d.get());
+      }
+    }
+    return true;
+  });
+  // Direct nesting or indirection-scalar subscripts.
+  ast::walk_exprs(&loop, [&found, &indirection_scalars](const ast::Expr* e) {
+    if (const auto* arr = e->as<ast::ArrayRef>()) {
+      ast::walk_subexprs(arr->index.get(), [&](const ast::Expr* sub) {
+        if (sub->kind == ast::ExprNodeKind::ArrayRef) found = true;
+        if (const auto* var = sub->as<ast::VarRef>()) {
+          if (var->decl && indirection_scalars.count(var->decl)) found = true;
+        }
+      });
+    }
+  });
+  if (found) return true;
+  // Inner loop bounds taken from an index array (Fig. 3 / Fig. 9 pattern).
+  for (const ast::For* inner : ast::collect_loops(loop.body.get())) {
+    auto scan = [&found](const ast::Expr* e) {
+      if (!e) return;
+      ast::walk_subexprs(e, [&found](const ast::Expr* sub) {
+        if (sub->kind == ast::ExprNodeKind::ArrayRef) found = true;
+      });
+    };
+    if (const auto* es = inner->init->as<ast::ExprStmt>()) scan(es->expr.get());
+    if (const auto* ds = inner->init->as<ast::DeclStmt>()) {
+      for (const auto& d : ds->decls) {
+        if (d->init) scan(d->init.get());
+      }
+    }
+    scan(inner->cond.get());
+  }
+  return found;
+}
+
+LoopVerdict Parallelizer::analyze(const ast::For& loop) {
+  LoopVerdict verdict;
+  verdict.loop = &loop;
+  verdict.loop_id = loop.loop_id;
+  verdict.uses_subscripted_subscripts = uses_subscripted_subscripts(loop);
+
+  const LoopSnapshot* snap = analyzer_.snapshot(&loop);
+  if (!snap || !snap->info) {
+    verdict.blockers.push_back("loop is not in canonical form (i = lb; i < ub; i++)");
+    return verdict;
+  }
+  verdict.canonical = true;
+  const LoopInfo& info = *snap->info;
+  const sym::SymbolId index_sym = info.index->symbol;
+
+  Range lb_r = eval_pure(*info.lb_expr, snap->scalars_at_entry);
+  Range ub_r = eval_pure(*info.ub_expr, snap->scalars_at_entry);
+  if (!lb_r.is_exact() || !ub_r.is_exact()) {
+    verdict.blockers.push_back("loop bounds are not symbolically exact");
+    return verdict;
+  }
+  ExprPtr lb = lb_r.exact_value();
+  ExprPtr ub = ub_r.exact_value();
+  if (info.ub_inclusive) ub = sym::add(ub, sym::make_const(1));
+
+  // --- Interpret the body (general variant; optionally a peeled variant) ----
+  PeelPlan peel = find_peelable_ifs(*loop.body, info.index, lb, snap->scalars_at_entry);
+
+  BodyInterp general(analyzer_, *loop.body, info.index, snap->scalars_at_entry,
+                     snap->facts_at_entry);
+  if (!peel.empty()) general.force_branches(&peel.general);
+  if (!general.run()) {
+    verdict.blockers.push_back("loop body is not analyzable (call/while/branch-out)");
+    return verdict;
+  }
+  std::unique_ptr<BodyInterp> first;
+  if (!peel.empty()) {
+    first = std::make_unique<BodyInterp>(analyzer_, *loop.body, info.index,
+                                         snap->scalars_at_entry, snap->facts_at_entry);
+    first->force_branches(&peel.first);
+    if (!first->run()) {
+      verdict.blockers.push_back("peeled first iteration is not analyzable");
+      return verdict;
+    }
+  }
+
+  // --- Scalar dependences -----------------------------------------------------
+  // Declarations anywhere inside the loop (including inner for-inits) are
+  // iteration-local storage: never loop-carried and never privatized.
+  std::set<const ast::VarDecl*> declared_inside;
+  ast::walk_stmts(static_cast<const ast::Stmt*>(&loop), [&](const ast::Stmt* s) {
+    if (const auto* ds = s->as<ast::DeclStmt>()) {
+      for (const auto& d : ds->decls) declared_inside.insert(d.get());
+    }
+    if (const auto* f = s->as<ast::For>()) {
+      if (const auto* ds = f->init->as<ast::DeclStmt>()) {
+        for (const auto& d : ds->decls) declared_inside.insert(d.get());
+      }
+    }
+    return true;
+  });
+  auto check_scalars = [&](const BodyInterp& interp) {
+    for (const ast::VarDecl* decl : interp.written) {
+      if (decl == info.index) {
+        verdict.blockers.push_back("loop index is assigned inside the body");
+        continue;
+      }
+      if (interp.body_locals.count(decl) || declared_inside.count(decl)) continue;
+      if (interp.lambda_reads.count(decl)) {
+        verdict.blockers.push_back(
+            support::format("loop-carried scalar dependence on '%s'", decl->name.c_str()));
+        continue;
+      }
+      if (std::find(verdict.privates.begin(), verdict.privates.end(), decl) ==
+          verdict.privates.end()) {
+        verdict.privates.push_back(decl);
+      }
+    }
+  };
+  check_scalars(general);
+  if (first) check_scalars(*first);
+
+  // --- Array dependences --------------------------------------------------------
+  // The general variant covers iterations from lb (no peel) or lb+1 (peeled).
+  ExprPtr general_lb = peel.empty() ? lb : sym::add(lb, sym::make_const(1));
+
+  sym::AssumptionContext ctx_pair = analyzer_.base_context();
+  // Both i and i+1 must be valid iterations for the adjacent test.
+  ctx_pair.assume(index_sym, Range::of(general_lb, sym::sub(ub, sym::make_const(2))));
+  sym::AssumptionContext ctx_facts = snap->facts_at_entry.with_facts(ctx_pair);
+
+  sym::AssumptionContext ctx_any = analyzer_.base_context();
+  ctx_any.assume(index_sym, Range::of(general_lb, sym::sub(ub, sym::make_const(1))));
+  sym::AssumptionContext ctx_facts_any = snap->facts_at_entry.with_facts(ctx_any);
+
+  // For the peeled check, i ranges over the steady-state iterations.
+  sym::AssumptionContext ctx_steady = analyzer_.base_context();
+  ctx_steady.assume(index_sym,
+                    Range::of(sym::add(lb, sym::make_const(1)), sym::sub(ub, sym::make_const(1))));
+  sym::AssumptionContext ctx_facts_steady = snap->facts_at_entry.with_facts(ctx_steady);
+
+  bool used_monotonic_facts = false;
+  bool used_injectivity = false;
+  bool used_subset = false;
+  bool used_peel = !peel.empty();
+
+  auto range_mentions_elem = [](const Range& r) {
+    return (r.lo() && sym::contains_kind(r.lo(), sym::ExprKind::ArrayElem)) ||
+           (r.hi() && sym::contains_kind(r.hi(), sym::ExprKind::ArrayElem));
+  };
+
+  // The adjacent Range Test over a combined access range U(i).
+  auto range_test = [&](const Range& u) -> bool {
+    if (u.is_bottom() || !u.lo_bounded() || !u.hi_bounded()) return false;
+    ExprPtr lo_i = u.lo(), hi_i = u.hi();
+    ExprPtr lo_next = shift_index(lo_i, index_sym, 1);
+    ExprPtr hi_next = shift_index(hi_i, index_sym, 1);
+    // Forward: ranges advance with i.
+    if (prove_lt(hi_i, lo_next, ctx_facts) == Truth::True &&
+        prove_ge(lo_next, lo_i, ctx_facts) == Truth::True) {
+      if (range_mentions_elem(u)) used_monotonic_facts = true;
+      return true;
+    }
+    // Backward: ranges retreat with i.
+    if (prove_lt(hi_next, lo_i, ctx_facts) == Truth::True &&
+        prove_le(lo_next, lo_i, ctx_facts) == Truth::True) {
+      if (range_mentions_elem(u)) used_monotonic_facts = true;
+      return true;
+    }
+    return false;
+  };
+
+  // Indirection route: every access goes through the same injective array b
+  // (a[b[t]]) and the domains of t are disjoint across iterations (Fig. 6).
+  auto via_test = [&](const ArrayAccessSet& set) -> bool {
+    const ast::VarDecl* via = nullptr;
+    Range domain;
+    bool started = false;
+    auto fold = [&](const ArrayWriteEffect* e) -> bool {
+      if (!e->via_array || e->dims != 1) return false;
+      if (via && e->via_array != via) return false;
+      via = e->via_array;
+      domain = started ? range_join(domain, e->via_domain) : e->via_domain;
+      started = true;
+      return true;
+    };
+    for (const auto* w : set.writes) {
+      if (!fold(w)) return false;
+    }
+    for (const auto* r : set.reads) {
+      if (!fold(r)) return false;
+    }
+    if (!via || domain.is_bottom()) return false;
+    // Injectivity must cover the whole domain span across all iterations.
+    ExprPtr span_lo = domain.lo() ? sym::bound_range(domain.lo(), ctx_facts_any).lo() : nullptr;
+    ExprPtr span_hi = domain.hi() ? sym::bound_range(domain.hi(), ctx_facts_any).hi() : nullptr;
+    if (!span_lo || !span_hi) return false;
+    std::optional<int64_t> min_value;
+    if (!snap->facts_at_entry.injective_over(via->symbol, span_lo, span_hi, ctx_facts_any,
+                                             &min_value) ||
+        min_value) {
+      // Subset injectivity needs guard matching; handled by injectivity_test.
+      return false;
+    }
+    if (!range_test(domain)) return false;
+    used_injectivity = true;
+    return true;
+  };
+
+  // Injectivity route: every access must target the same exact subscript s(i).
+  auto injectivity_test = [&](const ArrayAccessSet& set) -> bool {
+    ExprPtr s;
+    std::vector<const ArrayWriteEffect*> all;
+    for (const auto* w : set.writes) all.push_back(w);
+    for (const auto* r : set.reads) all.push_back(r);
+    for (const auto* e : all) {
+      if (e->dims != 1 || !e->index) return false;
+      if (!s) {
+        s = e->index;
+      } else if (!sym::equal(s, e->index)) {
+        return false;
+      }
+    }
+    if (!s || s->kind != sym::ExprKind::ArrayElem) return false;
+    const sym::SymbolId b_sym = s->symbol;
+    auto aff = sym::as_affine_in(s->operands[0], index_sym);
+    if (!aff || (aff->first != 1 && aff->first != -1)) return false;
+    // Domain of the inner subscript over the iteration space.
+    sym::RangeEnv env;
+    env.entries.emplace_back(index_sym, Range::of(lb, sym::sub(ub, sym::make_const(1))));
+    Range domain = eval_range(s->operands[0], env);
+    if (!domain.lo_bounded() || !domain.hi_bounded()) return false;
+    std::optional<int64_t> min_value;
+    if (!snap->facts_at_entry.injective_over(b_sym, domain.lo(), domain.hi(), ctx_facts_any,
+                                             &min_value)) {
+      return false;
+    }
+    if (!min_value) {
+      used_injectivity = true;
+      return true;
+    }
+    // Subset injectivity: every access must be guarded by b[t] >= min.
+    for (const auto* e : all) {
+      bool guarded = false;
+      for (const auto& g : e->guards) {
+        if (g.array && g.array->symbol == b_sym && g.index &&
+            sym::equal(g.index, s->operands[0]) && g.min >= *min_value) {
+          guarded = true;
+        }
+      }
+      if (!guarded) return false;
+    }
+    used_subset = true;
+    return true;
+  };
+
+  auto groups = group_accesses(general);
+  std::set<const ast::VarDecl*> passed_by_range_test;
+  for (auto& [array, set] : groups) {
+    if (set.writes.empty()) continue;  // read-only arrays carry no dependence
+    bool multi_dim = false;
+    for (const auto* w : set.writes) multi_dim = multi_dim || w->dims != 1;
+    if (multi_dim) {
+      verdict.blockers.push_back(
+          support::format("multi-dimensional write to '%s'", array->name.c_str()));
+      continue;
+    }
+    Range u = combined_range(set);
+    if (range_test(u)) {
+      passed_by_range_test.insert(array);
+      continue;
+    }
+    if (via_test(set)) continue;
+    if (injectivity_test(set)) continue;
+    verdict.blockers.push_back(support::format(
+        "cannot prove independence of accesses to '%s'", array->name.c_str()));
+  }
+
+  // --- Peeled first iteration vs the steady state ---------------------------
+  if (first && verdict.blockers.empty()) {
+    auto first_groups = group_accesses(*first);
+    for (auto& [array, fset] : first_groups) {
+      auto git = groups.find(array);
+      bool general_writes = git != groups.end() && !git->second.writes.empty();
+      if (fset.writes.empty() && !general_writes) continue;
+      // Access range of iteration lb under the first-variant bindings.
+      Range uf = combined_range(fset);
+      ExprPtr lo_f = uf.lo() ? sym::subst_sym(uf.lo(), index_sym, lb) : nullptr;
+      ExprPtr hi_f = uf.hi() ? sym::subst_sym(uf.hi(), index_sym, lb) : nullptr;
+      if (!lo_f || !hi_f) {
+        verdict.blockers.push_back(support::format(
+            "peeled iteration has unknown access range for '%s'", array->name.c_str()));
+        continue;
+      }
+      // Empty first-iteration range: trivially independent.
+      if (prove_lt(hi_f, lo_f, ctx_facts_any) == Truth::True) continue;
+      if (git == groups.end()) continue;
+      Range ug = combined_range(git->second);
+      if (!ug.lo_bounded()) {
+        verdict.blockers.push_back(support::format(
+            "steady-state access range unknown for '%s'", array->name.c_str()));
+        continue;
+      }
+      // hi_first < lo_general(i) for every steady-state iteration i.
+      if (prove_lt(hi_f, ug.lo(), ctx_facts_steady) == Truth::True) continue;
+      // Monotone-chain argument: the adjacent Range Test already proved
+      // lo_general non-decreasing, so comparing against the first steady
+      // iteration (i = lb+1) suffices.
+      if (passed_by_range_test.count(array)) {
+        ExprPtr lo_at_first =
+            sym::subst_sym(ug.lo(), index_sym, sym::add(lb, sym::make_const(1)));
+        if (prove_lt(hi_f, lo_at_first, ctx_facts_any) == Truth::True) continue;
+      }
+      verdict.blockers.push_back(support::format(
+          "cannot prove peeled first iteration independent for '%s'", array->name.c_str()));
+    }
+  }
+
+  verdict.parallel = verdict.blockers.empty();
+  if (verdict.parallel) {
+    std::string reason;
+    if (used_subset) {
+      reason = "subset-injective index array with matching guard";
+    } else if (used_injectivity) {
+      reason = "injective index array subscript";
+    } else if (used_monotonic_facts) {
+      reason = "monotonic index array ranges (extended Range Test)";
+    } else {
+      reason = "affine disjoint accesses";
+    }
+    if (used_peel) reason += " + peeled first iteration";
+    verdict.reason = reason;
+  }
+  return verdict;
+}
+
+std::vector<LoopVerdict> Parallelizer::analyze_all(const ast::FuncDecl& function) {
+  std::vector<LoopVerdict> verdicts;
+  for (const ast::For* loop : ast::collect_loops(function.body.get())) {
+    verdicts.push_back(analyze(*loop));
+  }
+  return verdicts;
+}
+
+}  // namespace sspar::core

@@ -1,0 +1,62 @@
+// Parallelism detection: the extended Range Test (paper Section 5) plus the
+// injectivity-based output-dependence tests (paper Section 2).
+//
+// For a candidate loop the test:
+//  1. collects every array access in the body (inner loops flattened to their
+//     symbolic access ranges, e.g. k ∈ [rowstr[i] : rowstr[i+1]-1]),
+//  2. forms the per-iteration access range U(i) of each written array,
+//  3. proves U(i) and U(i+1) disjoint and the bounds monotone in i — array
+//     element differences are discharged through the Monotonic step facts
+//     derived by the analyzer (rowptr[i] <= rowptr[i+1]),
+//  4. falls back to injectivity: a single write a[b[i]] is output-dependence
+//     free when b is injective (Fig. 2), or subset-injective with a matching
+//     guard (Fig. 5),
+//  5. "virtually peels" first-iteration special cases (the if (i == 0) idiom
+//     of Fig. 9 / Fig. 4) and proves the peeled iteration disjoint from the
+//     rest symbolically — the refinement the paper sketches in Section 5.
+//
+// Scalars written in the loop must be privatizable (defined before use in
+// every iteration); a read of the previous iteration's value (λ-read) is a
+// loop-carried dependence and blocks parallelization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+
+namespace sspar::core {
+
+struct LoopVerdict {
+  const ast::For* loop = nullptr;
+  int loop_id = -1;
+  bool canonical = false;
+  bool parallel = false;
+  // The loop involves subscripted subscripts (directly a[b[i]], or inner loop
+  // bounds taken from an index array).
+  bool uses_subscripted_subscripts = false;
+  // Main enabling property when parallel (human-readable, stable prefixes for
+  // tests: "affine", "monotonic", "injective", "subset-injective", "peeled").
+  std::string reason;
+  std::vector<std::string> blockers;
+  // Scalars to privatize in the OpenMP clause (declared outside the loop).
+  std::vector<const ast::VarDecl*> privates;
+};
+
+class Parallelizer {
+ public:
+  explicit Parallelizer(Analyzer& analyzer) : analyzer_(analyzer) {}
+
+  LoopVerdict analyze(const ast::For& loop);
+
+  // Verdicts for every loop of the function, in pre-order.
+  std::vector<LoopVerdict> analyze_all(const ast::FuncDecl& function);
+
+ private:
+  Analyzer& analyzer_;
+};
+
+// True if the loop nest uses subscripted subscripts in the paper's sense.
+bool uses_subscripted_subscripts(const ast::For& loop);
+
+}  // namespace sspar::core

@@ -1,0 +1,45 @@
+#include "corpus/analysis.h"
+
+#include <algorithm>
+
+#include "support/diagnostics.h"
+
+namespace sspar::corpus {
+
+EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& options) {
+  EntryAnalysis result;
+  result.entry = &entry;
+  support::DiagnosticEngine diags;
+  result.parsed = ast::parse_and_resolve(entry.source, diags);
+  result.diagnostics = diags.dump();
+  if (!result.parsed.ok) return result;
+
+  core::Analyzer analyzer(*result.parsed.program, *result.parsed.symbols, options);
+  for (const auto& param : entry.params) {
+    const ast::VarDecl* decl = result.parsed.program->find_global(param.name);
+    if (decl) analyzer.assume_ge(decl, param.assume_min);
+  }
+  analyzer.run();
+
+  core::Parallelizer parallelizer(analyzer);
+  const ast::FuncDecl* func = result.parsed.program->find_function("f");
+  if (!func) return result;
+  result.verdicts = parallelizer.analyze_all(*func);
+
+  for (const auto& v : result.verdicts) {
+    ++result.loops;
+    if (v.uses_subscripted_subscripts) ++result.subscripted;
+    if (v.parallel) ++result.parallel;
+    if (v.parallel && v.uses_subscripted_subscripts) {
+      ++result.parallel_subscripted;
+      if (std::find(result.properties.begin(), result.properties.end(), v.reason) ==
+          result.properties.end()) {
+        result.properties.push_back(v.reason);
+      }
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sspar::corpus

@@ -1,0 +1,32 @@
+// Shared driver: run the full pipeline (parse -> analyze -> parallelize) on a
+// corpus entry. Used by the survey bench, the pattern-gallery example, and
+// the integration tests.
+#pragma once
+
+#include <memory>
+
+#include "core/parallelizer.h"
+#include "corpus/corpus.h"
+#include "frontend/frontend.h"
+
+namespace sspar::corpus {
+
+struct EntryAnalysis {
+  const Entry* entry = nullptr;
+  bool ok = false;
+  std::string diagnostics;
+  // Keep the program (and symbol table) alive: verdicts point into it.
+  ast::ParseResult parsed;
+  std::vector<core::LoopVerdict> verdicts;
+
+  int loops = 0;
+  int subscripted = 0;
+  int parallel = 0;
+  int parallel_subscripted = 0;
+  // Distinct enabling properties among parallel subscripted-subscript loops.
+  std::vector<std::string> properties;
+};
+
+EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& options = {});
+
+}  // namespace sspar::corpus

@@ -1,0 +1,8 @@
+// Umbrella header for the mini-C frontend.
+#pragma once
+
+#include "frontend/ast.h"       // IWYU pragma: export
+#include "frontend/lexer.h"     // IWYU pragma: export
+#include "frontend/parser.h"    // IWYU pragma: export
+#include "frontend/printer.h"   // IWYU pragma: export
+#include "frontend/sema.h"      // IWYU pragma: export

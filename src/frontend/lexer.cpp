@@ -1,0 +1,252 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace sspar::ast {
+
+namespace {
+const std::unordered_map<std::string_view, TokenKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokenKind> map = {
+      {"int", TokenKind::KwInt},         {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},     {"double", TokenKind::KwDouble},
+      {"void", TokenKind::KwVoid},       {"for", TokenKind::KwFor},
+      {"while", TokenKind::KwWhile},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"return", TokenKind::KwReturn},
+  };
+  return map;
+}
+}  // namespace
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::End: return "end of input";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::FloatLiteral: return "float literal";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwLong: return "'long'";
+    case TokenKind::KwFloat: return "'float'";
+    case TokenKind::KwDouble: return "'double'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwBreak: return "'break'";
+    case TokenKind::KwContinue: return "'continue'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semi: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Question: return "'?'";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::PlusAssign: return "'+='";
+    case TokenKind::MinusAssign: return "'-='";
+    case TokenKind::StarAssign: return "'*='";
+    case TokenKind::SlashAssign: return "'/='";
+    case TokenKind::PercentAssign: return "'%='";
+    case TokenKind::PlusPlus: return "'++'";
+    case TokenKind::MinusMinus: return "'--'";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+    case TokenKind::Not: return "'!'";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, support::DiagnosticEngine& diags)
+    : source_(source), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  size_t p = pos_ + ahead;
+  return p < source_.size() ? source_[p] : '\0';
+}
+
+char Lexer::advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+support::SourceLocation Lexer::here() const {
+  return {line_, column_, static_cast<uint32_t>(pos_)};
+}
+
+void Lexer::skip_trivia() {
+  while (pos_ < source_.size()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < source_.size() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (pos_ < source_.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (pos_ < source_.size()) {
+        advance();
+        advance();
+      } else {
+        diags_.error(here(), "unterminated block comment");
+      }
+    } else if (c == '#') {
+      while (pos_ < source_.size() && peek() != '\n') advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::lex_number() {
+  Token tok;
+  tok.location = here();
+  std::string digits;
+  bool is_float = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    digits += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t save = 1;
+    if (peek(1) == '+' || peek(1) == '-') save = 2;
+    if (std::isdigit(static_cast<unsigned char>(peek(save)))) {
+      is_float = true;
+      digits += advance();  // e
+      if (peek() == '+' || peek() == '-') digits += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+    }
+  }
+  if (is_float) {
+    tok.kind = TokenKind::FloatLiteral;
+    tok.float_value = std::stod(digits);
+  } else {
+    tok.kind = TokenKind::IntLiteral;
+    tok.int_value = std::stoll(digits);
+  }
+  return tok;
+}
+
+Token Lexer::lex_identifier() {
+  Token tok;
+  tok.location = here();
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    text += advance();
+  }
+  auto it = keywords().find(text);
+  if (it != keywords().end()) {
+    tok.kind = it->second;
+  } else {
+    tok.kind = TokenKind::Identifier;
+    tok.text = std::move(text);
+  }
+  return tok;
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  Token tok;
+  tok.location = here();
+  if (pos_ >= source_.size()) {
+    tok.kind = TokenKind::End;
+    return tok;
+  }
+  char c = peek();
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_identifier();
+  advance();
+  switch (c) {
+    case '(': tok.kind = TokenKind::LParen; break;
+    case ')': tok.kind = TokenKind::RParen; break;
+    case '{': tok.kind = TokenKind::LBrace; break;
+    case '}': tok.kind = TokenKind::RBrace; break;
+    case '[': tok.kind = TokenKind::LBracket; break;
+    case ']': tok.kind = TokenKind::RBracket; break;
+    case ';': tok.kind = TokenKind::Semi; break;
+    case ',': tok.kind = TokenKind::Comma; break;
+    case '?': tok.kind = TokenKind::Question; break;
+    case ':': tok.kind = TokenKind::Colon; break;
+    case '+':
+      tok.kind = match('+') ? TokenKind::PlusPlus
+               : match('=') ? TokenKind::PlusAssign
+                            : TokenKind::Plus;
+      break;
+    case '-':
+      tok.kind = match('-') ? TokenKind::MinusMinus
+               : match('=') ? TokenKind::MinusAssign
+                            : TokenKind::Minus;
+      break;
+    case '*': tok.kind = match('=') ? TokenKind::StarAssign : TokenKind::Star; break;
+    case '/': tok.kind = match('=') ? TokenKind::SlashAssign : TokenKind::Slash; break;
+    case '%': tok.kind = match('=') ? TokenKind::PercentAssign : TokenKind::Percent; break;
+    case '<': tok.kind = match('=') ? TokenKind::Le : TokenKind::Lt; break;
+    case '>': tok.kind = match('=') ? TokenKind::Ge : TokenKind::Gt; break;
+    case '=': tok.kind = match('=') ? TokenKind::EqEq : TokenKind::Assign; break;
+    case '!': tok.kind = match('=') ? TokenKind::NotEq : TokenKind::Not; break;
+    case '&':
+      if (match('&')) {
+        tok.kind = TokenKind::AmpAmp;
+      } else {
+        diags_.error(tok.location, "unexpected character '&'");
+        return next();
+      }
+      break;
+    case '|':
+      if (match('|')) {
+        tok.kind = TokenKind::PipePipe;
+      } else {
+        diags_.error(tok.location, "unexpected character '|'");
+        return next();
+      }
+      break;
+    default:
+      diags_.error(tok.location, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+  return tok;
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view source,
+                                   support::DiagnosticEngine& diags) {
+  Lexer lexer(source, diags);
+  std::vector<Token> tokens;
+  for (;;) {
+    tokens.push_back(lexer.next());
+    if (tokens.back().kind == TokenKind::End) break;
+  }
+  return tokens;
+}
+
+}  // namespace sspar::ast

@@ -1,0 +1,44 @@
+// Hand-written lexer for the mini-C subset.
+//
+// Handles //- and /* */-comments; `#`-lines (preprocessor directives such as
+// #pragma) are skipped to end of line — the corpus sources are pre-expanded
+// and parallelization pragmas are *produced* by the transform module, never
+// consumed.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+#include "support/diagnostics.h"
+
+namespace sspar::ast {
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, support::DiagnosticEngine& diags);
+
+  Token next();
+
+  // Lexes the entire input (including the trailing End token).
+  static std::vector<Token> tokenize(std::string_view source,
+                                     support::DiagnosticEngine& diags);
+
+ private:
+  char peek(size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_trivia();
+  support::SourceLocation here() const;
+
+  Token lex_number();
+  Token lex_identifier();
+
+  std::string_view source_;
+  support::DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t column_ = 1;
+};
+
+}  // namespace sspar::ast

@@ -1,0 +1,57 @@
+// Recursive-descent parser for the mini-C subset.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "frontend/ast.h"
+#include "frontend/lexer.h"
+#include "support/diagnostics.h"
+
+namespace sspar::ast {
+
+class Parser {
+ public:
+  Parser(std::string_view source, support::DiagnosticEngine& diags);
+
+  // Parses a whole translation unit. Returns a program even on error (with
+  // diagnostics reported); callers should check diags.has_errors().
+  std::unique_ptr<Program> parse_program();
+
+ private:
+  const Token& peek(size_t ahead = 0) const;
+  const Token& current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind kind) const { return current().kind == kind; }
+  bool match(TokenKind kind);
+  Token expect(TokenKind kind, const char* context);
+  void synchronize();
+
+  bool at_type_keyword() const;
+  TypeKind parse_type();
+
+  void parse_top_level(Program& program);
+  std::unique_ptr<VarDecl> parse_declarator(TypeKind base, bool is_param);
+  std::unique_ptr<FuncDecl> parse_function_rest(TypeKind ret, Token name_tok);
+
+  StmtPtr parse_stmt();
+  StmtPtr parse_compound();
+  StmtPtr parse_if();
+  StmtPtr parse_for();
+  StmtPtr parse_while();
+  StmtPtr parse_decl_stmt();
+
+  ExprPtr parse_expr() { return parse_assignment(); }
+  ExprPtr parse_assignment();
+  ExprPtr parse_conditional();
+  ExprPtr parse_binary(int min_precedence);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  support::DiagnosticEngine& diags_;
+};
+
+}  // namespace sspar::ast

@@ -1,0 +1,18 @@
+// Source emission (the "source-to-source" back end).
+//
+// Prints the AST back to compilable C. For-loop annotations (filled in by the
+// transform module, e.g. "#pragma omp parallel for private(j)") are emitted
+// verbatim on their own lines directly above the loop.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.h"
+
+namespace sspar::ast {
+
+std::string print_program(const Program& program);
+std::string print_stmt(const Stmt& stmt, int indent = 0);
+std::string print_expr(const Expr& expr);
+
+}  // namespace sspar::ast

@@ -1,0 +1,210 @@
+#include "frontend/sema.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/parser.h"
+
+namespace sspar::ast {
+
+namespace {
+
+class Resolver {
+ public:
+  Resolver(sym::SymbolTable& symbols, support::DiagnosticEngine& diags)
+      : symbols_(symbols), diags_(diags) {}
+
+  void run(Program& program) {
+    push_scope();
+    for (auto& g : program.globals) declare(*g);
+    for (auto& g : program.globals) {
+      if (g->init) resolve_expr(*g->init);
+      for (auto& d : g->dims) {
+        if (d) resolve_expr(*d);
+      }
+    }
+    for (auto& f : program.functions) {
+      next_loop_id_ = 0;
+      push_scope();
+      for (auto& p : f->params) {
+        declare(*p);
+        for (auto& d : p->dims) {
+          if (d) resolve_expr(*d);
+        }
+      }
+      resolve_stmt(*f->body);
+      pop_scope();
+    }
+    pop_scope();
+  }
+
+ private:
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  void declare(VarDecl& decl) {
+    auto& scope = scopes_.back();
+    if (scope.count(decl.name)) {
+      diags_.error(decl.location, "redeclaration of '" + decl.name + "'");
+      // Rebind: later references see the newer declaration, like C.
+    }
+    decl.symbol = symbols_.fresh(decl.name);
+    scope[decl.name] = &decl;
+  }
+
+  const VarDecl* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+  void resolve_stmt(Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtNodeKind::ExprStmt:
+        resolve_expr(*stmt.as<ExprStmt>()->expr);
+        break;
+      case StmtNodeKind::DeclStmt:
+        for (auto& d : stmt.as<DeclStmt>()->decls) {
+          for (auto& dim : d->dims) {
+            if (dim) resolve_expr(*dim);
+          }
+          if (d->init) resolve_expr(*d->init);
+          declare(*d);
+        }
+        break;
+      case StmtNodeKind::Compound: {
+        push_scope();
+        for (auto& s : stmt.as<Compound>()->body) resolve_stmt(*s);
+        pop_scope();
+        break;
+      }
+      case StmtNodeKind::If: {
+        auto* s = stmt.as<If>();
+        resolve_expr(*s->cond);
+        resolve_stmt(*s->then_branch);
+        if (s->else_branch) resolve_stmt(*s->else_branch);
+        break;
+      }
+      case StmtNodeKind::For: {
+        auto* s = stmt.as<For>();
+        s->loop_id = next_loop_id_++;
+        push_scope();  // for-init declarations scope over the loop
+        resolve_stmt(*s->init);
+        if (s->cond) resolve_expr(*s->cond);
+        if (s->step) resolve_expr(*s->step);
+        resolve_stmt(*s->body);
+        pop_scope();
+        break;
+      }
+      case StmtNodeKind::While: {
+        auto* s = stmt.as<While>();
+        resolve_expr(*s->cond);
+        resolve_stmt(*s->body);
+        break;
+      }
+      case StmtNodeKind::Return: {
+        auto* s = stmt.as<Return>();
+        if (s->value) resolve_expr(*s->value);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void resolve_expr(Expr& expr) {
+    switch (expr.kind) {
+      case ExprNodeKind::VarRef: {
+        auto* e = expr.as<VarRef>();
+        e->decl = lookup(e->name);
+        if (!e->decl) {
+          diags_.error(e->location, "use of undeclared identifier '" + e->name + "'");
+        }
+        break;
+      }
+      case ExprNodeKind::ArrayRef: {
+        auto* e = expr.as<ArrayRef>();
+        resolve_expr(*e->base);
+        resolve_expr(*e->index);
+        if (const VarRef* root = e->root()) {
+          if (root->decl && !root->decl->is_array()) {
+            diags_.error(e->location, "subscripted variable '" + root->name + "' is not an array");
+          } else if (root->decl && e->subscripts().size() > root->decl->dims.size()) {
+            diags_.error(e->location, "too many subscripts for array '" + root->name + "'");
+          }
+        } else {
+          diags_.error(e->location, "subscript base must be a variable");
+        }
+        break;
+      }
+      case ExprNodeKind::Binary: {
+        auto* e = expr.as<Binary>();
+        resolve_expr(*e->lhs);
+        resolve_expr(*e->rhs);
+        break;
+      }
+      case ExprNodeKind::Unary:
+        resolve_expr(*expr.as<Unary>()->operand);
+        break;
+      case ExprNodeKind::Assign: {
+        auto* e = expr.as<Assign>();
+        resolve_expr(*e->target);
+        resolve_expr(*e->value);
+        if (e->target->kind != ExprNodeKind::VarRef &&
+            e->target->kind != ExprNodeKind::ArrayRef) {
+          diags_.error(e->location, "assignment target must be a variable or array element");
+        }
+        break;
+      }
+      case ExprNodeKind::IncDec: {
+        auto* e = expr.as<IncDec>();
+        resolve_expr(*e->target);
+        if (e->target->kind != ExprNodeKind::VarRef &&
+            e->target->kind != ExprNodeKind::ArrayRef) {
+          diags_.error(e->location, "increment target must be a variable or array element");
+        }
+        break;
+      }
+      case ExprNodeKind::Conditional: {
+        auto* e = expr.as<Conditional>();
+        resolve_expr(*e->cond);
+        resolve_expr(*e->then_expr);
+        resolve_expr(*e->else_expr);
+        break;
+      }
+      case ExprNodeKind::Call:
+        for (auto& a : expr.as<Call>()->args) resolve_expr(*a);
+        break;
+      default:
+        break;
+    }
+  }
+
+  sym::SymbolTable& symbols_;
+  support::DiagnosticEngine& diags_;
+  std::vector<std::unordered_map<std::string, const VarDecl*>> scopes_;
+  int next_loop_id_ = 0;
+};
+
+}  // namespace
+
+bool resolve(Program& program, sym::SymbolTable& symbols, support::DiagnosticEngine& diags) {
+  size_t errors_before = diags.error_count();
+  Resolver resolver(symbols, diags);
+  resolver.run(program);
+  return diags.error_count() == errors_before;
+}
+
+ParseResult parse_and_resolve(std::string_view source, support::DiagnosticEngine& diags) {
+  ParseResult result;
+  Parser parser(source, diags);
+  result.program = parser.parse_program();
+  result.symbols = std::make_shared<sym::SymbolTable>();
+  if (diags.has_errors()) return result;
+  result.ok = resolve(*result.program, *result.symbols, diags);
+  return result;
+}
+
+}  // namespace sspar::ast

@@ -1,0 +1,28 @@
+// Semantic analysis: scope resolution, symbol binding, light type checks.
+//
+// Binds every VarRef to its VarDecl, assigns each declaration a unique
+// sym::SymbolId (shared with the symbolic/analysis layer), and numbers For
+// loops in pre-order (For::loop_id) so analysis results can be keyed stably.
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "support/diagnostics.h"
+#include "symbolic/symbol.h"
+
+namespace sspar::ast {
+
+struct ParseResult {
+  std::unique_ptr<Program> program;
+  std::shared_ptr<sym::SymbolTable> symbols;
+  bool ok = false;
+};
+
+// Runs sema over a parsed program in place.
+bool resolve(Program& program, sym::SymbolTable& symbols, support::DiagnosticEngine& diags);
+
+// Convenience: lex + parse + resolve.
+ParseResult parse_and_resolve(std::string_view source, support::DiagnosticEngine& diags);
+
+}  // namespace sspar::ast

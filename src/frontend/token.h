@@ -1,0 +1,74 @@
+// Tokens for the mini-C language accepted by the frontend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/source_location.h"
+
+namespace sspar::ast {
+
+enum class TokenKind : uint8_t {
+  End,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwDouble,
+  KwVoid,
+  KwFor,
+  KwWhile,
+  KwIf,
+  KwElse,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  // Punctuation / operators
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Question,
+  Colon,
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+  PlusPlus,
+  MinusMinus,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  EqEq,
+  NotEq,
+  AmpAmp,
+  PipePipe,
+  Not,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  support::SourceLocation location;
+  std::string text;     // identifier spelling
+  int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace sspar::ast

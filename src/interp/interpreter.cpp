@@ -1,0 +1,609 @@
+#include "interp/interpreter.h"
+
+#include <algorithm>
+#include <functional>
+#include <random>
+#include <stdexcept>
+
+#include "support/text.h"
+
+namespace sspar::interp {
+
+namespace {
+
+struct Value {
+  ast::TypeKind type = ast::TypeKind::Int;
+  int64_t i = 0;
+  double d = 0.0;
+
+  static Value of_int(int64_t v) { return Value{ast::TypeKind::Int, v, 0.0}; }
+  static Value of_double(double v) { return Value{ast::TypeKind::Double, 0, v}; }
+
+  int64_t as_int() const { return type == ast::TypeKind::Int ? i : static_cast<int64_t>(d); }
+  double as_double() const { return type == ast::TypeKind::Int ? static_cast<double>(i) : d; }
+  bool truthy() const { return type == ast::TypeKind::Int ? i != 0 : d != 0.0; }
+};
+
+Value arith(ast::BinaryOp op, const Value& l, const Value& r) {
+  bool use_double = l.type == ast::TypeKind::Double || r.type == ast::TypeKind::Double;
+  switch (op) {
+    case ast::BinaryOp::Add:
+      return use_double ? Value::of_double(l.as_double() + r.as_double())
+                        : Value::of_int(l.as_int() + r.as_int());
+    case ast::BinaryOp::Sub:
+      return use_double ? Value::of_double(l.as_double() - r.as_double())
+                        : Value::of_int(l.as_int() - r.as_int());
+    case ast::BinaryOp::Mul:
+      return use_double ? Value::of_double(l.as_double() * r.as_double())
+                        : Value::of_int(l.as_int() * r.as_int());
+    case ast::BinaryOp::Div:
+      if (use_double) return Value::of_double(l.as_double() / r.as_double());
+      if (r.as_int() == 0) throw std::runtime_error("integer division by zero");
+      return Value::of_int(l.as_int() / r.as_int());
+    case ast::BinaryOp::Rem:
+      if (r.as_int() == 0) throw std::runtime_error("integer remainder by zero");
+      return Value::of_int(l.as_int() % r.as_int());
+    case ast::BinaryOp::Lt:
+      return Value::of_int(use_double ? l.as_double() < r.as_double() : l.as_int() < r.as_int());
+    case ast::BinaryOp::Le:
+      return Value::of_int(use_double ? l.as_double() <= r.as_double()
+                                      : l.as_int() <= r.as_int());
+    case ast::BinaryOp::Gt:
+      return Value::of_int(use_double ? l.as_double() > r.as_double() : l.as_int() > r.as_int());
+    case ast::BinaryOp::Ge:
+      return Value::of_int(use_double ? l.as_double() >= r.as_double()
+                                      : l.as_int() >= r.as_int());
+    case ast::BinaryOp::Eq:
+      return Value::of_int(use_double ? l.as_double() == r.as_double()
+                                      : l.as_int() == r.as_int());
+    case ast::BinaryOp::Ne:
+      return Value::of_int(use_double ? l.as_double() != r.as_double()
+                                      : l.as_int() != r.as_int());
+    case ast::BinaryOp::LAnd:
+    case ast::BinaryOp::LOr:
+      throw std::logic_error("short-circuit ops handled by caller");
+  }
+  throw std::logic_error("unknown binary op");
+}
+
+// Location identity for the dependence oracle.
+struct Location {
+  const ast::VarDecl* decl;
+  size_t index;  // 0 for scalars; flat element index for arrays
+  bool operator<(const Location& o) const {
+    return decl != o.decl ? decl < o.decl : index < o.index;
+  }
+};
+
+struct LocationState {
+  std::set<int64_t> writers;
+  std::set<int64_t> exposed_readers;  // iterations whose first access was a read
+  std::map<int64_t, bool> first_was_write;
+};
+
+enum class Flow { Normal, Broke, Continued, Returned };
+
+}  // namespace
+
+class Interpreter::Impl {
+ public:
+  explicit Impl(const ast::Program& program) : program_(program) {
+    for (const auto& g : program.globals) init_decl(*g);
+    // Global initializers may reference other globals; evaluate in order.
+    for (const auto& g : program.globals) {
+      if (!g->is_array() && g->init) {
+        store_scalar(g.get(), eval(*g->init));
+      }
+    }
+  }
+
+  const ast::Program& program_;
+  std::map<const ast::VarDecl*, Value> scalars_;
+  std::map<const ast::VarDecl*, ArrayStorage> arrays_;
+  uint64_t step_limit_ = 500'000'000;
+  uint64_t steps_ = 0;
+
+  // Oracle state.
+  const ast::For* oracle_loop_ = nullptr;
+  int64_t oracle_iter_ = -1;  // current iteration id of the target loop
+  std::map<Location, LocationState>* oracle_locations_ = nullptr;
+  DependenceReport* oracle_report_ = nullptr;
+
+  // Permutation state.
+  const ast::For* permute_loop_ = nullptr;
+  uint64_t permute_seed_ = 0;
+
+  // ------------------------------------------------------------------------
+  void init_decl(const ast::VarDecl& decl) {
+    if (!decl.is_array()) {
+      scalars_[&decl] =
+          decl.elem_type == ast::TypeKind::Double ? Value::of_double(0.0) : Value::of_int(0);
+      return;
+    }
+    ArrayStorage storage;
+    storage.elem = decl.elem_type;
+    size_t total = 1;
+    for (const auto& dim : decl.dims) {
+      if (!dim) throw std::runtime_error("array '" + decl.name + "' has an unsized dimension");
+      Value v = eval(*dim);
+      if (v.as_int() <= 0) throw std::runtime_error("non-positive array dimension");
+      storage.dims.push_back(static_cast<size_t>(v.as_int()));
+      total *= storage.dims.back();
+    }
+    if (storage.elem == ast::TypeKind::Double) {
+      storage.doubles.assign(total, 0.0);
+    } else {
+      storage.ints.assign(total, 0);
+    }
+    arrays_[&decl] = std::move(storage);
+  }
+
+  void tick() {
+    if (++steps_ > step_limit_) throw std::runtime_error("step limit exceeded");
+  }
+
+  // --- Oracle recording ------------------------------------------------------
+  void record(const ast::VarDecl* decl, size_t index, bool is_write) {
+    if (!oracle_locations_ || oracle_iter_ < 0) return;
+    LocationState& state = (*oracle_locations_)[Location{decl, index}];
+    auto [it, inserted] = state.first_was_write.emplace(oracle_iter_, is_write);
+    if (inserted && !is_write) state.exposed_readers.insert(oracle_iter_);
+    if (is_write) state.writers.insert(oracle_iter_);
+  }
+
+  // --- Lvalue resolution -------------------------------------------------------
+  struct LValue {
+    const ast::VarDecl* decl = nullptr;
+    bool is_array = false;
+    size_t index = 0;
+  };
+
+  LValue resolve(const ast::Expr& target) {
+    if (const auto* var = target.as<ast::VarRef>()) {
+      if (!var->decl) throw std::runtime_error("unresolved variable " + var->name);
+      return LValue{var->decl, false, 0};
+    }
+    if (const auto* arr = target.as<ast::ArrayRef>()) {
+      const ast::VarRef* root = arr->root();
+      if (!root || !root->decl) throw std::runtime_error("bad array reference");
+      auto it = arrays_.find(root->decl);
+      if (it == arrays_.end()) throw std::runtime_error("not an array: " + root->name);
+      const ArrayStorage& storage = it->second;
+      auto subs = arr->subscripts();
+      if (subs.size() != storage.dims.size()) {
+        throw std::runtime_error("wrong subscript count for " + root->name);
+      }
+      size_t flat = 0;
+      for (size_t d = 0; d < subs.size(); ++d) {
+        int64_t idx = eval(*subs[d]).as_int();
+        if (idx < 0 || static_cast<size_t>(idx) >= storage.dims[d]) {
+          throw std::runtime_error(support::format(
+              "index %lld out of bounds [0, %zu) for %s", (long long)idx, storage.dims[d],
+              root->name.c_str()));
+        }
+        flat = flat * storage.dims[d] + static_cast<size_t>(idx);
+      }
+      return LValue{root->decl, true, flat};
+    }
+    throw std::runtime_error("assignment target is not an lvalue");
+  }
+
+  Value load(const LValue& lv) {
+    if (!lv.is_array) {
+      record(lv.decl, 0, /*is_write=*/false);
+      return scalars_.at(lv.decl);
+    }
+    record(lv.decl, lv.index, /*is_write=*/false);
+    const ArrayStorage& storage = arrays_.at(lv.decl);
+    return storage.elem == ast::TypeKind::Double ? Value::of_double(storage.doubles[lv.index])
+                                                 : Value::of_int(storage.ints[lv.index]);
+  }
+
+  void store(const LValue& lv, const Value& v) {
+    if (!lv.is_array) {
+      record(lv.decl, 0, /*is_write=*/true);
+      store_scalar(lv.decl, v);
+      return;
+    }
+    record(lv.decl, lv.index, /*is_write=*/true);
+    ArrayStorage& storage = arrays_.at(lv.decl);
+    if (storage.elem == ast::TypeKind::Double) {
+      storage.doubles[lv.index] = v.as_double();
+    } else {
+      storage.ints[lv.index] = v.as_int();
+    }
+  }
+
+  void store_scalar(const ast::VarDecl* decl, const Value& v) {
+    Value& slot = scalars_[decl];
+    slot = decl->elem_type == ast::TypeKind::Double ? Value::of_double(v.as_double())
+                                                    : Value::of_int(v.as_int());
+  }
+
+  // --- Expression evaluation ---------------------------------------------------
+  Value eval(const ast::Expr& expr) {
+    tick();
+    switch (expr.kind) {
+      case ast::ExprNodeKind::IntLit:
+        return Value::of_int(expr.as<ast::IntLit>()->value);
+      case ast::ExprNodeKind::FloatLit:
+        return Value::of_double(expr.as<ast::FloatLit>()->value);
+      case ast::ExprNodeKind::VarRef:
+      case ast::ExprNodeKind::ArrayRef:
+        return load(resolve(expr));
+      case ast::ExprNodeKind::Binary: {
+        const auto* b = expr.as<ast::Binary>();
+        if (b->op == ast::BinaryOp::LAnd) {
+          if (!eval(*b->lhs).truthy()) return Value::of_int(0);
+          return Value::of_int(eval(*b->rhs).truthy());
+        }
+        if (b->op == ast::BinaryOp::LOr) {
+          if (eval(*b->lhs).truthy()) return Value::of_int(1);
+          return Value::of_int(eval(*b->rhs).truthy());
+        }
+        Value l = eval(*b->lhs);
+        Value r = eval(*b->rhs);
+        return arith(b->op, l, r);
+      }
+      case ast::ExprNodeKind::Unary: {
+        const auto* u = expr.as<ast::Unary>();
+        Value v = eval(*u->operand);
+        if (u->op == ast::UnaryOp::Neg) {
+          return v.type == ast::TypeKind::Double ? Value::of_double(-v.as_double())
+                                                 : Value::of_int(-v.as_int());
+        }
+        return Value::of_int(!v.truthy());
+      }
+      case ast::ExprNodeKind::Assign: {
+        const auto* a = expr.as<ast::Assign>();
+        Value v = eval(*a->value);
+        LValue lv = resolve(*a->target);
+        if (a->op != ast::AssignOp::Assign) {
+          Value old = load(lv);
+          ast::BinaryOp op;
+          switch (a->op) {
+            case ast::AssignOp::Add: op = ast::BinaryOp::Add; break;
+            case ast::AssignOp::Sub: op = ast::BinaryOp::Sub; break;
+            case ast::AssignOp::Mul: op = ast::BinaryOp::Mul; break;
+            case ast::AssignOp::Div: op = ast::BinaryOp::Div; break;
+            default: op = ast::BinaryOp::Rem; break;
+          }
+          v = arith(op, old, v);
+        }
+        store(lv, v);
+        return v;
+      }
+      case ast::ExprNodeKind::IncDec: {
+        const auto* i = expr.as<ast::IncDec>();
+        LValue lv = resolve(*i->target);
+        Value old = load(lv);
+        Value neu = arith(i->is_increment() ? ast::BinaryOp::Add : ast::BinaryOp::Sub, old,
+                          Value::of_int(1));
+        store(lv, neu);
+        return i->is_post() ? old : neu;
+      }
+      case ast::ExprNodeKind::Conditional: {
+        const auto* c = expr.as<ast::Conditional>();
+        return eval(*c->cond).truthy() ? eval(*c->then_expr) : eval(*c->else_expr);
+      }
+      case ast::ExprNodeKind::Call: {
+        const auto* call = expr.as<ast::Call>();
+        const ast::FuncDecl* callee = program_.find_function(call->callee);
+        if (!callee) throw std::runtime_error("call to unknown function " + call->callee);
+        if (!callee->params.empty()) {
+          throw std::runtime_error("interpreter supports only zero-argument calls");
+        }
+        exec(*callee->body);
+        return Value::of_int(0);
+      }
+    }
+    throw std::logic_error("unknown expr kind");
+  }
+
+  // --- Statement execution ------------------------------------------------------
+  Flow exec(const ast::Stmt& stmt) {
+    tick();
+    switch (stmt.kind) {
+      case ast::StmtNodeKind::Empty:
+        return Flow::Normal;
+      case ast::StmtNodeKind::ExprStmt:
+        eval(*stmt.as<ast::ExprStmt>()->expr);
+        return Flow::Normal;
+      case ast::StmtNodeKind::DeclStmt:
+        for (const auto& d : stmt.as<ast::DeclStmt>()->decls) {
+          init_decl(*d);
+          if (!d->is_array() && d->init) {
+            Value v = eval(*d->init);
+            record(d.get(), 0, /*is_write=*/true);  // initializer defines the slot
+            store_scalar(d.get(), v);
+          }
+        }
+        return Flow::Normal;
+      case ast::StmtNodeKind::Compound:
+        for (const auto& s : stmt.as<ast::Compound>()->body) {
+          Flow flow = exec(*s);
+          if (flow != Flow::Normal) return flow;
+        }
+        return Flow::Normal;
+      case ast::StmtNodeKind::If: {
+        const auto* s = stmt.as<ast::If>();
+        if (eval(*s->cond).truthy()) return exec(*s->then_branch);
+        if (s->else_branch) return exec(*s->else_branch);
+        return Flow::Normal;
+      }
+      case ast::StmtNodeKind::While: {
+        const auto* s = stmt.as<ast::While>();
+        while (eval(*s->cond).truthy()) {
+          Flow flow = exec(*s->body);
+          if (flow == Flow::Broke) break;
+          if (flow == Flow::Returned) return flow;
+          tick();
+        }
+        return Flow::Normal;
+      }
+      case ast::StmtNodeKind::For:
+        return exec_for(*stmt.as<ast::For>());
+      case ast::StmtNodeKind::Break:
+        return Flow::Broke;
+      case ast::StmtNodeKind::Continue:
+        return Flow::Continued;
+      case ast::StmtNodeKind::Return:
+        if (stmt.as<ast::Return>()->value) eval(*stmt.as<ast::Return>()->value);
+        return Flow::Returned;
+    }
+    throw std::logic_error("unknown stmt kind");
+  }
+
+  Flow exec_for(const ast::For& loop) {
+    if (&loop == permute_loop_) return exec_for_permuted(loop);
+    const bool is_oracle_target = (&loop == oracle_loop_);
+    if (loop.init) exec(*loop.init);
+    int64_t iter = 0;
+    int64_t saved_iter = oracle_iter_;
+    if (is_oracle_target && oracle_report_) {
+      oracle_report_->executed = true;
+      ++oracle_report_->invocations;
+    }
+    std::map<Location, LocationState> invocation_locations;
+    std::map<Location, LocationState>* saved_locations = oracle_locations_;
+    if (is_oracle_target) oracle_locations_ = &invocation_locations;
+
+    Flow result = Flow::Normal;
+    for (;;) {
+      if (loop.cond) {
+        bool keep;
+        if (is_oracle_target) {
+          // Condition evaluation is loop bookkeeping, not iteration work.
+          oracle_iter_ = -1;
+          auto* tmp = oracle_locations_;
+          oracle_locations_ = nullptr;
+          keep = eval(*loop.cond).truthy();
+          oracle_locations_ = tmp;
+        } else {
+          keep = eval(*loop.cond).truthy();
+        }
+        if (!keep) break;
+      }
+      if (is_oracle_target) oracle_iter_ = iter;
+      Flow flow = exec(*loop.body);
+      if (is_oracle_target) oracle_iter_ = saved_iter;
+      if (flow == Flow::Broke) break;
+      if (flow == Flow::Returned) {
+        result = flow;
+        break;
+      }
+      if (loop.step) {
+        if (is_oracle_target) {
+          auto* tmp = oracle_locations_;
+          oracle_locations_ = nullptr;
+          eval(*loop.step);
+          oracle_locations_ = tmp;
+        } else {
+          eval(*loop.step);
+        }
+      }
+      ++iter;
+      tick();
+    }
+    if (is_oracle_target) {
+      oracle_locations_ = saved_locations;
+      finish_invocation(invocation_locations);
+    }
+    return result;
+  }
+
+  void finish_invocation(const std::map<Location, LocationState>& locations) {
+    if (!oracle_report_) return;
+    for (const auto& [loc, state] : locations) {
+      if (state.writers.empty()) continue;
+      bool conflict = false;
+      if (state.writers.size() > 1) {
+        // Write-write from different iterations: output dependence, unless
+        // this is a scalar that every accessing iteration writes first
+        // (privatizable).
+        bool privatizable = loc.decl && !loc.decl->is_array() && state.exposed_readers.empty();
+        conflict = !privatizable;
+      }
+      if (!conflict) {
+        for (int64_t reader : state.exposed_readers) {
+          if (state.writers.size() > 1 || !state.writers.count(reader)) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      if (conflict) {
+        ++oracle_report_->conflicting_locations;
+        oracle_report_->dependence_free = false;
+        if (oracle_report_->first_conflict.empty()) {
+          oracle_report_->first_conflict = support::format(
+              "%s[%zu]: %zu writers, %zu exposed readers", loc.decl->name.c_str(), loc.index,
+              state.writers.size(), state.exposed_readers.size());
+        }
+      }
+    }
+  }
+
+  Flow exec_for_permuted(const ast::For& loop) {
+    // Canonical form: evaluate bounds once, run iterations in shuffled order.
+    if (loop.init) exec(*loop.init);
+    const auto* init_expr = loop.init->as<ast::ExprStmt>();
+    const auto* init_decl = loop.init->as<ast::DeclStmt>();
+    const ast::VarDecl* index = nullptr;
+    if (init_expr) {
+      const auto* assign = init_expr->expr->as<ast::Assign>();
+      if (assign) {
+        if (const auto* var = assign->target->as<ast::VarRef>()) index = var->decl;
+      }
+    } else if (init_decl && init_decl->decls.size() == 1) {
+      index = init_decl->decls[0].get();
+    }
+    if (!index || !loop.cond) throw std::runtime_error("permuted loop is not canonical");
+    int64_t lb = scalars_.at(index).as_int();
+    const auto* cond = loop.cond->as<ast::Binary>();
+    if (!cond) throw std::runtime_error("permuted loop is not canonical");
+    // Upper bound: evaluate the rhs once.
+    int64_t bound = eval(*cond->rhs).as_int();
+    int64_t ub = cond->op == ast::BinaryOp::Le ? bound + 1 : bound;
+    if (ub < lb) ub = lb;
+    std::vector<int64_t> order;
+    order.reserve(static_cast<size_t>(ub - lb));
+    for (int64_t v = lb; v < ub; ++v) order.push_back(v);
+    std::mt19937_64 rng(permute_seed_);
+    std::shuffle(order.begin(), order.end(), rng);
+    // Never permute the same loop recursively.
+    const ast::For* saved = permute_loop_;
+    permute_loop_ = nullptr;
+    Flow result = Flow::Normal;
+    for (int64_t v : order) {
+      store_scalar(index, Value::of_int(v));
+      Flow flow = exec(*loop.body);
+      if (flow == Flow::Broke) break;
+      if (flow == Flow::Returned) {
+        result = flow;
+        break;
+      }
+      tick();
+    }
+    permute_loop_ = saved;
+    // Leave the index with its sequential exit value.
+    store_scalar(index, Value::of_int(ub < lb ? lb : ub));
+    return result;
+  }
+
+  void run_function(const std::string& name) {
+    const ast::FuncDecl* func = program_.find_function(name);
+    if (!func) throw std::runtime_error("no function named " + name);
+    exec(*func->body);
+  }
+
+  const ast::VarDecl* global(const std::string& name) const {
+    const ast::VarDecl* decl = program_.find_global(name);
+    if (!decl) throw std::runtime_error("no global named " + name);
+    return decl;
+  }
+};
+
+Interpreter::Interpreter(const ast::Program& program) : impl_(std::make_unique<Impl>(program)) {}
+Interpreter::~Interpreter() = default;
+
+void Interpreter::set_scalar(const std::string& name, int64_t value) {
+  impl_->store_scalar(impl_->global(name), Value::of_int(value));
+}
+void Interpreter::set_scalar(const std::string& name, double value) {
+  impl_->store_scalar(impl_->global(name), Value::of_double(value));
+}
+
+void Interpreter::set_array_int(const std::string& name, std::vector<int64_t> values) {
+  ArrayStorage& storage = impl_->arrays_.at(impl_->global(name));
+  if (values.size() > storage.ints.size()) throw std::runtime_error("initializer too large");
+  std::copy(values.begin(), values.end(), storage.ints.begin());
+}
+
+void Interpreter::set_array_double(const std::string& name, std::vector<double> values) {
+  ArrayStorage& storage = impl_->arrays_.at(impl_->global(name));
+  if (values.size() > storage.doubles.size()) throw std::runtime_error("initializer too large");
+  std::copy(values.begin(), values.end(), storage.doubles.begin());
+}
+
+int64_t Interpreter::scalar_int(const std::string& name) const {
+  return impl_->scalars_.at(impl_->global(name)).as_int();
+}
+double Interpreter::scalar_double(const std::string& name) const {
+  return impl_->scalars_.at(impl_->global(name)).as_double();
+}
+const std::vector<int64_t>& Interpreter::array_int(const std::string& name) const {
+  return impl_->arrays_.at(impl_->global(name)).ints;
+}
+const std::vector<double>& Interpreter::array_double(const std::string& name) const {
+  return impl_->arrays_.at(impl_->global(name)).doubles;
+}
+
+std::unique_ptr<Interpreter::Snapshot> Interpreter::snapshot() const {
+  auto snap = std::make_unique<Snapshot>();
+  for (const auto& g : impl_->program_.globals) {
+    if (g->is_array()) {
+      snap->arrays[g->name] = impl_->arrays_.at(g.get());
+    } else if (g->elem_type == ast::TypeKind::Double) {
+      snap->double_scalars[g->name] = impl_->scalars_.at(g.get()).as_double();
+    } else {
+      snap->int_scalars[g->name] = impl_->scalars_.at(g.get()).as_int();
+    }
+  }
+  return snap;
+}
+
+bool Interpreter::equal_state(const Snapshot& a, const Snapshot& b,
+                              const std::set<std::string>& exclude, std::string* first_diff) {
+  for (const auto& [name, value] : a.int_scalars) {
+    if (exclude.count(name)) continue;
+    auto it = b.int_scalars.find(name);
+    if (it == b.int_scalars.end() || it->second != value) {
+      if (first_diff) *first_diff = "scalar " + name;
+      return false;
+    }
+  }
+  for (const auto& [name, value] : a.double_scalars) {
+    if (exclude.count(name)) continue;
+    auto it = b.double_scalars.find(name);
+    if (it == b.double_scalars.end() || it->second != value) {
+      if (first_diff) *first_diff = "scalar " + name;
+      return false;
+    }
+  }
+  for (const auto& [name, storage] : a.arrays) {
+    if (exclude.count(name)) continue;
+    const auto it = b.arrays.find(name);
+    if (it == b.arrays.end()) return false;
+    if (storage.ints != it->second.ints || storage.doubles != it->second.doubles) {
+      if (first_diff) *first_diff = "array " + name;
+      return false;
+    }
+  }
+  return true;
+}
+
+void Interpreter::run(const std::string& function) { impl_->run_function(function); }
+
+DependenceReport Interpreter::analyze_loop_dependences(const std::string& function,
+                                                       const ast::For* loop) {
+  DependenceReport report;
+  impl_->oracle_loop_ = loop;
+  impl_->oracle_report_ = &report;
+  impl_->run_function(function);
+  impl_->oracle_loop_ = nullptr;
+  impl_->oracle_report_ = nullptr;
+  return report;
+}
+
+void Interpreter::run_permuted(const std::string& function, const ast::For* loop,
+                               uint64_t seed) {
+  impl_->permute_loop_ = loop;
+  impl_->permute_seed_ = seed;
+  impl_->run_function(function);
+  impl_->permute_loop_ = nullptr;
+}
+
+void Interpreter::set_step_limit(uint64_t limit) { impl_->step_limit_ = limit; }
+
+}  // namespace sspar::interp

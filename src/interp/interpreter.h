@@ -1,0 +1,96 @@
+// Mini-C interpreter with a dynamic dependence oracle.
+//
+// The interpreter executes programs directly, which gives the project a
+// ground truth for the static analysis:
+//  * the ORACLE records, for a target loop, the exact per-iteration read and
+//    write sets of every memory location and decides whether the loop carries
+//    a dependence (flow, anti, or output, with write-first scalar accesses
+//    treated as privatizable) — every loop the static parallelizer marks
+//    parallel must be dependence-free here (soundness tests);
+//  * PERMUTED execution runs a target loop's iterations in a shuffled order
+//    and compares final memory; a correctly-parallelized loop must produce
+//    the same state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace sspar::interp {
+
+struct ArrayStorage {
+  ast::TypeKind elem = ast::TypeKind::Int;
+  std::vector<size_t> dims;
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+
+  size_t size() const { return elem == ast::TypeKind::Int ? ints.size() : doubles.size(); }
+};
+
+// Result of the dynamic dependence oracle for one loop.
+struct DependenceReport {
+  bool executed = false;        // the loop ran at least one invocation
+  bool dependence_free = true;  // no loop-carried dependence in any invocation
+  // Counts aggregated over all invocations (for diagnostics).
+  size_t invocations = 0;
+  size_t conflicting_locations = 0;
+  std::string first_conflict;  // human-readable description of one conflict
+};
+
+class Interpreter {
+ public:
+  explicit Interpreter(const ast::Program& program);
+  ~Interpreter();
+
+  // --- State setup / inspection --------------------------------------------
+  void set_scalar(const std::string& name, int64_t value);
+  void set_scalar(const std::string& name, double value);
+  void set_array_int(const std::string& name, std::vector<int64_t> values);
+  void set_array_double(const std::string& name, std::vector<double> values);
+
+  int64_t scalar_int(const std::string& name) const;
+  double scalar_double(const std::string& name) const;
+  const std::vector<int64_t>& array_int(const std::string& name) const;
+  const std::vector<double>& array_double(const std::string& name) const;
+
+  // Deep snapshot of all global state; `exclude` names are skipped in
+  // equal_state (e.g. privatized scalars whose post-loop value is unspecified
+  // under OpenMP semantics).
+  struct Snapshot {
+    std::map<std::string, int64_t> int_scalars;
+    std::map<std::string, double> double_scalars;
+    std::map<std::string, ArrayStorage> arrays;
+  };
+  std::unique_ptr<Snapshot> snapshot() const;
+  static bool equal_state(const Snapshot& a, const Snapshot& b,
+                          const std::set<std::string>& exclude = {},
+                          std::string* first_diff = nullptr);
+
+  // --- Execution -------------------------------------------------------------
+  // Runs `function` (no arguments). Throws std::runtime_error on dynamic
+  // errors (OOB access, missing function, step limit).
+  void run(const std::string& function);
+
+  // Runs `function` while recording per-iteration access sets of `loop`.
+  DependenceReport analyze_loop_dependences(const std::string& function,
+                                            const ast::For* loop);
+
+  // Runs `function`, executing the iterations of `loop` in a pseudo-random
+  // order derived from `seed` (requires the loop to be canonical).
+  void run_permuted(const std::string& function, const ast::For* loop, uint64_t seed);
+
+  // Safety valve against runaway programs (default 500M steps).
+  void set_step_limit(uint64_t limit);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sspar::interp

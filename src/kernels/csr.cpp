@@ -1,0 +1,110 @@
+#include "kernels/csr.h"
+
+#include <cassert>
+#include <random>
+#include <stdexcept>
+
+namespace sspar::kern {
+
+Csr Csr::from_triples(int64_t rows, int64_t cols, std::span<const int64_t> row,
+                      std::span<const int64_t> col, std::span<const double> val) {
+  if (row.size() != col.size() || row.size() != val.size()) {
+    throw std::invalid_argument("triple arrays must have equal length");
+  }
+  Csr a;
+  a.rows = rows;
+  a.cols = cols;
+  // Count entries per row (duplicates collapse later).
+  std::vector<int64_t> count(static_cast<size_t>(rows), 0);
+  for (int64_t r : row) {
+    if (r < 0 || r >= rows) throw std::out_of_range("row index");
+    ++count[static_cast<size_t>(r)];
+  }
+  a.rowptr.assign(static_cast<size_t>(rows) + 1, 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    a.rowptr[static_cast<size_t>(r) + 1] = a.rowptr[static_cast<size_t>(r)] + count[static_cast<size_t>(r)];
+  }
+  a.colidx.assign(static_cast<size_t>(a.rowptr.back()), 0);
+  a.values.assign(static_cast<size_t>(a.rowptr.back()), 0.0);
+  std::vector<int64_t> cursor(a.rowptr.begin(), a.rowptr.end() - 1);
+  for (size_t t = 0; t < row.size(); ++t) {
+    if (col[t] < 0 || col[t] >= cols) throw std::out_of_range("col index");
+    int64_t slot = cursor[static_cast<size_t>(row[t])]++;
+    a.colidx[static_cast<size_t>(slot)] = col[t];
+    a.values[static_cast<size_t>(slot)] = val[t];
+  }
+  // Sort each row by column and merge duplicates in place.
+  std::vector<int64_t> new_rowptr(a.rowptr.size(), 0);
+  size_t out = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    size_t lo = static_cast<size_t>(a.rowptr[static_cast<size_t>(r)]);
+    size_t hi = static_cast<size_t>(a.rowptr[static_cast<size_t>(r) + 1]);
+    std::vector<std::pair<int64_t, double>> entries;
+    entries.reserve(hi - lo);
+    for (size_t k = lo; k < hi; ++k) entries.emplace_back(a.colidx[k], a.values[k]);
+    std::sort(entries.begin(), entries.end());
+    size_t row_start = out;
+    for (size_t k = 0; k < entries.size(); ++k) {
+      if (k > 0 && entries[k].first == entries[k - 1].first) {
+        a.values[out - 1] += entries[k].second;
+      } else {
+        a.colidx[out] = entries[k].first;
+        a.values[out] = entries[k].second;
+        ++out;
+      }
+    }
+    (void)row_start;
+    new_rowptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(out);
+  }
+  a.rowptr = std::move(new_rowptr);
+  a.colidx.resize(out);
+  a.values.resize(out);
+  return a;
+}
+
+Csr Csr::random(int64_t rows, int64_t cols, double density, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> pick(0.0, 1.0);
+  std::uniform_real_distribution<double> value(-1.0, 1.0);
+  Csr a;
+  a.rows = rows;
+  a.cols = cols;
+  a.rowptr.assign(static_cast<size_t>(rows) + 1, 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (pick(rng) < density) {
+        a.colidx.push_back(c);
+        a.values.push_back(value(rng));
+      }
+    }
+    a.rowptr[static_cast<size_t>(r) + 1] = static_cast<int64_t>(a.colidx.size());
+  }
+  return a;
+}
+
+void spmv_serial(const Csr& a, std::span<const double> x, std::span<double> y) {
+  assert(static_cast<int64_t>(x.size()) >= a.cols);
+  assert(static_cast<int64_t>(y.size()) >= a.rows);
+  for (int64_t r = 0; r < a.rows; ++r) {
+    double sum = 0.0;
+    for (int64_t k = a.rowptr[static_cast<size_t>(r)]; k < a.rowptr[static_cast<size_t>(r) + 1]; ++k) {
+      sum += a.values[static_cast<size_t>(k)] * x[static_cast<size_t>(a.colidx[static_cast<size_t>(k)])];
+    }
+    y[static_cast<size_t>(r)] = sum;
+  }
+}
+
+void spmv_parallel(const Csr& a, std::span<const double> x, std::span<double> y,
+                   rt::ThreadPool& pool) {
+  pool.parallel_for(0, a.rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      double sum = 0.0;
+      for (int64_t k = a.rowptr[static_cast<size_t>(r)]; k < a.rowptr[static_cast<size_t>(r) + 1]; ++k) {
+        sum += a.values[static_cast<size_t>(k)] * x[static_cast<size_t>(a.colidx[static_cast<size_t>(k)])];
+      }
+      y[static_cast<size_t>(r)] = sum;
+    }
+  });
+}
+
+}  // namespace sspar::kern

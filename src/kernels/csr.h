@@ -1,0 +1,43 @@
+// Compressed Sparse Row matrix and SpMV kernels.
+//
+// The row-pointer array is exactly the paper's monotonic index array: the
+// parallel SpMV is legal because rowptr[r] <= rowptr[r+1] for all r — the
+// property the compile-time analysis derives from the fill code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace sspar::kern {
+
+struct Csr {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> rowptr;  // size rows + 1, non-decreasing
+  std::vector<int64_t> colidx;  // size nnz
+  std::vector<double> values;   // size nnz
+
+  int64_t nnz() const { return rowptr.empty() ? 0 : rowptr.back(); }
+
+  // Builds from coordinate triples (duplicates summed). Triples need not be
+  // sorted.
+  static Csr from_triples(int64_t rows, int64_t cols,
+                          std::span<const int64_t> row, std::span<const int64_t> col,
+                          std::span<const double> val);
+
+  // Dense random matrix thresholded to the requested density (deterministic
+  // from `seed`); used by the Fig. 9 style workloads.
+  static Csr random(int64_t rows, int64_t cols, double density, uint64_t seed);
+};
+
+// y = A * x, single thread.
+void spmv_serial(const Csr& a, std::span<const double> x, std::span<double> y);
+
+// y = A * x across pool threads (row-parallel; legal by rowptr monotonicity).
+void spmv_parallel(const Csr& a, std::span<const double> x, std::span<double> y,
+                   rt::ThreadPool& pool);
+
+}  // namespace sspar::kern

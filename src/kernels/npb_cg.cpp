@@ -1,0 +1,401 @@
+#include "kernels/npb_cg.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace sspar::kern {
+
+namespace {
+constexpr double kAmult = 1220703125.0;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int icnvrt(double x, int64_t ipwr2) { return static_cast<int>(ipwr2 * x); }
+}  // namespace
+
+double randlc(double* x, double a) {
+  const double r23 = 1.1920928955078125e-07;  // 2^-23
+  const double r46 = r23 * r23;
+  const double t23 = 8388608.0;  // 2^23
+  const double t46 = t23 * t23;
+
+  double t1 = r23 * a;
+  double a1 = static_cast<double>(static_cast<int64_t>(t1));
+  double a2 = a - t23 * a1;
+
+  t1 = r23 * (*x);
+  double x1 = static_cast<double>(static_cast<int64_t>(t1));
+  double x2 = *x - t23 * x1;
+
+  t1 = a1 * x2 + a2 * x1;
+  double t2 = static_cast<double>(static_cast<int64_t>(r23 * t1));
+  double z = t1 - t23 * t2;
+  double t3 = t23 * z + a2 * x2;
+  double t4 = static_cast<double>(static_cast<int64_t>(r46 * t3));
+  double x3 = t3 - t46 * t4;
+  *x = x3;
+  return r46 * x3;
+}
+
+CgParams cg_params(CgClass klass) {
+  switch (klass) {
+    case CgClass::S:
+      return {CgClass::S, "S", 1400, 7, 15, 10.0, 8.5971775078648};
+    case CgClass::W:
+      return {CgClass::W, "W", 7000, 8, 15, 12.0, 10.362595087124};
+    case CgClass::A:
+      return {CgClass::A, "A", 14000, 11, 15, 20.0, 17.130235054029};
+    case CgClass::B:
+      return {CgClass::B, "B", 75000, 13, 75, 60.0, 22.712745482631};
+    case CgClass::C:
+      return {CgClass::C, "C", 150000, 15, 75, 110.0, 28.973605592845};
+  }
+  throw std::invalid_argument("unknown CG class");
+}
+
+CgParams cg_params(const std::string& name) {
+  if (name == "S") return cg_params(CgClass::S);
+  if (name == "W") return cg_params(CgClass::W);
+  if (name == "A") return cg_params(CgClass::A);
+  if (name == "B") return cg_params(CgClass::B);
+  if (name == "C") return cg_params(CgClass::C);
+  throw std::invalid_argument("unknown CG class " + name);
+}
+
+CgBenchmark::CgBenchmark(const CgParams& params, int64_t niter_override)
+    : params_(params), niter_(niter_override < 0 ? params.niter : niter_override) {}
+
+namespace {
+
+struct MakeaState {
+  double tran = 314159265.0;
+
+  // Generates a sparse random vector with nz distinct nonzero positions
+  // (NPB sprnvc).
+  void sprnvc(int64_t n, int64_t nz, int64_t nn1, double v[], int64_t iv[]) {
+    int64_t nzv = 0;
+    while (nzv < nz) {
+      double vecelt = randlc(&tran, kAmult);
+      double vecloc = randlc(&tran, kAmult);
+      int64_t i = icnvrt(vecloc, nn1) + 1;
+      if (i > n) continue;
+      bool was_gen = false;
+      for (int64_t ii = 0; ii < nzv; ++ii) {
+        if (iv[ii] == i) {
+          was_gen = true;
+          break;
+        }
+      }
+      if (was_gen) continue;
+      v[nzv] = vecelt;
+      iv[nzv] = i;
+      ++nzv;
+    }
+  }
+};
+
+// Sets v[i] = val in the sparse vector, appending if absent (NPB vecset).
+void vecset(double v[], int64_t iv[], int64_t* nzv, int64_t i, double val) {
+  bool set = false;
+  for (int64_t k = 0; k < *nzv; ++k) {
+    if (iv[k] == i) {
+      v[k] = val;
+      set = true;
+    }
+  }
+  if (!set) {
+    v[*nzv] = val;
+    iv[*nzv] = i;
+    ++(*nzv);
+  }
+}
+
+}  // namespace
+
+void CgBenchmark::make_matrix() {
+  if (matrix_built_) return;
+  double t0 = now_seconds();
+
+  const int64_t n = params_.na;
+  const int64_t nonzer = params_.nonzer;
+  const double rcond = 0.1;
+  const double shift = params_.shift;
+  const int64_t nz = n * (nonzer + 1) * (nonzer + 1);
+
+  a_.assign(static_cast<size_t>(nz), 0.0);
+  colidx_.assign(static_cast<size_t>(nz), 0);
+  rowstr_.assign(static_cast<size_t>(n) + 1, 0);
+
+  std::vector<int64_t> arow(static_cast<size_t>(n));
+  std::vector<int64_t> acol(static_cast<size_t>(n * (nonzer + 1)));
+  std::vector<double> aelt(static_cast<size_t>(n * (nonzer + 1)));
+  std::vector<int64_t> nzloc(static_cast<size_t>(n));
+  std::vector<double> vc(static_cast<size_t>(nonzer + 1));
+  std::vector<int64_t> ivc(static_cast<size_t>(nonzer + 1));
+
+  MakeaState state;
+  // Warm the generator exactly as NPB does (one draw for zeta's init).
+  randlc(&state.tran, kAmult);
+
+  int64_t nn1 = 1;
+  do {
+    nn1 *= 2;
+  } while (nn1 < n);
+
+  // --- generate the outer-product vectors (NPB makea) ----------------------
+  for (int64_t iouter = 0; iouter < n; ++iouter) {
+    int64_t nzv = nonzer;
+    state.sprnvc(n, nzv, nn1, vc.data(), ivc.data());
+    vecset(vc.data(), ivc.data(), &nzv, iouter + 1, 0.5);
+    arow[static_cast<size_t>(iouter)] = nzv;
+    for (int64_t ivelt = 0; ivelt < nzv; ++ivelt) {
+      acol[static_cast<size_t>(iouter * (nonzer + 1) + ivelt)] = ivc[static_cast<size_t>(ivelt)] - 1;
+      aelt[static_cast<size_t>(iouter * (nonzer + 1) + ivelt)] = vc[static_cast<size_t>(ivelt)];
+    }
+  }
+
+  // --- assemble the sparse matrix (NPB sparse) -------------------------------
+  const int64_t nrows = n;
+
+  // Count triples per row. This is the index-array creation the paper's
+  // Fig. 9 models: rowstr becomes a prefix sum of row sizes.
+  for (int64_t j = 0; j < nrows + 1; ++j) rowstr_[static_cast<size_t>(j)] = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t nza = 0; nza < arow[static_cast<size_t>(i)]; ++nza) {
+      int64_t j = acol[static_cast<size_t>(i * (nonzer + 1) + nza)] + 1;
+      rowstr_[static_cast<size_t>(j)] += arow[static_cast<size_t>(i)];
+    }
+  }
+  rowstr_[0] = 0;
+  for (int64_t j = 1; j < nrows + 1; ++j) {
+    rowstr_[static_cast<size_t>(j)] += rowstr_[static_cast<size_t>(j - 1)];
+  }
+  if (rowstr_[static_cast<size_t>(nrows)] > nz) {
+    throw std::runtime_error("space for matrix elements exceeded");
+  }
+
+  // Preload with zeros / empty markers.
+  for (int64_t j = 0; j < nrows; ++j) {
+    for (int64_t k = rowstr_[static_cast<size_t>(j)]; k < rowstr_[static_cast<size_t>(j + 1)]; ++k) {
+      a_[static_cast<size_t>(k)] = 0.0;
+      colidx_[static_cast<size_t>(k)] = -1;
+    }
+    nzloc[static_cast<size_t>(j)] = 0;
+  }
+
+  // Generate the actual values by summing scaled outer products; entries are
+  // kept column-sorted per row with an insertion scheme, duplicates merged
+  // and counted in nzloc.
+  double size = 1.0;
+  const double ratio = std::pow(rcond, 1.0 / static_cast<double>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t nza = 0; nza < arow[static_cast<size_t>(i)]; ++nza) {
+      int64_t j = acol[static_cast<size_t>(i * (nonzer + 1) + nza)];
+      double scale = size * aelt[static_cast<size_t>(i * (nonzer + 1) + nza)];
+      for (int64_t nzrow = 0; nzrow < arow[static_cast<size_t>(i)]; ++nzrow) {
+        int64_t jcol = acol[static_cast<size_t>(i * (nonzer + 1) + nzrow)];
+        double va = aelt[static_cast<size_t>(i * (nonzer + 1) + nzrow)] * scale;
+        if (jcol == j && j == i) {
+          va += rcond - shift;
+        }
+        bool placed = false;
+        int64_t k;
+        for (k = rowstr_[static_cast<size_t>(j)]; k < rowstr_[static_cast<size_t>(j + 1)]; ++k) {
+          if (colidx_[static_cast<size_t>(k)] > jcol) {
+            // Insert here: shift the tail of the row right by one.
+            for (int64_t kk = rowstr_[static_cast<size_t>(j + 1)] - 2; kk >= k; --kk) {
+              if (colidx_[static_cast<size_t>(kk)] > -1) {
+                a_[static_cast<size_t>(kk + 1)] = a_[static_cast<size_t>(kk)];
+                colidx_[static_cast<size_t>(kk + 1)] = colidx_[static_cast<size_t>(kk)];
+              }
+            }
+            colidx_[static_cast<size_t>(k)] = jcol;
+            a_[static_cast<size_t>(k)] = 0.0;
+            placed = true;
+            break;
+          } else if (colidx_[static_cast<size_t>(k)] == -1) {
+            colidx_[static_cast<size_t>(k)] = jcol;
+            placed = true;
+            break;
+          } else if (colidx_[static_cast<size_t>(k)] == jcol) {
+            // Duplicate: mark for removal by the compression pass.
+            ++nzloc[static_cast<size_t>(j)];
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) throw std::runtime_error("internal error in sparse assembly");
+        a_[static_cast<size_t>(k)] += va;
+      }
+    }
+    size *= ratio;
+  }
+
+  // Remove duplicate slots: the paper's Fig. 4 loops (monotonic difference of
+  // rowstr and nzloc).
+  for (int64_t j = 1; j < nrows; ++j) {
+    nzloc[static_cast<size_t>(j)] += nzloc[static_cast<size_t>(j - 1)];
+  }
+  for (int64_t j = 0; j < nrows; ++j) {
+    int64_t j1 = j > 0 ? rowstr_[static_cast<size_t>(j)] - nzloc[static_cast<size_t>(j - 1)] : 0;
+    int64_t j2 = rowstr_[static_cast<size_t>(j + 1)] - nzloc[static_cast<size_t>(j)];
+    int64_t nza = rowstr_[static_cast<size_t>(j)];
+    for (int64_t k = j1; k < j2; ++k) {
+      a_[static_cast<size_t>(k)] = a_[static_cast<size_t>(nza)];
+      colidx_[static_cast<size_t>(k)] = colidx_[static_cast<size_t>(nza)];
+      ++nza;
+    }
+  }
+  for (int64_t j = 1; j < nrows + 1; ++j) {
+    rowstr_[static_cast<size_t>(j)] -= nzloc[static_cast<size_t>(j - 1)];
+  }
+  nzz_ = rowstr_[static_cast<size_t>(nrows)];
+  naa_ = n;
+
+  xv_.assign(static_cast<size_t>(n), 1.0);
+  zv_.assign(static_cast<size_t>(n), 0.0);
+  pv_.assign(static_cast<size_t>(n), 0.0);
+  qv_.assign(static_cast<size_t>(n), 0.0);
+  rv_.assign(static_cast<size_t>(n), 0.0);
+
+  matrix_built_ = true;
+  makea_seconds_ = now_seconds() - t0;
+}
+
+double CgBenchmark::conj_grad(std::vector<double>& x, std::vector<double>& z, CgMode mode,
+                              rt::ThreadPool* pool) {
+  const int64_t n = naa_;
+  const int64_t cgitmax = 25;
+  auto& p = pv_;
+  auto& q = qv_;
+  auto& r = rv_;
+
+  auto spmv = [&](const std::vector<double>& in, std::vector<double>& out) {
+    if (mode != CgMode::Serial && pool) {
+      // The paper's enabling transformation: the rows loop runs in parallel
+      // because rowstr is monotonic (proved at compile time).
+      pool->parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+        for (int64_t j = lo; j < hi; ++j) {
+          double sum = 0.0;
+          for (int64_t k = rowstr_[static_cast<size_t>(j)]; k < rowstr_[static_cast<size_t>(j + 1)]; ++k) {
+            sum += a_[static_cast<size_t>(k)] * in[static_cast<size_t>(colidx_[static_cast<size_t>(k)])];
+          }
+          out[static_cast<size_t>(j)] = sum;
+        }
+      });
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        double sum = 0.0;
+        for (int64_t k = rowstr_[static_cast<size_t>(j)]; k < rowstr_[static_cast<size_t>(j + 1)]; ++k) {
+          sum += a_[static_cast<size_t>(k)] * in[static_cast<size_t>(colidx_[static_cast<size_t>(k)])];
+        }
+        out[static_cast<size_t>(j)] = sum;
+      }
+    }
+  };
+
+  auto dot = [&](const std::vector<double>& u, const std::vector<double>& v) {
+    if (mode == CgMode::ParallelFull && pool) {
+      return pool->parallel_reduce(0, n, [&](int64_t lo, int64_t hi) {
+        double s = 0.0;
+        for (int64_t j = lo; j < hi; ++j) s += u[static_cast<size_t>(j)] * v[static_cast<size_t>(j)];
+        return s;
+      });
+    }
+    double s = 0.0;
+    for (int64_t j = 0; j < n; ++j) s += u[static_cast<size_t>(j)] * v[static_cast<size_t>(j)];
+    return s;
+  };
+
+  auto axpy_loop = [&](const std::function<void(int64_t)>& body) {
+    if (mode == CgMode::ParallelFull && pool) {
+      pool->parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+        for (int64_t j = lo; j < hi; ++j) body(j);
+      });
+    } else {
+      for (int64_t j = 0; j < n; ++j) body(j);
+    }
+  };
+
+  // Initialization.
+  axpy_loop([&](int64_t j) {
+    q[static_cast<size_t>(j)] = 0.0;
+    z[static_cast<size_t>(j)] = 0.0;
+    r[static_cast<size_t>(j)] = x[static_cast<size_t>(j)];
+    p[static_cast<size_t>(j)] = r[static_cast<size_t>(j)];
+  });
+  double rho = dot(r, r);
+
+  for (int64_t cgit = 0; cgit < cgitmax; ++cgit) {
+    spmv(p, q);
+    double d = dot(p, q);
+    double alpha = rho / d;
+    axpy_loop([&](int64_t j) {
+      z[static_cast<size_t>(j)] += alpha * p[static_cast<size_t>(j)];
+      r[static_cast<size_t>(j)] -= alpha * q[static_cast<size_t>(j)];
+    });
+    double rho0 = rho;
+    rho = dot(r, r);
+    double beta = rho / rho0;
+    axpy_loop([&](int64_t j) {
+      p[static_cast<size_t>(j)] = r[static_cast<size_t>(j)] + beta * p[static_cast<size_t>(j)];
+    });
+  }
+
+  // Residual norm ||x - A*z||.
+  spmv(z, r);
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    double dlt = x[static_cast<size_t>(j)] - r[static_cast<size_t>(j)];
+    sum += dlt * dlt;
+  }
+  return std::sqrt(sum);
+}
+
+CgResult CgBenchmark::run(CgMode mode, rt::ThreadPool* pool) {
+  make_matrix();
+  CgResult result;
+  result.nnz = nzz_;
+  result.makea_seconds = makea_seconds_;
+  result.niter_run = niter_;
+
+  const int64_t n = naa_;
+  auto& x = xv_;
+  auto& z = zv_;
+  for (int64_t j = 0; j < n; ++j) x[static_cast<size_t>(j)] = 1.0;
+
+  // Untimed warm-up iteration (NPB does one).
+  conj_grad(x, z, mode, pool);
+  for (int64_t j = 0; j < n; ++j) x[static_cast<size_t>(j)] = 1.0;
+
+  double zeta = 0.0;
+  double t0 = now_seconds();
+  for (int64_t it = 1; it <= niter_; ++it) {
+    conj_grad(x, z, mode, pool);
+    double norm1 = 0.0, norm2 = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      norm1 += x[static_cast<size_t>(j)] * z[static_cast<size_t>(j)];
+      norm2 += z[static_cast<size_t>(j)] * z[static_cast<size_t>(j)];
+    }
+    double norm_temp2 = 1.0 / std::sqrt(norm2);
+    zeta = params_.shift + 1.0 / norm1;
+    for (int64_t j = 0; j < n; ++j) {
+      x[static_cast<size_t>(j)] = norm_temp2 * z[static_cast<size_t>(j)];
+    }
+  }
+  result.total_seconds = now_seconds() - t0;
+  result.zeta = zeta;
+  // The official verification value holds only for the official niter.
+  if (niter_ == params_.niter) {
+    result.verified = std::abs(zeta - params_.zeta_verify) <= 1e-10;
+  }
+  return result;
+}
+
+}  // namespace sspar::kern

@@ -1,0 +1,87 @@
+// Port of the NAS Parallel Benchmarks CG kernel (v3.3.1).
+//
+// CG solves an eigenvalue estimation problem on a random sparse symmetric
+// matrix with the conjugate gradient method. The matrix assembly (makea /
+// sparse) contains the paper's Fig. 3 and Fig. 4 subscripted-subscript loops,
+// and the SpMV inside conj_grad is the Fig. 9 pattern whose parallelization
+// the paper's analysis enables. Reproduces the official class parameters and
+// verification values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace sspar::kern {
+
+enum class CgClass { S, W, A, B, C };
+
+struct CgParams {
+  CgClass klass;
+  const char* name;
+  int64_t na;       // matrix order
+  int64_t nonzer;   // nonzeros per generated row vector
+  int64_t niter;    // outer iterations
+  double shift;
+  double zeta_verify;  // official verification value
+};
+
+CgParams cg_params(CgClass klass);
+// Parses "S"/"W"/"A"/"B"/"C".
+CgParams cg_params(const std::string& name);
+
+enum class CgMode {
+  Serial,          // everything single-threaded
+  ParallelSS,      // ONLY the subscripted-subscript loops (SpMV) in parallel,
+                   // exactly what the paper's technique enables
+  ParallelFull,    // SpMV + vector updates + reductions in parallel (ablation)
+};
+
+struct CgResult {
+  double zeta = 0.0;
+  bool verified = false;
+  double total_seconds = 0.0;   // conj_grad iterations (the timed region)
+  double makea_seconds = 0.0;   // matrix construction
+  int64_t nnz = 0;
+  int64_t niter_run = 0;
+};
+
+class CgBenchmark {
+ public:
+  // niter_override < 0 keeps the official iteration count.
+  explicit CgBenchmark(const CgParams& params, int64_t niter_override = -1);
+
+  // Runs the benchmark. For parallel modes `pool` must outlive the call;
+  // serial ignores it.
+  CgResult run(CgMode mode, rt::ThreadPool* pool = nullptr);
+
+  // Access to the assembled matrix (after at least one run) for tests.
+  const std::vector<int64_t>& rowstr() const { return rowstr_; }
+  const std::vector<int64_t>& colidx() const { return colidx_; }
+  const std::vector<double>& a() const { return a_; }
+
+ private:
+  void make_matrix();
+  double conj_grad(std::vector<double>& x, std::vector<double>& z, CgMode mode,
+                   rt::ThreadPool* pool);
+
+  CgParams params_;
+  int64_t niter_;
+  int64_t naa_ = 0;
+  int64_t nzz_ = 0;
+  bool matrix_built_ = false;
+  double makea_seconds_ = 0.0;
+
+  std::vector<double> a_;
+  std::vector<int64_t> colidx_;
+  std::vector<int64_t> rowstr_;
+
+  std::vector<double> xv_, zv_, pv_, qv_, rv_;
+};
+
+// NPB linear congruential generator (randlc) — bit-exact port.
+double randlc(double* x, double a);
+
+}  // namespace sspar::kern

@@ -1,0 +1,206 @@
+#include "kernels/pattern_kernels.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sspar::kern {
+
+// --- Fig. 2 ------------------------------------------------------------------
+
+InversePermutation InversePermutation::random(int64_t n, uint64_t seed) {
+  InversePermutation kernel;
+  kernel.mt_to_id.resize(static_cast<size_t>(n));
+  std::iota(kernel.mt_to_id.begin(), kernel.mt_to_id.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(kernel.mt_to_id.begin(), kernel.mt_to_id.end(), rng);
+  return kernel;
+}
+
+std::vector<int64_t> InversePermutation::run_serial() const {
+  std::vector<int64_t> id_to_mt(mt_to_id.size(), -1);
+  for (size_t miel = 0; miel < mt_to_id.size(); ++miel) {
+    id_to_mt[static_cast<size_t>(mt_to_id[miel])] = static_cast<int64_t>(miel);
+  }
+  return id_to_mt;
+}
+
+std::vector<int64_t> InversePermutation::run_parallel(rt::ThreadPool& pool) const {
+  std::vector<int64_t> id_to_mt(mt_to_id.size(), -1);
+  pool.parallel_for(0, static_cast<int64_t>(mt_to_id.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t miel = lo; miel < hi; ++miel) {
+      id_to_mt[static_cast<size_t>(mt_to_id[static_cast<size_t>(miel)])] = miel;
+    }
+  });
+  return id_to_mt;
+}
+
+// --- Fig. 3 / 9 ----------------------------------------------------------------
+
+RowRangeProduct RowRangeProduct::random(int64_t rows, int64_t avg_row, uint64_t seed) {
+  RowRangeProduct kernel;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> row_len(0, 2 * avg_row);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  kernel.rowptr.resize(static_cast<size_t>(rows) + 1);
+  kernel.rowptr[0] = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    kernel.rowptr[static_cast<size_t>(r) + 1] = kernel.rowptr[static_cast<size_t>(r)] + row_len(rng);
+  }
+  int64_t nnz = kernel.rowptr.back();
+  kernel.value.resize(static_cast<size_t>(nnz));
+  kernel.vec.resize(static_cast<size_t>(nnz));
+  for (int64_t k = 0; k < nnz; ++k) {
+    kernel.value[static_cast<size_t>(k)] = val(rng);
+    kernel.vec[static_cast<size_t>(k)] = val(rng);
+  }
+  return kernel;
+}
+
+std::vector<double> RowRangeProduct::run_serial() const {
+  std::vector<double> product(value.size(), 0.0);
+  int64_t rows = static_cast<int64_t>(rowptr.size()) - 1;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = rowptr[static_cast<size_t>(i)]; j < rowptr[static_cast<size_t>(i) + 1]; ++j) {
+      product[static_cast<size_t>(j)] = value[static_cast<size_t>(j)] * vec[static_cast<size_t>(j)];
+    }
+  }
+  return product;
+}
+
+std::vector<double> RowRangeProduct::run_parallel(rt::ThreadPool& pool) const {
+  std::vector<double> product(value.size(), 0.0);
+  int64_t rows = static_cast<int64_t>(rowptr.size()) - 1;
+  pool.parallel_for(0, rows, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      for (int64_t j = rowptr[static_cast<size_t>(i)]; j < rowptr[static_cast<size_t>(i) + 1]; ++j) {
+        product[static_cast<size_t>(j)] = value[static_cast<size_t>(j)] * vec[static_cast<size_t>(j)];
+      }
+    }
+  });
+  return product;
+}
+
+// --- Fig. 5 ---------------------------------------------------------------------
+
+GuardedScatter GuardedScatter::random(int64_t n, double match_fraction, uint64_t seed) {
+  GuardedScatter kernel;
+  kernel.m = n;
+  kernel.jmatch.assign(static_cast<size_t>(n), -1);
+  // Choose a random injective assignment for ~match_fraction of the entries.
+  std::vector<int64_t> targets(static_cast<size_t>(n));
+  std::iota(targets.begin(), targets.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(targets.begin(), targets.end(), rng);
+  std::uniform_real_distribution<double> pick(0.0, 1.0);
+  size_t next = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    if (pick(rng) < match_fraction) {
+      kernel.jmatch[static_cast<size_t>(i)] = targets[next++];
+    }
+  }
+  return kernel;
+}
+
+std::vector<int64_t> GuardedScatter::run_serial() const {
+  std::vector<int64_t> imatch(static_cast<size_t>(m), -1);
+  for (size_t i = 0; i < jmatch.size(); ++i) {
+    if (jmatch[i] >= 0) imatch[static_cast<size_t>(jmatch[i])] = static_cast<int64_t>(i);
+  }
+  return imatch;
+}
+
+std::vector<int64_t> GuardedScatter::run_parallel(rt::ThreadPool& pool) const {
+  std::vector<int64_t> imatch(static_cast<size_t>(m), -1);
+  pool.parallel_for(0, static_cast<int64_t>(jmatch.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      if (jmatch[static_cast<size_t>(i)] >= 0) {
+        imatch[static_cast<size_t>(jmatch[static_cast<size_t>(i)])] = i;
+      }
+    }
+  });
+  return imatch;
+}
+
+// --- Fig. 6 ---------------------------------------------------------------------
+
+BlockScatter BlockScatter::random(int64_t blocks, int64_t avg_block, uint64_t seed) {
+  BlockScatter kernel;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> block_len(0, 2 * avg_block);
+  kernel.r.resize(static_cast<size_t>(blocks) + 1);
+  kernel.r[0] = 0;
+  for (int64_t b = 0; b < blocks; ++b) {
+    kernel.r[static_cast<size_t>(b) + 1] = kernel.r[static_cast<size_t>(b)] + block_len(rng);
+  }
+  kernel.p.resize(static_cast<size_t>(kernel.r.back()));
+  std::iota(kernel.p.begin(), kernel.p.end(), 0);
+  std::shuffle(kernel.p.begin(), kernel.p.end(), rng);
+  return kernel;
+}
+
+std::vector<int64_t> BlockScatter::run_serial() const {
+  std::vector<int64_t> blk(p.size(), -1);
+  int64_t blocks = static_cast<int64_t>(r.size()) - 1;
+  for (int64_t b = 0; b < blocks; ++b) {
+    for (int64_t k = r[static_cast<size_t>(b)]; k < r[static_cast<size_t>(b) + 1]; ++k) {
+      blk[static_cast<size_t>(p[static_cast<size_t>(k)])] = b;
+    }
+  }
+  return blk;
+}
+
+std::vector<int64_t> BlockScatter::run_parallel(rt::ThreadPool& pool) const {
+  std::vector<int64_t> blk(p.size(), -1);
+  int64_t blocks = static_cast<int64_t>(r.size()) - 1;
+  pool.parallel_for(0, blocks, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      for (int64_t k = r[static_cast<size_t>(b)]; k < r[static_cast<size_t>(b) + 1]; ++k) {
+        blk[static_cast<size_t>(p[static_cast<size_t>(k)])] = b;
+      }
+    }
+  });
+  return blk;
+}
+
+// --- Fig. 7 / 8 -------------------------------------------------------------------
+
+WindowScatter WindowScatter::random(int64_t n, uint64_t seed) {
+  WindowScatter kernel;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> gap(1, 3);
+  kernel.front.resize(static_cast<size_t>(n));
+  int64_t cur = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    cur += gap(rng);
+    kernel.front[static_cast<size_t>(i)] = cur;
+  }
+  return kernel;
+}
+
+std::vector<int64_t> WindowScatter::run_serial() const {
+  int64_t size = front.empty() ? 0 : (front.back() + 1) * 7;
+  std::vector<int64_t> tree(static_cast<size_t>(size), 0);
+  for (size_t i = 0; i < front.size(); ++i) {
+    int64_t base = front[i] * 7;
+    for (int64_t j = 0; j < 7; ++j) {
+      tree[static_cast<size_t>(base + j)] = static_cast<int64_t>(i) + (j + 1) % 8;
+    }
+  }
+  return tree;
+}
+
+std::vector<int64_t> WindowScatter::run_parallel(rt::ThreadPool& pool) const {
+  int64_t size = front.empty() ? 0 : (front.back() + 1) * 7;
+  std::vector<int64_t> tree(static_cast<size_t>(size), 0);
+  pool.parallel_for(0, static_cast<int64_t>(front.size()), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      int64_t base = front[static_cast<size_t>(i)] * 7;
+      for (int64_t j = 0; j < 7; ++j) {
+        tree[static_cast<size_t>(base + j)] = i + (j + 1) % 8;
+      }
+    }
+  });
+  return tree;
+}
+
+}  // namespace sspar::kern

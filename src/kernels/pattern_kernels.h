@@ -1,0 +1,76 @@
+// Runnable C++ versions of the paper's pattern catalogue (Figs. 2-9).
+//
+// Each kernel has a serial and a parallel implementation; the parallel one is
+// legal exactly because of the index-array property the paper's analysis
+// derives (injectivity / monotonicity / subset injectivity / disjoint
+// windows). Tests verify serial == parallel on randomized inputs; the
+// benches measure the speedup the property unlocks.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace sspar::kern {
+
+// --- Fig. 2: inverse permutation (UA) ---------------------------------------
+// id_to_mt[mt_to_id[i]] = i. Parallel-legal: mt_to_id injective.
+struct InversePermutation {
+  std::vector<int64_t> mt_to_id;  // a permutation of [0, n)
+
+  static InversePermutation random(int64_t n, uint64_t seed);
+  std::vector<int64_t> run_serial() const;
+  std::vector<int64_t> run_parallel(rt::ThreadPool& pool) const;
+};
+
+// --- Fig. 3 / Fig. 9: CSR row-range traversal (CG) ---------------------------
+// product[j] = value[j] * vec[j] for j in [rowptr[i-1], rowptr[i]).
+// Parallel-legal: rowptr monotonic.
+struct RowRangeProduct {
+  std::vector<int64_t> rowptr;  // non-decreasing, size rows+1
+  std::vector<double> value;
+  std::vector<double> vec;
+
+  static RowRangeProduct random(int64_t rows, int64_t avg_row, uint64_t seed);
+  std::vector<double> run_serial() const;
+  std::vector<double> run_parallel(rt::ThreadPool& pool) const;
+};
+
+// --- Fig. 5: guarded injective subset (CSparse maxtrans) --------------------
+// if (jmatch[i] >= 0) imatch[jmatch[i]] = i. Parallel-legal: the non-negative
+// subset of jmatch is injective.
+struct GuardedScatter {
+  std::vector<int64_t> jmatch;  // distinct non-negative values or -1
+  int64_t m = 0;                // imatch size
+
+  static GuardedScatter random(int64_t n, double match_fraction, uint64_t seed);
+  std::vector<int64_t> run_serial() const;
+  std::vector<int64_t> run_parallel(rt::ThreadPool& pool) const;
+};
+
+// --- Fig. 6: block scatter through a permutation (CSparse dmperm) ------------
+// Blk[p[k]] = b for k in [r[b], r[b+1]). Parallel-legal: r monotonic and p
+// injective.
+struct BlockScatter {
+  std::vector<int64_t> r;  // non-decreasing block boundaries
+  std::vector<int64_t> p;  // permutation of [0, r.back())
+
+  static BlockScatter random(int64_t blocks, int64_t avg_block, uint64_t seed);
+  std::vector<int64_t> run_serial() const;
+  std::vector<int64_t> run_parallel(rt::ThreadPool& pool) const;
+};
+
+// --- Fig. 7 / Fig. 8: strided disjoint windows (UA refinement) ---------------
+// tree[front[i]*7 + j] = f(i, j) for j in [0, 7). Parallel-legal: front
+// strictly monotonic, so the 7-wide windows are disjoint.
+struct WindowScatter {
+  std::vector<int64_t> front;  // strictly increasing
+
+  static WindowScatter random(int64_t n, uint64_t seed);
+  std::vector<int64_t> run_serial() const;
+  std::vector<int64_t> run_parallel(rt::ThreadPool& pool) const;
+};
+
+}  // namespace sspar::kern

@@ -1,0 +1,87 @@
+#include "runtime/inspector.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sspar::rt {
+
+bool is_nondecreasing(std::span<const int64_t> values) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[i - 1]) return false;
+  }
+  return true;
+}
+
+bool is_strictly_increasing(std::span<const int64_t> values) {
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] <= values[i - 1]) return false;
+  }
+  return true;
+}
+
+namespace {
+bool injective_impl(std::span<const int64_t> values, int64_t min_value,
+                    int64_t universe_hint) {
+  size_t participating = 0;
+  int64_t lo = INT64_MAX, hi = INT64_MIN;
+  for (int64_t v : values) {
+    if (v < min_value) continue;
+    ++participating;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (participating <= 1) return true;
+  int64_t span = hi - lo + 1;
+  int64_t limit = universe_hint > 0 ? universe_hint : static_cast<int64_t>(values.size()) * 4;
+  if (span <= limit) {
+    std::vector<uint8_t> seen(static_cast<size_t>(span), 0);
+    for (int64_t v : values) {
+      if (v < min_value) continue;
+      size_t slot = static_cast<size_t>(v - lo);
+      if (seen[slot]) return false;
+      seen[slot] = 1;
+    }
+    return true;
+  }
+  std::vector<int64_t> sorted;
+  sorted.reserve(participating);
+  for (int64_t v : values) {
+    if (v >= min_value) sorted.push_back(v);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+}  // namespace
+
+bool is_injective(std::span<const int64_t> values, int64_t universe_hint) {
+  return injective_impl(values, INT64_MIN, universe_hint);
+}
+
+bool is_subset_injective(std::span<const int64_t> values, int64_t min_value,
+                         int64_t universe_hint) {
+  return injective_impl(values, min_value, universe_hint);
+}
+
+InspectionResult inspect(std::span<const int64_t> values, int64_t universe_hint) {
+  auto t0 = std::chrono::steady_clock::now();
+  InspectionResult result;
+  result.nondecreasing = is_nondecreasing(values);
+  result.strictly_increasing = result.nondecreasing && is_strictly_increasing(values);
+  result.injective = is_injective(values, universe_hint);
+  result.inspection_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+uint64_t InspectorExecutor::clock_now() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double InspectorExecutor::seconds_since(uint64_t t0) {
+  return (clock_now() - t0) * 1e-9;
+}
+
+}  // namespace sspar::rt

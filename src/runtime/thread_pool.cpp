@@ -1,0 +1,91 @@
+#include "runtime/thread_pool.h"
+
+namespace sspar::rt {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::chunk_bounds(unsigned worker_id, int64_t* lo, int64_t* hi) const {
+  int64_t total = job_end_ - job_begin_;
+  int64_t base = total / threads_;
+  int64_t extra = total % threads_;
+  int64_t offset = worker_id * base + std::min<int64_t>(worker_id, extra);
+  int64_t len = base + (worker_id < static_cast<unsigned>(extra) ? 1 : 0);
+  *lo = job_begin_ + offset;
+  *hi = *lo + len;
+}
+
+void ThreadPool::worker_loop(unsigned worker_id) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int64_t, int64_t)>* job = nullptr;
+    int64_t lo = 0, hi = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      chunk_bounds(worker_id, &lo, &hi);
+    }
+    if (lo < hi) (*job)(lo, hi);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int64_t begin, int64_t end,
+                              const std::function<void(int64_t, int64_t)>& chunk_fn) {
+  if (end <= begin) return;
+  if (threads_ == 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+  int64_t lo = 0, hi = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &chunk_fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    pending_ = threads_ - 1;
+    ++generation_;
+    chunk_bounds(0, &lo, &hi);
+  }
+  start_cv_.notify_all();
+  if (lo < hi) chunk_fn(lo, hi);  // the caller runs chunk 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+double ThreadPool::parallel_reduce(int64_t begin, int64_t end,
+                                   const std::function<double(int64_t, int64_t)>& chunk_fn) {
+  if (end <= begin) return 0.0;
+  std::vector<double> partials(threads_, 0.0);
+  std::atomic<unsigned> next{0};
+  // Identify each chunk by its position so the reduction order is stable.
+  parallel_for(begin, end, [&](int64_t lo, int64_t hi) {
+    unsigned slot = next.fetch_add(1, std::memory_order_relaxed);
+    partials[slot % threads_] += chunk_fn(lo, hi);
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+}  // namespace sspar::rt

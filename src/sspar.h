@@ -1,0 +1,28 @@
+// Umbrella header for the sspar library.
+//
+// Typical pipeline:
+//
+//   #include "sspar.h"
+//   auto result = sspar::transform::translate_source(source, {}, {{"N", 1}});
+//   // result.verdicts  — per-loop analysis (parallel? enabling property?)
+//   // result.output    — OpenMP-annotated source
+//
+// Lower-level entry points: ast::parse_and_resolve, core::Analyzer,
+// core::Parallelizer, interp::Interpreter (dynamic oracle), rt::ThreadPool,
+// kern::CgBenchmark (NPB CG), corpus::all_entries().
+#pragma once
+
+#include "core/analyzer.h"        // IWYU pragma: export
+#include "core/facts.h"           // IWYU pragma: export
+#include "core/parallelizer.h"    // IWYU pragma: export
+#include "corpus/analysis.h"      // IWYU pragma: export
+#include "corpus/corpus.h"        // IWYU pragma: export
+#include "frontend/frontend.h"    // IWYU pragma: export
+#include "interp/interpreter.h"   // IWYU pragma: export
+#include "kernels/csr.h"          // IWYU pragma: export
+#include "kernels/npb_cg.h"       // IWYU pragma: export
+#include "kernels/pattern_kernels.h"  // IWYU pragma: export
+#include "runtime/inspector.h"    // IWYU pragma: export
+#include "runtime/thread_pool.h"  // IWYU pragma: export
+#include "symbolic/context.h"     // IWYU pragma: export
+#include "transform/omp_emitter.h"  // IWYU pragma: export

@@ -1,0 +1,42 @@
+#include "support/diagnostics.h"
+
+namespace sspar::support {
+
+namespace {
+const char* severity_name(Severity sev) {
+  switch (sev) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  return location.to_string() + ": " + severity_name(severity) + ": " + message;
+}
+
+void DiagnosticEngine::report(Severity sev, SourceLocation loc, std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diagnostics_.push_back(Diagnostic{sev, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::dump() const {
+  std::string out;
+  for (const auto& d : diagnostics_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace sspar::support

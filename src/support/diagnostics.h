@@ -1,0 +1,51 @@
+// Diagnostic sink shared by the frontend and the analysis passes.
+//
+// The engine collects diagnostics instead of printing them so tests can make
+// exact assertions about what a pass reported.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace sspar::support {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLocation location;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+class DiagnosticEngine {
+ public:
+  void report(Severity sev, SourceLocation loc, std::string message);
+  void error(SourceLocation loc, std::string message) {
+    report(Severity::Error, loc, std::move(message));
+  }
+  void warning(SourceLocation loc, std::string message) {
+    report(Severity::Warning, loc, std::move(message));
+  }
+  void note(SourceLocation loc, std::string message) {
+    report(Severity::Note, loc, std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+  // All diagnostics joined by newlines; convenient for test failure messages.
+  std::string dump() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace sspar::support

@@ -1,0 +1,27 @@
+// Source positions for the mini-C frontend. Offsets are byte offsets into the
+// original buffer; line/column are 1-based and computed eagerly by the lexer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sspar::support {
+
+struct SourceLocation {
+  uint32_t line = 0;    // 1-based; 0 means "unknown"
+  uint32_t column = 0;  // 1-based
+  uint32_t offset = 0;  // byte offset into the source buffer
+
+  bool valid() const { return line != 0; }
+  std::string to_string() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+};
+
+}  // namespace sspar::support

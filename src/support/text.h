@@ -1,0 +1,25 @@
+// Small string helpers used across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sspar::support {
+
+// printf-style formatting into std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> split_lines(std::string_view text);
+
+// Joins pieces with `sep`.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// True if `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle);
+
+// Renders a simple aligned text table (used by the survey benches).
+// `rows` includes the header row; every row must have the same arity.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace sspar::support

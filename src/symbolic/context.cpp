@@ -1,0 +1,246 @@
+#include "symbolic/context.h"
+
+#include <algorithm>
+
+namespace sspar::sym {
+
+namespace {
+
+constexpr int kMaxDepth = 3;
+
+Range bound_range_impl(const ExprPtr& e, const AssumptionContext& ctx, int depth);
+
+Range ctx_atom_range(const ExprPtr& atom, const AssumptionContext& ctx, int depth) {
+  switch (atom->kind) {
+    case ExprKind::Sym:
+      if (const Range* r = ctx.bound(atom->symbol)) return *r;
+      return Range::exact(atom);
+    case ExprKind::ArrayElem:
+      if (ctx.elem_value()) {
+        if (auto r = ctx.elem_value()(atom->symbol, atom->operands[0])) return *r;
+      }
+      return Range::exact(atom);
+    case ExprKind::Min:
+    case ExprKind::Max: {
+      Range acc = bound_range_impl(atom->operands[0], ctx, depth);
+      for (size_t i = 1; i < atom->operands.size(); ++i) {
+        Range next = bound_range_impl(atom->operands[i], ctx, depth);
+        auto pick = [&](const ExprPtr& x, const ExprPtr& y) -> ExprPtr {
+          if (!x || !y) return nullptr;
+          return atom->kind == ExprKind::Min ? smin(x, y) : smax(x, y);
+        };
+        acc = Range::of(pick(acc.lo(), next.lo()), pick(acc.hi(), next.hi()));
+      }
+      return acc;
+    }
+    case ExprKind::Div: {
+      auto den = const_value(atom->operands[1]);
+      if (den && *den > 0) {
+        Range num = bound_range_impl(atom->operands[0], ctx, depth);
+        ExprPtr lo = num.lo() ? div_floor(num.lo(), atom->operands[1]) : nullptr;
+        ExprPtr hi = num.hi() ? div_floor(num.hi(), atom->operands[1]) : nullptr;
+        return Range::of(std::move(lo), std::move(hi));
+      }
+      return Range::exact(atom);
+    }
+    case ExprKind::Mod: {
+      auto den = const_value(atom->operands[1]);
+      if (den && *den > 0) return Range::of_consts(0, *den - 1);  // floor-mod semantics
+      return Range::exact(atom);
+    }
+    case ExprKind::Mul: {
+      // Product of atoms: bounded below by 0 if all factors are provably >= 0.
+      bool all_nonneg = true;
+      for (const auto& f : atom->operands) {
+        Range fr = ctx_atom_range(f, ctx, depth);
+        if (!fr.lo() || prove_ge(fr.lo(), make_const(0), ctx) != Truth::True) {
+          all_nonneg = false;
+          break;
+        }
+      }
+      if (all_nonneg) return Range::of(make_const(0), nullptr);
+      return Range::exact(atom);
+    }
+    default:
+      return Range::exact(atom);
+  }
+}
+
+// Rewrites Σ c_i * a[e_i] terms of the same array by pairing positive and
+// negative coefficients through the elem_diff fact (monotonicity). Returns the
+// interval contribution of the paired parts and removes them from `terms`.
+Range pair_array_elems(std::vector<std::pair<ExprPtr, int64_t>>& terms,
+                       const AssumptionContext& ctx) {
+  Range acc = Range::exact(make_const(0));
+  if (!ctx.elem_diff()) return acc;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    auto& [ti, ci] = terms[i];
+    if (ti->kind != ExprKind::ArrayElem || ci == 0) continue;
+    for (size_t j = 0; j < terms.size() && ci != 0; ++j) {
+      if (j == i) continue;
+      auto& [tj, cj] = terms[j];
+      if (tj->kind != ExprKind::ArrayElem || tj->symbol != ti->symbol) continue;
+      if ((ci > 0) == (cj > 0) || cj == 0) continue;
+      // ci and cj have opposite signs; orient the query as (positive, negative).
+      const bool i_pos = ci > 0;
+      const ExprPtr& hi_idx = i_pos ? ti->operands[0] : tj->operands[0];
+      const ExprPtr& lo_idx = i_pos ? tj->operands[0] : ti->operands[0];
+      auto diff = ctx.elem_diff()(ti->symbol, hi_idx, lo_idx);
+      if (!diff) continue;
+      int64_t mag = std::min(ci < 0 ? -ci : ci, cj < 0 ? -cj : cj);
+      acc = range_add(acc, range_mul_const(*diff, mag));
+      ci += i_pos ? -mag : mag;
+      cj += i_pos ? mag : -mag;
+    }
+  }
+  return acc;
+}
+
+Range bound_range_impl(const ExprPtr& e, const AssumptionContext& ctx, int depth) {
+  if (!e || is_bottom(e)) return Range::bottom();
+  if (depth <= 0) return Range::exact(e);
+  LinearForm lf = to_linear(e);
+  if (lf.bottom) return Range::bottom();
+  auto terms = lf.terms;
+  Range acc = range_add(Range::exact(make_const(lf.constant)), pair_array_elems(terms, ctx));
+  for (const auto& [atom, coeff] : terms) {
+    if (coeff == 0) continue;
+    acc = range_add(acc, range_mul_const(ctx_atom_range(atom, ctx, depth - 1), coeff));
+    if (acc.is_bottom()) return acc;
+  }
+  return acc;
+}
+
+// Chain-substitution bound search. Interval evaluation alone loses
+// correlations (the lower bound of ROWLEN - i with i ∈ [1 : ROWLEN] is 0, but
+// substituting ROWLEN's own bound first yields 1 - ROWLEN). The search
+// substitutes ONE atom's bound at a time, re-canonicalizes (so symbolic
+// cancellation fires), and recurses; all atom orders are explored up to a
+// small depth. Returns the best (max for lower, min for upper) constant bound
+// derivable, or nullopt.
+std::optional<int64_t> chain_bound(const ExprPtr& e, const AssumptionContext& ctx, bool lower,
+                                   int depth) {
+  if (!e || is_bottom(e)) return std::nullopt;
+  if (auto c = const_value(e)) return *c;
+  if (depth <= 0) return std::nullopt;
+  LinearForm lf = to_linear(e);
+  if (lf.bottom) return std::nullopt;
+
+  std::optional<int64_t> best;
+  auto consider = [&](std::optional<int64_t> candidate) {
+    if (!candidate) return;
+    if (!best) {
+      best = candidate;
+    } else {
+      best = lower ? std::max(*best, *candidate) : std::min(*best, *candidate);
+    }
+  };
+
+  // First try collapsing array-element pairs through the monotonicity facts.
+  {
+    auto terms = lf.terms;
+    Range paired = pair_array_elems(terms, ctx);
+    bool changed = terms.size() != lf.terms.size();
+    if (!changed) {
+      for (size_t i = 0; i < terms.size(); ++i) {
+        changed = changed || terms[i].second != lf.terms[i].second;
+      }
+    }
+    if (changed) {
+      ExprPtr contribution = lower ? paired.lo() : paired.hi();
+      if (contribution) {
+        LinearForm rest;
+        rest.constant = lf.constant;
+        for (const auto& [atom, coeff] : terms) {
+          if (coeff != 0) rest.terms.emplace_back(atom, coeff);
+        }
+        consider(chain_bound(add(from_linear(rest), contribution), ctx, lower, depth - 1));
+      }
+    }
+  }
+
+  // Then substitute each atom's bound in turn.
+  for (const auto& [atom, coeff] : lf.terms) {
+    if (coeff == 0) continue;
+    Range r = ctx_atom_range(atom, ctx, kMaxDepth);
+    // Direction: positive coefficient needs the atom's lower bound for a
+    // lower bound of e, and vice versa.
+    bool want_lo = (coeff > 0) == lower;
+    ExprPtr replacement = want_lo ? r.lo() : r.hi();
+    if (!replacement || equal(replacement, atom)) continue;
+    // e with this atom replaced by its bound.
+    LinearForm rest;
+    rest.constant = lf.constant;
+    for (const auto& [other, c] : lf.terms) {
+      if (!equal(other, atom)) rest.terms.emplace_back(other, c);
+    }
+    ExprPtr substituted = add(from_linear(rest), mul_const(replacement, coeff));
+    consider(chain_bound(substituted, ctx, lower, depth - 1));
+  }
+  return best;
+}
+
+}  // namespace
+
+Range bound_range(const ExprPtr& e, const AssumptionContext& ctx) {
+  return bound_range_impl(e, ctx, kMaxDepth);
+}
+
+Truth prove_ge(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx) {
+  if (!a || !b || is_bottom(a) || is_bottom(b)) return Truth::Unknown;
+  ExprPtr d = sub(a, b);
+  if (auto c = const_value(d)) return *c >= 0 ? Truth::True : Truth::False;
+  // Fast path: plain interval evaluation.
+  Range r = bound_range(d, ctx);
+  if (auto c = const_value(r.lo()); c && *c >= 0) return Truth::True;
+  if (auto c = const_value(r.hi()); c && *c < 0) return Truth::False;
+  // Precise path: chain substitution with re-canonicalization.
+  if (auto lo = chain_bound(d, ctx, /*lower=*/true, 5); lo && *lo >= 0) return Truth::True;
+  if (auto hi = chain_bound(d, ctx, /*lower=*/false, 5); hi && *hi < 0) return Truth::False;
+  return Truth::Unknown;
+}
+
+Truth prove_gt(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx) {
+  return prove_ge(a, add(b, make_const(1)), ctx);
+}
+
+Truth prove_le(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx) {
+  return prove_ge(b, a, ctx);
+}
+
+Truth prove_lt(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx) {
+  return prove_gt(b, a, ctx);
+}
+
+Truth prove_eq(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx) {
+  if (equal(a, b)) return Truth::True;
+  Truth ge = prove_ge(a, b, ctx);
+  Truth le = prove_le(a, b, ctx);
+  if (ge == Truth::True && le == Truth::True) return Truth::True;
+  if (ge == Truth::False || le == Truth::False) return Truth::False;
+  return Truth::Unknown;
+}
+
+Truth prove_nonneg(const Range& r, const AssumptionContext& ctx) {
+  if (!r.lo()) return Truth::Unknown;
+  return prove_ge(r.lo(), make_const(0), ctx);
+}
+
+Truth prove_pos(const Range& r, const AssumptionContext& ctx) {
+  if (!r.lo()) return Truth::Unknown;
+  return prove_ge(r.lo(), make_const(1), ctx);
+}
+
+const char* truth_name(Truth t) {
+  switch (t) {
+    case Truth::True:
+      return "true";
+    case Truth::False:
+      return "false";
+    case Truth::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace sspar::sym

@@ -1,0 +1,78 @@
+// Assumption context and tri-state prover.
+//
+// The prover decides questions of the form "is a >= b provable?" under:
+//  * symbol bounds (e.g. the problem size N ∈ [1, +inf)),
+//  * array-element difference facts supplied by the analysis layer
+//    (e.g. Monotonic_inc of rowptr gives rowptr[i+1] - rowptr[i] ∈ [0:+inf)),
+//  * array-element value facts (e.g. rowsize[i] ∈ [0 : COLUMNLEN]).
+//
+// The latter two arrive through callbacks so the symbolic layer stays
+// independent of the property database; the core analysis wires them up.
+// This is the machinery behind the paper's extended Range Test (Section 5).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "symbolic/range.h"
+
+namespace sspar::sym {
+
+enum class Truth { True, False, Unknown };
+
+class AssumptionContext {
+ public:
+  // Declares sym ∈ range (may-range). Later declarations overwrite.
+  void assume(SymbolId sym, Range range) { bounds_[sym] = std::move(range); }
+  // Convenience: sym >= lo.
+  void assume_ge(SymbolId sym, int64_t lo) {
+    bounds_[sym] = Range::of(make_const(lo), nullptr);
+  }
+  const Range* bound(SymbolId sym) const {
+    auto it = bounds_.find(sym);
+    return it == bounds_.end() ? nullptr : &it->second;
+  }
+
+  // Range of a[hiIdx] - a[loIdx]; the callback may assume nothing about the
+  // index order (it must inspect the indices itself). Returning nullopt means
+  // "no fact available".
+  using ElemDiffFn =
+      std::function<std::optional<Range>(SymbolId array, const ExprPtr& hi_index,
+                                         const ExprPtr& lo_index)>;
+  // Value range of a[index].
+  using ElemValueFn =
+      std::function<std::optional<Range>(SymbolId array, const ExprPtr& index)>;
+
+  void set_elem_diff(ElemDiffFn fn) { elem_diff_ = std::move(fn); }
+  void set_elem_value(ElemValueFn fn) { elem_value_ = std::move(fn); }
+
+  const ElemDiffFn& elem_diff() const { return elem_diff_; }
+  const ElemValueFn& elem_value() const { return elem_value_; }
+
+ private:
+  std::unordered_map<SymbolId, Range> bounds_;
+  ElemDiffFn elem_diff_;
+  ElemValueFn elem_value_;
+};
+
+// Interval of possible values of `e` under the context (bounds may stay
+// symbolic; a null bound means unbounded).
+Range bound_range(const ExprPtr& e, const AssumptionContext& ctx);
+
+Truth prove_ge(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx);
+Truth prove_gt(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx);
+Truth prove_le(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx);
+Truth prove_lt(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx);
+Truth prove_eq(const ExprPtr& a, const ExprPtr& b, const AssumptionContext& ctx);
+
+// Provability of the lower-bound condition lo(r) >= 0 / lo(r) >= 1. Note the
+// tri-state is about the bound: False means the lower bound is provably below
+// the threshold (the range *may* contain smaller values), not that every value
+// violates the condition.
+Truth prove_nonneg(const Range& r, const AssumptionContext& ctx);
+Truth prove_pos(const Range& r, const AssumptionContext& ctx);
+
+const char* truth_name(Truth t);
+
+}  // namespace sspar::sym

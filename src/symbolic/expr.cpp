@@ -1,0 +1,543 @@
+#include "symbolic/expr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace sspar::sym {
+
+namespace {
+
+ExprPtr make(ExprKind k) { return std::make_shared<Expr>(k); }
+
+struct AtomLess {
+  bool operator()(const ExprPtr& a, const ExprPtr& b) const { return compare(a, b) < 0; }
+};
+
+using TermMap = std::map<ExprPtr, int64_t, AtomLess>;
+
+void accumulate(TermMap& terms, int64_t& constant, bool& bottom, const ExprPtr& e,
+                int64_t scale) {
+  if (bottom || scale == 0) return;
+  switch (e->kind) {
+    case ExprKind::Bottom:
+      bottom = true;
+      return;
+    case ExprKind::Const:
+      constant += scale * e->value;
+      return;
+    case ExprKind::Add:
+      constant += scale * e->value;
+      for (size_t i = 0; i < e->operands.size(); ++i) {
+        accumulate(terms, constant, bottom, e->operands[i], scale * e->coeffs[i]);
+      }
+      return;
+    default:
+      terms[e] += scale;
+      return;
+  }
+}
+
+ExprPtr build_from_terms(const TermMap& terms, int64_t constant, bool bottom) {
+  if (bottom) return make_bottom();
+  std::vector<std::pair<ExprPtr, int64_t>> nonzero;
+  for (const auto& [atom, coeff] : terms) {
+    if (coeff != 0) nonzero.emplace_back(atom, coeff);
+  }
+  if (nonzero.empty()) return make_const(constant);
+  if (nonzero.size() == 1 && nonzero[0].second == 1 && constant == 0) {
+    return nonzero[0].first;
+  }
+  auto node = make(ExprKind::Add);
+  auto mut = std::const_pointer_cast<Expr>(node);
+  mut->value = constant;
+  for (auto& [atom, coeff] : nonzero) {
+    mut->operands.push_back(atom);
+    mut->coeffs.push_back(coeff);
+  }
+  return node;
+}
+
+ExprPtr linear_combine(const ExprPtr& a, int64_t ca, const ExprPtr& b, int64_t cb) {
+  TermMap terms;
+  int64_t constant = 0;
+  bool bottom = false;
+  if (a) accumulate(terms, constant, bottom, a, ca);
+  if (b) accumulate(terms, constant, bottom, b, cb);
+  return build_from_terms(terms, constant, bottom);
+}
+
+// Product of two canonical atoms/atom-products -> canonical Mul (or atom).
+ExprPtr atom_product(const ExprPtr& a, const ExprPtr& b) {
+  std::vector<ExprPtr> factors;
+  auto push = [&factors](const ExprPtr& e) {
+    if (e->kind == ExprKind::Mul) {
+      for (const auto& f : e->operands) factors.push_back(f);
+    } else {
+      factors.push_back(e);
+    }
+  };
+  push(a);
+  push(b);
+  std::sort(factors.begin(), factors.end(),
+            [](const ExprPtr& x, const ExprPtr& y) { return compare(x, y) < 0; });
+  auto node = make(ExprKind::Mul);
+  std::const_pointer_cast<Expr>(node)->operands = std::move(factors);
+  return node;
+}
+
+int compare_vec(const std::vector<ExprPtr>& a, const std::vector<ExprPtr>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    int c = compare(a[i], b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ExprPtr make_const(int64_t v) {
+  auto node = make(ExprKind::Const);
+  std::const_pointer_cast<Expr>(node)->value = v;
+  return node;
+}
+
+ExprPtr make_sym(SymbolId id) {
+  auto node = make(ExprKind::Sym);
+  std::const_pointer_cast<Expr>(node)->symbol = id;
+  return node;
+}
+
+ExprPtr make_iter_start(SymbolId id) {
+  auto node = make(ExprKind::IterStart);
+  std::const_pointer_cast<Expr>(node)->symbol = id;
+  return node;
+}
+
+ExprPtr make_loop_start(SymbolId id) {
+  auto node = make(ExprKind::LoopStart);
+  std::const_pointer_cast<Expr>(node)->symbol = id;
+  return node;
+}
+
+ExprPtr make_array_elem(SymbolId array, ExprPtr index) {
+  if (!index || is_bottom(index)) return make_bottom();
+  auto node = make(ExprKind::ArrayElem);
+  auto mut = std::const_pointer_cast<Expr>(node);
+  mut->symbol = array;
+  mut->operands.push_back(std::move(index));
+  return node;
+}
+
+ExprPtr make_bottom() {
+  static const ExprPtr instance = make(ExprKind::Bottom);
+  return instance;
+}
+
+ExprPtr add(const ExprPtr& a, const ExprPtr& b) { return linear_combine(a, 1, b, 1); }
+ExprPtr sub(const ExprPtr& a, const ExprPtr& b) { return linear_combine(a, 1, b, -1); }
+ExprPtr negate(const ExprPtr& a) { return linear_combine(a, -1, nullptr, 0); }
+ExprPtr mul_const(const ExprPtr& a, int64_t c) { return linear_combine(a, c, nullptr, 0); }
+
+ExprPtr mul(const ExprPtr& a, const ExprPtr& b) {
+  if (!a || !b || is_bottom(a) || is_bottom(b)) return make_bottom();
+  if (auto ca = const_value(a)) return mul_const(b, *ca);
+  if (auto cb = const_value(b)) return mul_const(a, *cb);
+  // Distribute sums (operand counts are tiny in practice).
+  LinearForm la = to_linear(a);
+  LinearForm lb = to_linear(b);
+  TermMap terms;
+  int64_t constant = 0;
+  bool bottom = false;
+  auto add_term = [&](const ExprPtr& atom, int64_t coeff) {
+    accumulate(terms, constant, bottom, atom, coeff);
+  };
+  // (Σ ci*ti + c0) * (Σ dj*uj + d0)
+  constant += la.constant * lb.constant;
+  for (const auto& [t, c] : la.terms) add_term(t, c * lb.constant);
+  for (const auto& [u, d] : lb.terms) add_term(u, d * la.constant);
+  for (const auto& [t, c] : la.terms) {
+    for (const auto& [u, d] : lb.terms) {
+      add_term(atom_product(t, u), c * d);
+    }
+  }
+  return build_from_terms(terms, constant, bottom);
+}
+
+ExprPtr div_floor(const ExprPtr& a, const ExprPtr& b) {
+  if (!a || !b || is_bottom(a) || is_bottom(b)) return make_bottom();
+  auto cb = const_value(b);
+  if (cb && *cb == 0) return make_bottom();
+  if (cb && *cb == 1) return a;
+  if (auto ca = const_value(a)) {
+    if (cb) {
+      int64_t q = *ca / *cb;  // exact in our uses; truncation acceptable otherwise
+      if ((*ca % *cb) != 0 && ((*ca < 0) != (*cb < 0))) --q;  // floor semantics
+      return make_const(q);
+    }
+    if (*ca == 0) return make_const(0);
+  }
+  auto node = make(ExprKind::Div);
+  auto mut = std::const_pointer_cast<Expr>(node);
+  mut->operands = {a, b};
+  return node;
+}
+
+ExprPtr mod(const ExprPtr& a, const ExprPtr& b) {
+  if (!a || !b || is_bottom(a) || is_bottom(b)) return make_bottom();
+  auto cb = const_value(b);
+  if (cb && *cb == 0) return make_bottom();
+  if (cb && (*cb == 1 || *cb == -1)) return make_const(0);
+  if (auto ca = const_value(a); ca && cb) {
+    int64_t r = *ca % *cb;
+    if (r != 0 && ((r < 0) != (*cb < 0))) r += *cb;  // floor-mod
+    return make_const(r);
+  }
+  auto node = make(ExprKind::Mod);
+  auto mut = std::const_pointer_cast<Expr>(node);
+  mut->operands = {a, b};
+  return node;
+}
+
+namespace {
+ExprPtr min_max(ExprKind kind, const ExprPtr& a, const ExprPtr& b) {
+  if (!a || !b || is_bottom(a) || is_bottom(b)) return make_bottom();
+  if (equal(a, b)) return a;
+  auto ca = const_value(a);
+  auto cb = const_value(b);
+  if (ca && cb) {
+    return make_const(kind == ExprKind::Min ? std::min(*ca, *cb) : std::max(*ca, *cb));
+  }
+  // Fold a difference that is a known constant: min(x, x+3) == x.
+  if (auto d = const_value(sub(a, b))) {
+    bool a_smaller = *d <= 0;
+    if (kind == ExprKind::Min) return a_smaller ? a : b;
+    return a_smaller ? b : a;
+  }
+  std::vector<ExprPtr> ops;
+  auto push = [&](const ExprPtr& e) {
+    if (e->kind == kind) {
+      for (const auto& o : e->operands) ops.push_back(o);
+    } else {
+      ops.push_back(e);
+    }
+  };
+  push(a);
+  push(b);
+  std::sort(ops.begin(), ops.end(),
+            [](const ExprPtr& x, const ExprPtr& y) { return compare(x, y) < 0; });
+  ops.erase(std::unique(ops.begin(), ops.end(),
+                        [](const ExprPtr& x, const ExprPtr& y) { return equal(x, y); }),
+            ops.end());
+  if (ops.size() == 1) return ops[0];
+  auto node = make(kind);
+  std::const_pointer_cast<Expr>(node)->operands = std::move(ops);
+  return node;
+}
+}  // namespace
+
+ExprPtr smin(const ExprPtr& a, const ExprPtr& b) { return min_max(ExprKind::Min, a, b); }
+ExprPtr smax(const ExprPtr& a, const ExprPtr& b) { return min_max(ExprKind::Max, a, b); }
+
+bool is_bottom(const ExprPtr& e) { return !e || e->kind == ExprKind::Bottom; }
+bool is_const(const ExprPtr& e) { return e && e->kind == ExprKind::Const; }
+
+std::optional<int64_t> const_value(const ExprPtr& e) {
+  if (is_const(e)) return e->value;
+  return std::nullopt;
+}
+
+int compare(const ExprPtr& a, const ExprPtr& b) {
+  if (a.get() == b.get()) return 0;
+  if (!a || !b) return !a ? -1 : 1;
+  if (a->kind != b->kind) return a->kind < b->kind ? -1 : 1;
+  if (a->value != b->value) return a->value < b->value ? -1 : 1;
+  if (a->symbol != b->symbol) return a->symbol < b->symbol ? -1 : 1;
+  if (a->coeffs != b->coeffs) return a->coeffs < b->coeffs ? -1 : 1;
+  return compare_vec(a->operands, b->operands);
+}
+
+bool equal(const ExprPtr& a, const ExprPtr& b) { return compare(a, b) == 0; }
+
+size_t hash(const ExprPtr& e) {
+  if (!e) return 0;
+  size_t h = static_cast<size_t>(e->kind) * 0x9e3779b97f4a7c15ull;
+  h ^= std::hash<int64_t>{}(e->value) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  h ^= std::hash<uint32_t>{}(e->symbol) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  for (const auto& o : e->operands) h ^= hash(o) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  for (int64_t c : e->coeffs) h ^= std::hash<int64_t>{}(c) + 0x9e3779b9 + (h << 6) + (h >> 2);
+  return h;
+}
+
+bool any_of(const ExprPtr& e, const std::function<bool(const Expr&)>& pred) {
+  if (!e) return false;
+  if (pred(*e)) return true;
+  for (const auto& o : e->operands) {
+    if (any_of(o, pred)) return true;
+  }
+  return false;
+}
+
+bool contains_sym(const ExprPtr& e, SymbolId id) {
+  return any_of(e, [id](const Expr& n) { return n.kind == ExprKind::Sym && n.symbol == id; });
+}
+
+bool contains_kind(const ExprPtr& e, ExprKind kind) {
+  return any_of(e, [kind](const Expr& n) { return n.kind == kind; });
+}
+
+std::vector<ExprPtr> collect_array_elems(const ExprPtr& e, std::optional<SymbolId> array) {
+  std::vector<ExprPtr> out;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& n) {
+    if (!n) return;
+    if (n->kind == ExprKind::ArrayElem && (!array || n->symbol == *array)) {
+      out.push_back(n);
+    }
+    for (const auto& o : n->operands) walk(o);
+  };
+  walk(e);
+  return out;
+}
+
+int64_t LinearForm::coeff_of(const ExprPtr& atom) const {
+  for (const auto& [t, c] : terms) {
+    if (equal(t, atom)) return c;
+  }
+  return 0;
+}
+
+LinearForm to_linear(const ExprPtr& e) {
+  LinearForm lf;
+  if (!e || is_bottom(e)) {
+    lf.bottom = true;
+    return lf;
+  }
+  TermMap terms;
+  bool bottom = false;
+  accumulate(terms, lf.constant, bottom, e, 1);
+  lf.bottom = bottom;
+  for (const auto& [atom, coeff] : terms) {
+    if (coeff != 0) lf.terms.emplace_back(atom, coeff);
+  }
+  return lf;
+}
+
+ExprPtr from_linear(const LinearForm& lf) {
+  if (lf.bottom) return make_bottom();
+  TermMap terms;
+  for (const auto& [atom, coeff] : lf.terms) terms[atom] += coeff;
+  return build_from_terms(terms, lf.constant, false);
+}
+
+std::optional<std::pair<int64_t, int64_t>> as_affine_in(const ExprPtr& e, SymbolId id) {
+  LinearForm lf = to_linear(e);
+  if (lf.bottom) return std::nullopt;
+  int64_t c1 = 0;
+  for (const auto& [atom, coeff] : lf.terms) {
+    if (atom->kind == ExprKind::Sym && atom->symbol == id) {
+      c1 = coeff;
+    } else if (contains_sym(atom, id)) {
+      return std::nullopt;  // id occurs non-linearly (inside Mul/Div/ArrayElem...)
+    }
+  }
+  // All remaining terms must be free of `id` (checked above); fold them into
+  // the "constant" only when there are none, otherwise this is not affine
+  // with integer constant parts.
+  for (const auto& [atom, coeff] : lf.terms) {
+    (void)coeff;
+    if (atom->kind == ExprKind::Sym && atom->symbol == id) continue;
+    return std::nullopt;
+  }
+  return std::make_pair(c1, lf.constant);
+}
+
+std::optional<AffineSplit> split_affine_in(const ExprPtr& e, SymbolId id) {
+  LinearForm lf = to_linear(e);
+  if (lf.bottom) return std::nullopt;
+  AffineSplit split;
+  LinearForm rest;
+  rest.constant = lf.constant;
+  for (const auto& [atom, coeff] : lf.terms) {
+    if (atom->kind == ExprKind::Sym && atom->symbol == id) {
+      split.coeff = coeff;
+    } else if (contains_sym(atom, id)) {
+      return std::nullopt;  // id occurs non-linearly
+    } else {
+      rest.terms.emplace_back(atom, coeff);
+    }
+  }
+  split.rest = from_linear(rest);
+  return split;
+}
+
+ExprPtr rewrite(const ExprPtr& e, const RewriteFn& fn) {
+  if (!e) return e;
+  // Top-down: a replacement is final (children of the replacement are not
+  // revisited), which gives capture-free substitution semantics.
+  if (auto replaced = fn(e)) return *replaced;
+  ExprPtr rebuilt;
+  switch (e->kind) {
+    case ExprKind::Const:
+    case ExprKind::Sym:
+    case ExprKind::IterStart:
+    case ExprKind::LoopStart:
+    case ExprKind::Bottom:
+      rebuilt = e;
+      break;
+    case ExprKind::ArrayElem:
+      rebuilt = make_array_elem(e->symbol, rewrite(e->operands[0], fn));
+      break;
+    case ExprKind::Add: {
+      ExprPtr acc = make_const(e->value);
+      for (size_t i = 0; i < e->operands.size(); ++i) {
+        acc = add(acc, mul_const(rewrite(e->operands[i], fn), e->coeffs[i]));
+      }
+      rebuilt = acc;
+      break;
+    }
+    case ExprKind::Mul: {
+      ExprPtr acc = make_const(1);
+      for (const auto& o : e->operands) acc = mul(acc, rewrite(o, fn));
+      rebuilt = acc;
+      break;
+    }
+    case ExprKind::Div:
+      rebuilt = div_floor(rewrite(e->operands[0], fn), rewrite(e->operands[1], fn));
+      break;
+    case ExprKind::Mod:
+      rebuilt = mod(rewrite(e->operands[0], fn), rewrite(e->operands[1], fn));
+      break;
+    case ExprKind::Min:
+    case ExprKind::Max: {
+      ExprPtr acc = rewrite(e->operands[0], fn);
+      for (size_t i = 1; i < e->operands.size(); ++i) {
+        auto next = rewrite(e->operands[i], fn);
+        acc = e->kind == ExprKind::Min ? smin(acc, next) : smax(acc, next);
+      }
+      rebuilt = acc;
+      break;
+    }
+  }
+  return rebuilt;
+}
+
+namespace {
+ExprPtr subst_kind(const ExprPtr& e, ExprKind kind, SymbolId id, const ExprPtr& replacement) {
+  return rewrite(e, [&](const ExprPtr& n) -> std::optional<ExprPtr> {
+    if (n->kind == kind && n->symbol == id) return replacement;
+    return std::nullopt;
+  });
+}
+}  // namespace
+
+ExprPtr subst_sym(const ExprPtr& e, SymbolId id, const ExprPtr& replacement) {
+  return subst_kind(e, ExprKind::Sym, id, replacement);
+}
+ExprPtr subst_iter_start(const ExprPtr& e, SymbolId id, const ExprPtr& replacement) {
+  return subst_kind(e, ExprKind::IterStart, id, replacement);
+}
+ExprPtr subst_loop_start(const ExprPtr& e, SymbolId id, const ExprPtr& replacement) {
+  return subst_kind(e, ExprKind::LoopStart, id, replacement);
+}
+
+namespace {
+void print(const ExprPtr& e, const SymbolTable& syms, std::string& out, bool parens_for_sum);
+
+void print_term(const ExprPtr& atom, int64_t coeff, const SymbolTable& syms, std::string& out,
+                bool first) {
+  if (coeff < 0) {
+    out += first ? "-" : " - ";
+  } else if (!first) {
+    out += " + ";
+  }
+  int64_t mag = coeff < 0 ? -coeff : coeff;
+  if (mag != 1) {
+    out += std::to_string(mag);
+    out += "*";
+  }
+  print(atom, syms, out, true);
+}
+
+void print(const ExprPtr& e, const SymbolTable& syms, std::string& out, bool parens_for_sum) {
+  if (!e) {
+    out += "<null>";
+    return;
+  }
+  switch (e->kind) {
+    case ExprKind::Const:
+      out += std::to_string(e->value);
+      return;
+    case ExprKind::Sym:
+      out += syms.name(e->symbol);
+      return;
+    case ExprKind::IterStart:
+      out += "lam." + syms.name(e->symbol);
+      return;
+    case ExprKind::LoopStart:
+      out += "LAM." + syms.name(e->symbol);
+      return;
+    case ExprKind::Bottom:
+      out += "_|_";
+      return;
+    case ExprKind::ArrayElem:
+      out += syms.name(e->symbol);
+      out += "[";
+      print(e->operands[0], syms, out, false);
+      out += "]";
+      return;
+    case ExprKind::Add: {
+      if (parens_for_sum) out += "(";
+      bool first = true;
+      for (size_t i = 0; i < e->operands.size(); ++i) {
+        print_term(e->operands[i], e->coeffs[i], syms, out, first);
+        first = false;
+      }
+      if (e->value != 0 || first) {
+        if (!first) {
+          out += e->value < 0 ? " - " : " + ";
+          out += std::to_string(e->value < 0 ? -e->value : e->value);
+        } else {
+          out += std::to_string(e->value);
+        }
+      }
+      if (parens_for_sum) out += ")";
+      return;
+    }
+    case ExprKind::Mul: {
+      for (size_t i = 0; i < e->operands.size(); ++i) {
+        if (i) out += "*";
+        print(e->operands[i], syms, out, true);
+      }
+      return;
+    }
+    case ExprKind::Div:
+    case ExprKind::Mod: {
+      out += e->kind == ExprKind::Div ? "div(" : "mod(";
+      print(e->operands[0], syms, out, false);
+      out += ", ";
+      print(e->operands[1], syms, out, false);
+      out += ")";
+      return;
+    }
+    case ExprKind::Min:
+    case ExprKind::Max: {
+      out += e->kind == ExprKind::Min ? "min(" : "max(";
+      for (size_t i = 0; i < e->operands.size(); ++i) {
+        if (i) out += ", ";
+        print(e->operands[i], syms, out, false);
+      }
+      out += ")";
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::string to_string(const ExprPtr& e, const SymbolTable& syms) {
+  std::string out;
+  print(e, syms, out, false);
+  return out;
+}
+
+}  // namespace sspar::sym

@@ -1,0 +1,136 @@
+// Immutable symbolic integer expressions in canonical (affine-normal) form.
+//
+// The representation follows the paper's needs (Section 3.2): expressions over
+// program symbols, the per-iteration start value λ(x) (IterStart), the
+// per-loop start value Λ(x) (LoopStart), symbolic array elements a[e]
+// (ArrayElem, needed to express recurrences such as rowptr[i-1] + v and the
+// Range-Test comparison rowptr[i] vs rowptr[i+1]), and the unknown value ⊥
+// (Bottom).
+//
+// Canonical form invariants (enforced by the factory functions):
+//  * Add nodes hold a sorted list of (atom, non-zero coefficient) pairs plus
+//    an integer constant; they never nest, never have a single term with
+//    coefficient 1 and constant 0, and never hold Const/Add atoms.
+//  * Mul nodes hold >= 2 sorted non-constant factors; constant factors are
+//    folded into Add coefficients.
+//  * Bottom absorbs every operation.
+// Because the form is canonical, structural equality is semantic equality for
+// the affine fragment (atoms are compared structurally).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/symbol.h"
+
+namespace sspar::sym {
+
+enum class ExprKind : uint8_t {
+  Const,
+  Sym,
+  IterStart,  // λ(x): value of x at the start of the current iteration
+  LoopStart,  // Λ(x): value of x at the start of the loop
+  ArrayElem,  // a[index]
+  Add,        // Σ coeff_k * atom_k + constant
+  Mul,        // atom * atom * ...
+  Div,        // integer division, operands (num, den)
+  Mod,        // operands (num, den)
+  Min,
+  Max,
+  Bottom,
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  ExprKind kind;
+  int64_t value = 0;                 // Const value / Add constant term
+  SymbolId symbol = kInvalidSymbol;  // Sym/IterStart/LoopStart; array for ArrayElem
+  std::vector<ExprPtr> operands;     // children (atoms for Add/Mul; args otherwise)
+  std::vector<int64_t> coeffs;       // parallel to operands, Add only
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+// --- Factories (always canonicalize) ---------------------------------------
+ExprPtr make_const(int64_t v);
+ExprPtr make_sym(SymbolId id);
+ExprPtr make_iter_start(SymbolId id);
+ExprPtr make_loop_start(SymbolId id);
+ExprPtr make_array_elem(SymbolId array, ExprPtr index);
+ExprPtr make_bottom();
+
+ExprPtr add(const ExprPtr& a, const ExprPtr& b);
+ExprPtr sub(const ExprPtr& a, const ExprPtr& b);
+ExprPtr negate(const ExprPtr& a);
+ExprPtr mul(const ExprPtr& a, const ExprPtr& b);
+ExprPtr mul_const(const ExprPtr& a, int64_t c);
+ExprPtr div_floor(const ExprPtr& a, const ExprPtr& b);  // used only where exact
+ExprPtr mod(const ExprPtr& a, const ExprPtr& b);
+ExprPtr smin(const ExprPtr& a, const ExprPtr& b);
+ExprPtr smax(const ExprPtr& a, const ExprPtr& b);
+
+// --- Predicates & queries ---------------------------------------------------
+bool is_bottom(const ExprPtr& e);
+bool is_const(const ExprPtr& e);
+std::optional<int64_t> const_value(const ExprPtr& e);
+
+bool equal(const ExprPtr& a, const ExprPtr& b);
+// Total structural order; used for canonical sorting.
+int compare(const ExprPtr& a, const ExprPtr& b);
+size_t hash(const ExprPtr& e);
+
+// True if any subexpression satisfies `pred`.
+bool any_of(const ExprPtr& e, const std::function<bool(const Expr&)>& pred);
+bool contains_sym(const ExprPtr& e, SymbolId id);
+bool contains_kind(const ExprPtr& e, ExprKind kind);
+
+// Collects every ArrayElem subexpression (of `array` if given).
+std::vector<ExprPtr> collect_array_elems(const ExprPtr& e,
+                                         std::optional<SymbolId> array = std::nullopt);
+
+// --- Linear view ------------------------------------------------------------
+// expr == constant + Σ coeff_k * atom_k, where atoms are non-Add non-Const.
+struct LinearForm {
+  bool bottom = false;
+  int64_t constant = 0;
+  std::vector<std::pair<ExprPtr, int64_t>> terms;  // sorted by compare()
+
+  // Coefficient of `atom` (0 if absent).
+  int64_t coeff_of(const ExprPtr& atom) const;
+};
+LinearForm to_linear(const ExprPtr& e);
+ExprPtr from_linear(const LinearForm& lf);
+
+// If e == c1 * sym(id) + c0, returns (c1, c0).
+std::optional<std::pair<int64_t, int64_t>> as_affine_in(const ExprPtr& e, SymbolId id);
+
+// General split: e == coeff * sym(id) + rest, where rest does not mention
+// sym(id) at all (also not inside non-linear atoms). Returns (coeff, rest).
+struct AffineSplit {
+  int64_t coeff = 0;
+  ExprPtr rest;
+};
+std::optional<AffineSplit> split_affine_in(const ExprPtr& e, SymbolId id);
+
+// --- Rewriting --------------------------------------------------------------
+// Bottom-up rewrite: children are rebuilt first, then `fn` may replace the
+// rebuilt node. Returning nullopt keeps the node.
+using RewriteFn = std::function<std::optional<ExprPtr>(const ExprPtr&)>;
+ExprPtr rewrite(const ExprPtr& e, const RewriteFn& fn);
+
+ExprPtr subst_sym(const ExprPtr& e, SymbolId id, const ExprPtr& replacement);
+ExprPtr subst_iter_start(const ExprPtr& e, SymbolId id, const ExprPtr& replacement);
+ExprPtr subst_loop_start(const ExprPtr& e, SymbolId id, const ExprPtr& replacement);
+
+// --- Printing ---------------------------------------------------------------
+// ASCII rendering: λ(x) -> "lam.x", Λ(x) -> "LAM.x", ⊥ -> "_|_".
+std::string to_string(const ExprPtr& e, const SymbolTable& syms);
+
+}  // namespace sspar::sym

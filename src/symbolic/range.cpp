@@ -1,0 +1,141 @@
+#include "symbolic/range.h"
+
+namespace sspar::sym {
+
+namespace {
+ExprPtr clean(ExprPtr e) {
+  if (!e || is_bottom(e)) return nullptr;
+  return e;
+}
+}  // namespace
+
+Range Range::exact(ExprPtr e) { return of(e, e); }
+
+Range Range::of(ExprPtr lo, ExprPtr hi) {
+  Range r;
+  r.lo_ = clean(std::move(lo));
+  r.hi_ = clean(std::move(hi));
+  return r;
+}
+
+std::string Range::to_string(const SymbolTable& syms) const {
+  if (is_bottom()) return "_|_";
+  std::string out = "[";
+  out += lo_ ? sym::to_string(lo_, syms) : "-inf";
+  out += " : ";
+  out += hi_ ? sym::to_string(hi_, syms) : "+inf";
+  out += "]";
+  return out;
+}
+
+Range range_add(const Range& a, const Range& b) {
+  ExprPtr lo = (a.lo() && b.lo()) ? add(a.lo(), b.lo()) : nullptr;
+  ExprPtr hi = (a.hi() && b.hi()) ? add(a.hi(), b.hi()) : nullptr;
+  return Range::of(std::move(lo), std::move(hi));
+}
+
+Range range_negate(const Range& a) {
+  ExprPtr lo = a.hi() ? negate(a.hi()) : nullptr;
+  ExprPtr hi = a.lo() ? negate(a.lo()) : nullptr;
+  return Range::of(std::move(lo), std::move(hi));
+}
+
+Range range_sub(const Range& a, const Range& b) { return range_add(a, range_negate(b)); }
+
+Range range_mul_const(const Range& a, int64_t c) {
+  if (c == 0) return Range::exact(make_const(0));
+  if (c > 0) {
+    return Range::of(a.lo() ? mul_const(a.lo(), c) : nullptr,
+                     a.hi() ? mul_const(a.hi(), c) : nullptr);
+  }
+  return Range::of(a.hi() ? mul_const(a.hi(), c) : nullptr,
+                   a.lo() ? mul_const(a.lo(), c) : nullptr);
+}
+
+Range range_mul_nonneg(const Range& a, const ExprPtr& factor) {
+  if (!factor || is_bottom(factor)) return Range::bottom();
+  if (auto c = const_value(factor)) return range_mul_const(a, *c);
+  return Range::of(a.lo() ? mul(a.lo(), factor) : nullptr,
+                   a.hi() ? mul(a.hi(), factor) : nullptr);
+}
+
+Range range_join(const Range& a, const Range& b) {
+  ExprPtr lo = (a.lo() && b.lo()) ? smin(a.lo(), b.lo()) : nullptr;
+  ExprPtr hi = (a.hi() && b.hi()) ? smax(a.hi(), b.hi()) : nullptr;
+  return Range::of(std::move(lo), std::move(hi));
+}
+
+namespace {
+
+bool mentions_env(const ExprPtr& e, const RangeEnv& env) {
+  return any_of(e, [&env](const Expr& n) {
+    if (n.kind == ExprKind::Sym && env.find(n.symbol) != nullptr) return true;
+    return n.kind == ExprKind::IterStart && env.find_lambda(n.symbol) != nullptr;
+  });
+}
+
+Range atom_range(const ExprPtr& atom, const RangeEnv& env) {
+  switch (atom->kind) {
+    case ExprKind::Sym:
+      if (const Range* r = env.find(atom->symbol)) return *r;
+      return Range::exact(atom);
+    case ExprKind::IterStart:
+      if (const Range* r = env.find_lambda(atom->symbol)) return *r;
+      return Range::exact(atom);
+    case ExprKind::Min:
+    case ExprKind::Max: {
+      // min/max of intervals: combine bounds componentwise.
+      Range acc = atom_range(atom->operands[0], env);
+      for (size_t i = 1; i < atom->operands.size(); ++i) {
+        Range next = atom_range(atom->operands[i], env);
+        auto pick = [&](const ExprPtr& x, const ExprPtr& y) -> ExprPtr {
+          if (!x || !y) return nullptr;
+          return atom->kind == ExprKind::Min ? smin(x, y) : smax(x, y);
+        };
+        acc = Range::of(pick(acc.lo(), next.lo()), pick(acc.hi(), next.hi()));
+      }
+      return acc;
+    }
+    case ExprKind::Mod: {
+      // mod(x, c) with c > 0 lies in [0, c-1] whatever x is (floor-mod).
+      if (auto c = const_value(atom->operands[1]); c && *c > 0) {
+        return Range::of_consts(0, *c - 1);
+      }
+      if (mentions_env(atom, env)) return Range::bottom();
+      return Range::exact(atom);
+    }
+    default:
+      // Non-linear atom: if its arguments are untouched by the env, it stays
+      // symbolic; otherwise we cannot bound it.
+      if (mentions_env(atom, env)) return Range::bottom();
+      return Range::exact(atom);
+  }
+}
+
+}  // namespace
+
+Range eval_range(const ExprPtr& e, const RangeEnv& env) {
+  if (!e || is_bottom(e)) return Range::bottom();
+  LinearForm lf = to_linear(e);
+  if (lf.bottom) return Range::bottom();
+  Range acc = Range::exact(make_const(lf.constant));
+  for (const auto& [atom, coeff] : lf.terms) {
+    acc = range_add(acc, range_mul_const(atom_range(atom, env), coeff));
+    if (acc.is_bottom()) return acc;
+  }
+  return acc;
+}
+
+ExprPtr promote_iter_to_loop(const ExprPtr& e) {
+  return rewrite(e, [](const ExprPtr& n) -> std::optional<ExprPtr> {
+    if (n->kind == ExprKind::IterStart) return make_loop_start(n->symbol);
+    return std::nullopt;
+  });
+}
+
+Range promote_iter_to_loop(const Range& r) {
+  return Range::of(r.lo() ? promote_iter_to_loop(r.lo()) : nullptr,
+                   r.hi() ? promote_iter_to_loop(r.hi()) : nullptr);
+}
+
+}  // namespace sspar::sym

@@ -1,0 +1,86 @@
+// Symbolic may-ranges [lo : hi] (paper Section 3.2).
+//
+// A Range bounds the possible values of a scalar or array element. A null
+// bound means unbounded in that direction; bottom() (both bounds null) is the
+// unknown value ⊥. Bounds never contain the Bottom expression: factory
+// functions map ⊥ bounds to null.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "symbolic/expr.h"
+
+namespace sspar::sym {
+
+class Range {
+ public:
+  Range() = default;  // bottom
+
+  static Range exact(ExprPtr e);
+  static Range of(ExprPtr lo, ExprPtr hi);
+  static Range bottom() { return Range(); }
+  static Range of_consts(int64_t lo, int64_t hi) {
+    return of(make_const(lo), make_const(hi));
+  }
+
+  const ExprPtr& lo() const { return lo_; }
+  const ExprPtr& hi() const { return hi_; }
+  bool lo_bounded() const { return lo_ != nullptr; }
+  bool hi_bounded() const { return hi_ != nullptr; }
+  bool is_bottom() const { return !lo_ && !hi_; }
+
+  // Exact (single value) if both bounds are equal expressions.
+  bool is_exact() const { return lo_ && hi_ && equal(lo_, hi_); }
+  // The single value of an exact range.
+  ExprPtr exact_value() const { return is_exact() ? lo_ : nullptr; }
+
+  bool operator==(const Range& other) const {
+    return equal(lo_, other.lo_) && equal(hi_, other.hi_);
+  }
+
+  std::string to_string(const SymbolTable& syms) const;
+
+ private:
+  ExprPtr lo_;
+  ExprPtr hi_;
+};
+
+// Interval arithmetic over symbolic bounds.
+Range range_add(const Range& a, const Range& b);
+Range range_sub(const Range& a, const Range& b);
+Range range_negate(const Range& a);
+Range range_mul_const(const Range& a, int64_t c);
+// Multiply by an expression known to be >= 0 (used for Λ + n*k aggregation).
+Range range_mul_nonneg(const Range& a, const ExprPtr& factor);
+// Union; uses min/max expressions when the ordering is not provable.
+Range range_join(const Range& a, const Range& b);
+
+// Substitutes a symbol by a *range* throughout an expression, yielding the
+// interval of possible results. `env` maps each substituted symbol to its
+// range; symbols not in the map stay symbolic (exact). Non-linear atoms whose
+// arguments mention substituted symbols degrade to unbounded.
+struct RangeEnv {
+  std::vector<std::pair<SymbolId, Range>> entries;         // Sym atoms
+  std::vector<std::pair<SymbolId, Range>> lambda_entries;  // IterStart atoms
+  const Range* find(SymbolId id) const {
+    for (const auto& [sym, r] : entries) {
+      if (sym == id) return &r;
+    }
+    return nullptr;
+  }
+  const Range* find_lambda(SymbolId id) const {
+    for (const auto& [sym, r] : lambda_entries) {
+      if (sym == id) return &r;
+    }
+    return nullptr;
+  }
+};
+Range eval_range(const ExprPtr& e, const RangeEnv& env);
+
+// Rewrites IterStart(λ) to LoopStart(Λ) for every symbol (used when a
+// one-iteration effect is promoted to a whole-loop effect).
+ExprPtr promote_iter_to_loop(const ExprPtr& e);
+Range promote_iter_to_loop(const Range& r);
+
+}  // namespace sspar::sym

@@ -1,0 +1,35 @@
+#include "symbolic/symbol.h"
+
+#include <cassert>
+
+namespace sspar::sym {
+
+SymbolId SymbolTable::intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::fresh(std::string_view base) {
+  std::string candidate(base);
+  int n = 0;
+  while (index_.count(candidate)) {
+    candidate = std::string(base) + "." + std::to_string(n++);
+  }
+  return intern(candidate);
+}
+
+const std::string& SymbolTable::name(SymbolId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+SymbolId SymbolTable::lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+}  // namespace sspar::sym

@@ -1,0 +1,37 @@
+// Interned symbols shared by the symbolic algebra and the analysis passes.
+//
+// A symbol stands for an integer-valued program entity: a scalar variable, a
+// loop index, an array (when used as the base of an ArrayElem expression), or
+// a free parameter such as a problem size N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sspar::sym {
+
+using SymbolId = uint32_t;
+inline constexpr SymbolId kInvalidSymbol = ~0u;
+
+class SymbolTable {
+ public:
+  SymbolId intern(std::string_view name);
+
+  // Creates a fresh symbol with a unique name derived from `base`.
+  SymbolId fresh(std::string_view base);
+
+  const std::string& name(SymbolId id) const;
+  size_t size() const { return names_.size(); }
+
+  // Returns kInvalidSymbol if not present.
+  SymbolId lookup(std::string_view name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+}  // namespace sspar::sym

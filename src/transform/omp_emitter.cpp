@@ -1,0 +1,95 @@
+#include "transform/omp_emitter.h"
+
+#include <set>
+
+#include "frontend/printer.h"
+#include "frontend/sema.h"
+#include "support/diagnostics.h"
+
+namespace sspar::transform {
+
+int annotate_parallel_loops(ast::Program& program,
+                            const std::vector<core::LoopVerdict>& verdicts) {
+  std::set<const ast::For*> parallel;
+  std::map<const ast::For*, const core::LoopVerdict*> by_loop;
+  for (const auto& v : verdicts) {
+    if (v.parallel) parallel.insert(v.loop);
+    by_loop[v.loop] = &v;
+  }
+
+  int annotated = 0;
+  for (auto& function : program.functions) {
+    // Pre-order walk; skip subtrees of annotated loops so only the outermost
+    // parallel loop of each nest gets the pragma.
+    std::function<void(ast::Stmt*)> visit = [&](ast::Stmt* stmt) {
+      if (!stmt) return;
+      if (auto* loop = stmt->as<ast::For>()) {
+        if (parallel.count(loop)) {
+          const core::LoopVerdict* v = by_loop[loop];
+          std::string pragma = "#pragma omp parallel for";
+          if (!v->privates.empty()) {
+            pragma += " private(";
+            for (size_t i = 0; i < v->privates.size(); ++i) {
+              if (i) pragma += ", ";
+              pragma += v->privates[i]->name;
+            }
+            pragma += ")";
+          }
+          loop->annotations.push_back(pragma);
+          loop->annotations.push_back("// sspar: " + v->reason);
+          ++annotated;
+          return;  // don't annotate nested loops
+        }
+        visit(loop->body.get());
+        return;
+      }
+      switch (stmt->kind) {
+        case ast::StmtNodeKind::Compound:
+          for (auto& s : stmt->as<ast::Compound>()->body) visit(s.get());
+          break;
+        case ast::StmtNodeKind::If: {
+          auto* s = stmt->as<ast::If>();
+          visit(s->then_branch.get());
+          visit(s->else_branch.get());
+          break;
+        }
+        case ast::StmtNodeKind::While:
+          visit(stmt->as<ast::While>()->body.get());
+          break;
+        default:
+          break;
+      }
+    };
+    visit(function->body.get());
+  }
+  return annotated;
+}
+
+TranslateResult translate_source(
+    std::string_view source, const core::AnalyzerOptions& options,
+    const std::vector<std::pair<std::string, int64_t>>& assumptions) {
+  TranslateResult result;
+  support::DiagnosticEngine diags;
+  result.parsed = ast::parse_and_resolve(source, diags);
+  result.diagnostics = diags.dump();
+  if (!result.parsed.ok) return result;
+
+  core::Analyzer analyzer(*result.parsed.program, *result.parsed.symbols, options);
+  for (const auto& [name, min] : assumptions) {
+    if (const ast::VarDecl* decl = result.parsed.program->find_global(name)) {
+      analyzer.assume_ge(decl, min);
+    }
+  }
+  analyzer.run();
+  core::Parallelizer parallelizer(analyzer);
+  for (const auto& function : result.parsed.program->functions) {
+    auto verdicts = parallelizer.analyze_all(*function);
+    result.verdicts.insert(result.verdicts.end(), verdicts.begin(), verdicts.end());
+  }
+  result.parallelized = annotate_parallel_loops(*result.parsed.program, result.verdicts);
+  result.output = ast::print_program(*result.parsed.program);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sspar::transform

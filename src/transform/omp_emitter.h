@@ -1,0 +1,38 @@
+// Source-to-source output: annotates parallel loops with OpenMP pragmas and
+// re-emits the program (the Cetus-style back end of the pipeline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/parallelizer.h"
+#include "frontend/ast.h"
+#include "frontend/sema.h"
+
+namespace sspar::transform {
+
+// Annotates every outermost parallel loop with
+//   #pragma omp parallel for private(...)
+// Nested parallel loops inside an annotated loop are left untouched (no
+// nested parallel regions). Returns the number of loops annotated.
+int annotate_parallel_loops(ast::Program& program,
+                            const std::vector<core::LoopVerdict>& verdicts);
+
+// Convenience: parse -> analyze -> parallelize -> annotate -> print.
+struct TranslateResult {
+  bool ok = false;
+  std::string output;                          // transformed source
+  // Owns the AST the verdicts point into; must stay alive while verdicts are
+  // consumed.
+  ast::ParseResult parsed;
+  std::vector<core::LoopVerdict> verdicts;     // per-loop analysis results
+  int parallelized = 0;                        // loops annotated
+  std::string diagnostics;                     // frontend errors, if any
+};
+// `assumptions` declares lower bounds for global symbols (e.g. problem sizes
+// known to be positive), mirroring the paper's implicit n >= 1 assumptions.
+TranslateResult translate_source(
+    std::string_view source, const core::AnalyzerOptions& options = {},
+    const std::vector<std::pair<std::string, int64_t>>& assumptions = {});
+
+}  // namespace sspar::transform

@@ -1,0 +1,378 @@
+// Near-miss tests: patterns that LOOK like the paper's figures but lack the
+// property. The analyzer must refuse facts and the parallelizer must refuse
+// verdicts — each case is one soundness trap.
+#include <gtest/gtest.h>
+
+#include "core/parallelizer.h"
+#include "frontend/frontend.h"
+#include "support/diagnostics.h"
+
+namespace sspar::core {
+namespace {
+
+struct Pipeline {
+  ast::ParseResult parsed;
+  std::unique_ptr<Analyzer> analyzer;
+  std::unique_ptr<Parallelizer> parallelizer;
+};
+
+Pipeline build(const char* source,
+               const std::vector<std::pair<const char*, int64_t>>& assumptions = {}) {
+  Pipeline p;
+  support::DiagnosticEngine diags;
+  p.parsed = ast::parse_and_resolve(source, diags);
+  EXPECT_TRUE(p.parsed.ok) << diags.dump();
+  p.analyzer = std::make_unique<Analyzer>(*p.parsed.program, *p.parsed.symbols);
+  for (const auto& [name, lo] : assumptions) {
+    p.analyzer->assume_ge(p.parsed.program->find_global(name), lo);
+  }
+  p.analyzer->run();
+  p.parallelizer = std::make_unique<Parallelizer>(*p.analyzer);
+  return p;
+}
+
+LoopVerdict verdict_of(Pipeline& p, int loop_id) {
+  for (const ast::For* loop :
+       ast::collect_loops(p.parsed.program->find_function("f")->body.get())) {
+    if (loop->loop_id == loop_id) return p.parallelizer->analyze(*loop);
+  }
+  ADD_FAILURE() << "no loop " << loop_id;
+  return {};
+}
+
+TEST(Negative, RecurrenceWithPossiblyNegativeStep) {
+  // Step range [-1 : 1]: rowstr may decrease; consumer must stay sequential.
+  auto p = build(R"(
+    int n; int w[100]; int rowstr[101]; int x[1000];
+    void f() {
+      rowstr[0] = 0;
+      for (int i = 1; i < n + 1; i++) {
+        rowstr[i] = rowstr[i-1] + (w[i] > 0 ? 1 : -1);
+      }
+      for (int j = 0; j < n; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          x[k] = j;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, ConditionalRecurrenceBreaksTheChain) {
+  // The write itself is conditional: skipped elements keep stale values, so
+  // no monotonicity fact may be derived.
+  auto p = build(R"(
+    int n; int w[100]; int rowstr[101]; int x[1000];
+    void f() {
+      rowstr[0] = 0;
+      for (int i = 1; i < n + 1; i++) {
+        if (w[i] > 0) {
+          rowstr[i] = rowstr[i-1] + 2;
+        }
+      }
+      for (int j = 0; j < n; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          x[k] = j;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, RecurrenceAtDistanceTwoNotSupported) {
+  auto p = build(R"(
+    int n; int rowstr[102]; int x[1000];
+    void f() {
+      rowstr[0] = 0;
+      rowstr[1] = 1;
+      for (int i = 2; i < n + 2; i++) {
+        rowstr[i] = rowstr[i-2] + 1;
+      }
+      for (int j = 0; j < n; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          x[k] = j;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, NonInjectiveIndirectionScatter) {
+  // idx[i] = i/2 hits every target twice.
+  auto p = build(R"(
+    int n; int idx[100]; int out[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        idx[i] = i / 2;
+      }
+      for (int i = 0; i < n; i++) {
+        out[idx[i]] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, SubsetInjectivityWithoutGuardRejected) {
+  auto p = build(R"(
+    int n; int w[100]; int jmatch[100]; int imatch[300];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        if (w[i] > 0) {
+          jmatch[i] = 2 * i;
+        } else {
+          jmatch[i] = -1;
+        }
+      }
+      for (int i = 0; i < n; i++) {
+        imatch[jmatch[i] + 1] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, GuardOnWrongArrayRejected) {
+  auto p = build(R"(
+    int n; int w[100]; int other[100]; int jmatch[100]; int imatch[300];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        if (w[i] > 0) {
+          jmatch[i] = 2 * i;
+        } else {
+          jmatch[i] = -1;
+        }
+      }
+      for (int i = 0; i < n; i++) {
+        if (other[i] >= 0) {
+          imatch[jmatch[i]] = i;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, GuardThresholdTooWeakRejected) {
+  // Guard admits the -1 sentinels (jmatch[i] >= -1), so writes can collide
+  // at imatch[-1+offset] -- the subset fact requires min 0.
+  auto p = build(R"(
+    int n; int w[100]; int jmatch[100]; int imatch[300];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        if (w[i] > 0) {
+          jmatch[i] = 2 * i;
+        } else {
+          jmatch[i] = -1;
+        }
+      }
+      for (int i = 0; i < n; i++) {
+        if (jmatch[i] >= -1) {
+          imatch[jmatch[i] + 1] = i;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, SentinelInsideValueRangeNoSubsetFact) {
+  // "Sentinel" 5 is non-negative: it may collide with the moving branch.
+  auto p = build(R"(
+    int n; int w[100]; int jmatch[100]; int imatch[300];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        if (w[i] > 0) {
+          jmatch[i] = 2 * i;
+        } else {
+          jmatch[i] = 5;
+        }
+      }
+      for (int i = 0; i < n; i++) {
+        if (jmatch[i] >= 0) {
+          imatch[jmatch[i]] = i;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, DisjointStridedWithCollidingOffsets) {
+  // 7i+3 vs 7i+10 = 7(i+1)+3: iteration i's else value equals iteration
+  // i+1's then value -> the value sets overlap; no injectivity fact.
+  auto p = build(R"(
+    int n; int w[100]; int dest[1000]; int use[1000];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        if (w[i] > 0) {
+          dest[i] = 7 * i + 3;
+        } else {
+          dest[i] = 7 * i + 10;
+        }
+      }
+      for (int i = 0; i < n; i++) {
+        use[dest[i]] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, OverlappingWindowsRejected) {
+  // Base advances by 7 but windows are 8 wide.
+  auto p = build(R"(
+    int n; int front[100]; int tree[10000];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        front[i] = i + 1;
+      }
+      for (int i = 0; i < n; i++) {
+        int base = front[i] * 7;
+        for (int j = 0; j < 8; j++) {
+          tree[base + j] = i;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, FactKilledByInterveningWrite) {
+  // idx is re-written (conditionally, unprovable section) between the fill
+  // and the use: the injectivity fact must die.
+  auto p = build(R"(
+    int n; int m; int idx[100]; int out[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        idx[i] = i;
+      }
+      idx[m] = 0;
+      for (int i = 0; i < n; i++) {
+        out[idx[i]] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, FactSurvivesProvablyDisjointWrite) {
+  // Same shape, but the intervening write is provably outside [0:n-1].
+  auto p = build(R"(
+    int n; int idx[200]; int out[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        idx[i] = i;
+      }
+      idx[n] = 0;
+      for (int i = 0; i < n; i++) {
+        out[idx[i]] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_TRUE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, MonotonicButReadOfNeighborBlocks) {
+  // Ranges are disjoint, but the body also reads x[rowstr[j+1]] (the next
+  // iteration's first element): flow/anti dependence.
+  auto p = build(R"(
+    int n; int w[100]; int rowstr[101]; int x[1000];
+    void f() {
+      rowstr[0] = 0;
+      for (int i = 1; i < n + 1; i++) {
+        rowstr[i] = rowstr[i-1] + 1 + (w[i] > 0 ? 1 : 0);
+      }
+      for (int j = 0; j < n; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          x[k] = x[rowstr[j+1]] + 1;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, TripCountWithoutAssumptionBlocksFacts) {
+  // Without n >= 0, the aggregation cannot prove the fill loop covers the
+  // claimed section; the consumer must stay sequential.
+  auto p = build(R"(
+    int n; int idx[100]; int out[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        idx[i] = i;
+      }
+      for (int i = 0; i < n; i++) {
+        out[idx[i]] = i;
+      }
+    }
+  )");  // note: no assumptions
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, WhileLoopBetweenFillAndUseHavocs) {
+  auto p = build(R"(
+    int n; int idx[100]; int out[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        idx[i] = i;
+      }
+      int t = 0;
+      while (t < n) {
+        idx[t] = 0;
+        t = t + 1;
+      }
+      for (int i = 0; i < n; i++) {
+        out[idx[i]] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 1).parallel);
+}
+
+TEST(Negative, CallInBodyBlocksAnalysis) {
+  auto p = build(R"(
+    int n; int a[100];
+    void g() { }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        g();
+        a[i] = i;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 0).parallel);
+}
+
+TEST(Negative, NonCanonicalStepRejected) {
+  auto p = build(R"(
+    int n; int a[100];
+    void f() {
+      for (int i = 0; i < n; i = i + 2) {
+        a[i] = i;
+      }
+    }
+  )", {{"n", 1}});
+  LoopVerdict v = verdict_of(p, 0);
+  EXPECT_FALSE(v.canonical);
+  EXPECT_FALSE(v.parallel);
+}
+
+TEST(Negative, IndexAssignedInBodyRejected) {
+  auto p = build(R"(
+    int n; int a[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        a[i] = i;
+        i = i + a[i] % 2;
+      }
+    }
+  )", {{"n", 1}});
+  EXPECT_FALSE(verdict_of(p, 0).parallel);
+}
+
+}  // namespace
+}  // namespace sspar::core

@@ -1,0 +1,215 @@
+// Direct unit tests for the fact database (sections, kills, queries) and the
+// canonical-loop recognizer.
+#include <gtest/gtest.h>
+
+#include "core/facts.h"
+#include "core/loop_info.h"
+#include "frontend/frontend.h"
+#include "support/diagnostics.h"
+
+namespace sspar::core {
+namespace {
+
+class FactDbTest : public ::testing::Test {
+ protected:
+  sym::SymbolTable syms;
+  sym::SymbolId arr = syms.intern("arr");
+  sym::SymbolId n = syms.intern("n");
+  sym::AssumptionContext ctx;
+
+  void SetUp() override { ctx.assume_ge(n, 10); }
+
+  sym::ExprPtr c(int64_t v) { return sym::make_const(v); }
+  sym::ExprPtr N() { return sym::make_sym(n); }
+};
+
+TEST_F(FactDbTest, ValueFactCoverage) {
+  FactDB db;
+  db.add_value(arr, ValueFact{c(0), sym::sub(N(), c(1)), sym::Range::of_consts(0, 9)});
+  EXPECT_TRUE(db.elem_value(arr, c(0), ctx).has_value());
+  // Index n is outside [0 : n-1].
+  EXPECT_FALSE(db.elem_value(arr, N(), ctx).has_value());
+  // Unknown array.
+  EXPECT_FALSE(db.elem_value(syms.intern("other"), c(0), ctx).has_value());
+}
+
+TEST_F(FactDbTest, StepFactScalesWithDistance) {
+  FactDB db;
+  db.add_step(arr, StepFact{c(1), N(), sym::Range::of_consts(2, 5)});
+  auto diff = db.elem_diff(arr, c(3), c(1), ctx);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(sym::to_string(diff->lo(), syms), "4");   // 2 * 2
+  EXPECT_EQ(sym::to_string(diff->hi(), syms), "10");  // 2 * 5
+  // Reverse order negates.
+  auto rev = db.elem_diff(arr, c(1), c(3), ctx);
+  ASSERT_TRUE(rev.has_value());
+  EXPECT_EQ(sym::to_string(rev->lo(), syms), "-10");
+  // Zero distance.
+  auto zero = db.elem_diff(arr, c(2), c(2), ctx);
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_TRUE(zero->is_exact());
+}
+
+TEST_F(FactDbTest, StepFactRejectsUncoveredLinks) {
+  FactDB db;
+  db.add_step(arr, StepFact{c(1), c(5), sym::Range::of_consts(1, 1)});
+  // Links (5, 6] are outside the fact.
+  EXPECT_FALSE(db.elem_diff(arr, c(6), c(4), ctx).has_value());
+  // Symbolic distance is rejected.
+  EXPECT_FALSE(db.elem_diff(arr, N(), c(0), ctx).has_value());
+}
+
+TEST_F(FactDbTest, AnchoredValueDerivation) {
+  FactDB db;
+  // arr[0] = 0 and non-negative steps: arr[k] >= 0 for covered k.
+  db.add_value(arr, ValueFact{c(0), c(0), sym::Range::of_consts(0, 0)});
+  db.add_step(arr, StepFact{c(1), N(), sym::Range::of_consts(0, 3)});
+  sym::AssumptionContext q = ctx;
+  sym::SymbolId b = syms.intern("b");
+  q.assume(b, sym::Range::of(c(0), sym::sub(N(), c(1))));
+  auto value = db.elem_value(arr, sym::make_sym(b), q);
+  ASSERT_TRUE(value.has_value());
+  ASSERT_TRUE(value->lo_bounded());
+  EXPECT_EQ(sym::to_string(value->lo(), syms), "0");
+  EXPECT_EQ(sym::to_string(value->hi(), syms), "3*b");
+}
+
+TEST_F(FactDbTest, KillOverlappingDropsOnlyIntersecting) {
+  FactDB db;
+  db.add_value(arr, ValueFact{c(0), c(9), sym::Range::of_consts(1, 1)});
+  db.add_value(arr, ValueFact{c(20), c(29), sym::Range::of_consts(2, 2)});
+  db.kill_overlapping(arr, c(5), c(12), ctx);
+  EXPECT_FALSE(db.elem_value(arr, c(0), ctx).has_value());   // overlapped
+  EXPECT_TRUE(db.elem_value(arr, c(25), ctx).has_value());   // disjoint
+}
+
+TEST_F(FactDbTest, KillWithUnboundedSectionDropsAll) {
+  FactDB db;
+  db.add_value(arr, ValueFact{c(0), c(9), sym::Range::of_consts(1, 1)});
+  db.kill_overlapping(arr, nullptr, nullptr, ctx);
+  EXPECT_FALSE(db.elem_value(arr, c(0), ctx).has_value());
+}
+
+TEST_F(FactDbTest, StepFactKilledByWriteToBaseElement) {
+  FactDB db;
+  // Links [1:9] read element 0; writing element 0 must kill the fact.
+  db.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(1, 1)});
+  db.kill_overlapping(arr, c(0), c(0), ctx);
+  EXPECT_FALSE(db.elem_diff(arr, c(2), c(1), ctx).has_value());
+}
+
+TEST_F(FactDbTest, IdentityImpliesEverything) {
+  FactDB db;
+  db.add_identity(arr, IdentityFact{c(0), sym::sub(N(), c(1))});
+  EXPECT_TRUE(db.identity_over(arr, c(0), sym::sub(N(), c(1)), ctx));
+  EXPECT_TRUE(db.injective_over(arr, c(0), sym::sub(N(), c(1)), ctx));
+  auto value = db.elem_value(arr, c(3), ctx);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(sym::equal(value->exact_value(), c(3)));
+  auto diff = db.elem_diff(arr, c(5), c(2), ctx);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_EQ(sym::to_string(diff->lo(), syms), "3");
+}
+
+TEST_F(FactDbTest, StrictStepImpliesInjectivity) {
+  FactDB db;
+  db.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(1, 4)});
+  EXPECT_TRUE(db.injective_over(arr, c(0), c(9), ctx));
+  FactDB loose;
+  loose.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(0, 4)});
+  EXPECT_FALSE(loose.injective_over(arr, c(0), c(9), ctx));
+  FactDB dec;
+  dec.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(-3, -1)});
+  EXPECT_TRUE(dec.injective_over(arr, c(0), c(9), ctx));
+}
+
+TEST_F(FactDbTest, SubsetInjectivityReportsThreshold) {
+  FactDB db;
+  db.add_injective(arr, InjectiveFact{c(0), c(9), 0});
+  std::optional<int64_t> min_value;
+  EXPECT_TRUE(db.injective_over(arr, c(0), c(9), ctx, &min_value));
+  ASSERT_TRUE(min_value.has_value());
+  EXPECT_EQ(*min_value, 0);
+}
+
+TEST_F(FactDbTest, ToStringListsFacts) {
+  FactDB db;
+  db.add_value(arr, ValueFact{c(0), c(9), sym::Range::of_consts(0, 5)});
+  db.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(0, 2)});
+  std::string dump = db.to_string(syms);
+  EXPECT_NE(dump.find("arr"), std::string::npos);
+  EXPECT_NE(dump.find("step"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Canonical loop recognition
+// --------------------------------------------------------------------------
+
+const ast::For* first_loop(const ast::ParseResult& r) {
+  return ast::collect_loops(r.program->functions[0]->body.get())[0];
+}
+
+ast::ParseResult parse(const char* src) {
+  support::DiagnosticEngine diags;
+  auto result = ast::parse_and_resolve(src, diags);
+  EXPECT_TRUE(result.ok) << diags.dump();
+  return result;
+}
+
+TEST(LoopInfo, RecognizesCanonicalForms) {
+  for (const char* step : {"i++", "++i", "i += 1", "i = i + 1", "i = 1 + i"}) {
+    std::string src = std::string("void f(int n, int a[]) { for (int i = 0; i < n; ") + step +
+                      ") { a[i] = i; } }";
+    auto r = parse(src.c_str());
+    auto info = recognize_loop(*first_loop(r));
+    ASSERT_TRUE(info.has_value()) << step;
+    EXPECT_EQ(info->index->name, "i");
+    EXPECT_FALSE(info->ub_inclusive);
+  }
+}
+
+TEST(LoopInfo, InclusiveUpperBound) {
+  auto r = parse("void f(int n, int a[]) { for (int i = 0; i <= n; i++) { a[i] = i; } }");
+  auto info = recognize_loop(*first_loop(r));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->ub_inclusive);
+}
+
+TEST(LoopInfo, AssignmentInitOutsideDecl) {
+  auto r = parse("void f(int n, int a[]) { int i; for (i = 2; i < n; i++) { a[i] = i; } }");
+  EXPECT_TRUE(recognize_loop(*first_loop(r)).has_value());
+}
+
+TEST(LoopInfo, RejectsNonCanonical) {
+  for (const char* loop : {
+           "for (int i = 0; i < n; i += 2) { a[i] = i; }",
+           "for (int i = n; i > 0; i--) { a[i] = i; }",
+           "for (int i = 0; n > i; i++) { a[i] = i; }",
+           "for (int i = 0; i != n; i++) { a[i] = i; }",
+           "for (int i = 0; ; i++) { a[i] = i; break; }",
+       }) {
+    std::string src = std::string("void f(int n, int a[]) { ") + loop + " }";
+    auto r = parse(src.c_str());
+    EXPECT_FALSE(recognize_loop(*first_loop(r)).has_value()) << loop;
+  }
+}
+
+TEST(LoopInfo, WrittenCollectorsFindAllTargets) {
+  auto r = parse(R"(
+    void f(int n, int s, int a[], int b[]) {
+      for (int i = 0; i < n; i++) {
+        s += 1;
+        a[i] = i;
+        b[a[i]]++;
+      }
+    }
+  )");
+  const ast::For* loop = first_loop(r);
+  auto scalars = written_scalars(*loop);
+  auto arrays = written_arrays(*loop);
+  ASSERT_EQ(scalars.size(), 2u);  // s and i (step)
+  EXPECT_EQ(arrays.size(), 2u);   // a and b
+}
+
+}  // namespace
+}  // namespace sspar::core

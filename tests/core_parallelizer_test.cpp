@@ -1,0 +1,515 @@
+// Parallelizer tests: each of the paper's figures must get the right verdict
+// with the right enabling property.
+#include <gtest/gtest.h>
+
+#include "core/parallelizer.h"
+#include "frontend/frontend.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace sspar::core {
+namespace {
+
+struct Pipeline {
+  ast::ParseResult parsed;
+  std::unique_ptr<Analyzer> analyzer;
+  std::unique_ptr<Parallelizer> parallelizer;
+
+  LoopVerdict verdict_of(const char* func, int loop_id) {
+    const auto* f = parsed.program->find_function(func);
+    EXPECT_NE(f, nullptr);
+    for (const ast::For* loop : ast::collect_loops(f->body.get())) {
+      if (loop->loop_id == loop_id) return parallelizer->analyze(*loop);
+    }
+    ADD_FAILURE() << "no loop with id " << loop_id;
+    return {};
+  }
+};
+
+Pipeline build(const char* source,
+               const std::vector<std::pair<const char*, int64_t>>& assumptions = {}) {
+  Pipeline p;
+  support::DiagnosticEngine diags;
+  p.parsed = ast::parse_and_resolve(source, diags);
+  EXPECT_TRUE(p.parsed.ok) << diags.dump();
+  p.analyzer = std::make_unique<Analyzer>(*p.parsed.program, *p.parsed.symbols);
+  for (const auto& [name, lo] : assumptions) {
+    p.analyzer->assume_ge(p.parsed.program->find_global(name), lo);
+  }
+  p.analyzer->run();
+  p.parallelizer = std::make_unique<Parallelizer>(*p.analyzer);
+  return p;
+}
+
+std::string blockers(const LoopVerdict& v) { return support::join(v.blockers, "; "); }
+
+// --------------------------------------------------------------------------
+// Affine baseline cases
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, SimpleAffineLoopIsParallel) {
+  auto p = build(R"(
+    int n; int a[100]; int b[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        a[i] = b[i] + 1;
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_EQ(v.reason, "affine disjoint accesses");
+  EXPECT_FALSE(v.uses_subscripted_subscripts);
+}
+
+TEST(Parallelizer, LoopCarriedFlowDependenceBlocks) {
+  auto p = build(R"(
+    int n; int a[100];
+    void f() {
+      for (int i = 1; i < n; i++) {
+        a[i] = a[i-1] + 1;
+      }
+    }
+  )", {{"n", 2}});
+  auto v = p.verdict_of("f", 0);
+  EXPECT_FALSE(v.parallel);
+}
+
+TEST(Parallelizer, ScalarRecurrenceBlocks) {
+  auto p = build(R"(
+    int n; int s; int a[100];
+    void f() {
+      s = 0;
+      for (int i = 0; i < n; i++) {
+        s = s + a[i];
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  EXPECT_FALSE(v.parallel);
+  EXPECT_NE(blockers(v).find("loop-carried scalar"), std::string::npos);
+}
+
+TEST(Parallelizer, PrivatizableScalarIsFine) {
+  auto p = build(R"(
+    int n; int t; int a[100]; int b[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        t = b[i] * 2;
+        a[i] = t + 1;
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  ASSERT_EQ(v.privates.size(), 1u);
+  EXPECT_EQ(v.privates[0]->name, "t");
+}
+
+TEST(Parallelizer, StridedWriteIsParallel) {
+  auto p = build(R"(
+    int n; int a[1000];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        a[3*i + 1] = i;
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+}
+
+TEST(Parallelizer, OverlappingWindowsBlock) {
+  auto p = build(R"(
+    int n; int a[1000];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        a[2*i] = 1;
+        a[2*i + 2] = 2;
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  EXPECT_FALSE(v.parallel);  // a[2i+2] collides with a[2(i+1)]
+}
+
+// --------------------------------------------------------------------------
+// Fig. 2 — injectivity of mt_to_id makes the loop parallel
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig2InjectiveSubscript) {
+  auto p = build(R"(
+    int nelt;
+    int mt_to_id[100];
+    int id_to_mt[100];
+    void setup() {
+      for (int i = 0; i < nelt; i++) {
+        mt_to_id[i] = nelt - 1 - i;
+      }
+    }
+    void f() {
+      for (int miel = 0; miel < nelt; miel++) {
+        int iel = mt_to_id[miel];
+        id_to_mt[iel] = miel;
+      }
+    }
+  )", {{"nelt", 1}});
+  // NOTE: both functions see the same globals; the analyzer runs per function
+  // in program order, and facts survive at function end only per function.
+  // Use a single function for the end-to-end check:
+  auto p2 = build(R"(
+    int nelt;
+    int mt_to_id[100];
+    int id_to_mt[100];
+    void f() {
+      for (int i = 0; i < nelt; i++) {
+        mt_to_id[i] = nelt - 1 - i;
+      }
+      for (int miel = 0; miel < nelt; miel++) {
+        int iel = mt_to_id[miel];
+        id_to_mt[iel] = miel;
+      }
+    }
+  )", {{"nelt", 1}});
+  auto v = p2.verdict_of("f", 1);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_TRUE(v.uses_subscripted_subscripts);
+}
+
+// --------------------------------------------------------------------------
+// Fig. 3 — monotonic rowstr ranges (CG)
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig3MonotonicRanges) {
+  auto p = build(R"(
+    int nrows;
+    int firstcol;
+    int nzz[100];
+    int rowstr[101];
+    int colidx[10000];
+    void f() {
+      rowstr[0] = 0;
+      for (int i = 1; i < nrows + 1; i++) {
+        rowstr[i] = rowstr[i-1] + nzz[i-1];
+      }
+      for (int j = 0; j < nrows; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          colidx[k] = colidx[k] - firstcol;
+        }
+      }
+    }
+  )", {{"nrows", 1}});
+  // nzz values unknown => step could be negative; the loop is NOT provably
+  // parallel without a non-negativity fact on nzz.
+  auto v = p.verdict_of("f", 1);
+  EXPECT_FALSE(v.parallel);
+
+  // With the fill code for nzz present (as the paper argues, the information
+  // is in the program), the proof goes through.
+  auto p2 = build(R"(
+    int nrows;
+    int firstcol;
+    int cols[100];
+    int nzz[100];
+    int rowstr[101];
+    int colidx[10000];
+    void f() {
+      for (int i = 0; i < nrows; i++) {
+        nzz[i] = cols[i] > 0 ? 1 : 0;
+      }
+      rowstr[0] = 0;
+      for (int i = 1; i < nrows + 1; i++) {
+        rowstr[i] = rowstr[i-1] + nzz[i-1];
+      }
+      for (int j = 0; j < nrows; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          colidx[k] = colidx[k] - firstcol;
+        }
+      }
+    }
+  )", {{"nrows", 1}});
+  auto v2 = p2.verdict_of("f", 2);
+  EXPECT_TRUE(v2.parallel) << blockers(v2);
+  EXPECT_NE(v2.reason.find("monotonic"), std::string::npos) << v2.reason;
+  EXPECT_TRUE(v2.uses_subscripted_subscripts);
+}
+
+// --------------------------------------------------------------------------
+// Fig. 5 — injective subset with guard (CSparse)
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig5SubsetInjectiveGuarded) {
+  auto p = build(R"(
+    int m;
+    int flag[100];
+    int jmatch[100];
+    int imatch[100];
+    void f() {
+      for (int i = 0; i < m; i++) {
+        if (flag[i] > 0) {
+          jmatch[i] = 2 * i;
+        } else {
+          jmatch[i] = -1;
+        }
+      }
+      for (int i = 0; i < m; i++) {
+        if (jmatch[i] >= 0) {
+          imatch[jmatch[i]] = i;
+        }
+      }
+    }
+  )", {{"m", 1}});
+  auto v = p.verdict_of("f", 1);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_NE(v.reason.find("subset-injective"), std::string::npos) << v.reason;
+
+  // Without the guard the same loop must NOT be parallel.
+  auto p2 = build(R"(
+    int m;
+    int flag[100];
+    int jmatch[100];
+    int imatch[100];
+    void f() {
+      for (int i = 0; i < m; i++) {
+        if (flag[i] > 0) {
+          jmatch[i] = 2 * i;
+        } else {
+          jmatch[i] = -1;
+        }
+      }
+      for (int i = 0; i < m; i++) {
+        imatch[jmatch[i]] = i;
+      }
+    }
+  )", {{"m", 1}});
+  auto v2 = p2.verdict_of("f", 1);
+  EXPECT_FALSE(v2.parallel);
+}
+
+// --------------------------------------------------------------------------
+// Fig. 6 — simultaneous monotonicity (r) and injectivity (p)
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig6SimultaneousMonotonicAndInjective) {
+  auto p = build(R"(
+    int nb;
+    int nsz[100];
+    int r[101];
+    int pvec[1000];
+    int Blk[1000];
+    void f() {
+      for (int i = 0; i < nb + 1; i++) {
+        nsz[i] = i < nb ? 2 : 0;
+      }
+      r[0] = 0;
+      for (int i = 1; i < nb + 1; i++) {
+        r[i] = r[i-1] + nsz[i-1];
+      }
+      for (int i = 0; i < 2 * nb; i++) {
+        pvec[i] = 2 * nb - 1 - i;
+      }
+      for (int b = 0; b < nb; b++) {
+        for (int k = r[b]; k < r[b+1]; k++) {
+          Blk[pvec[k]] = b;
+        }
+      }
+    }
+  )", {{"nb", 1}});
+  auto v = p.verdict_of("f", 3);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_TRUE(v.uses_subscripted_subscripts);
+}
+
+// --------------------------------------------------------------------------
+// Fig. 7-style — strided windows over a strictly monotonic base
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig7StridedWindows) {
+  auto p = build(R"(
+    int nref;
+    int nelttemp;
+    int front[100];
+    int tree[10000];
+    int ntemp;
+    void f() {
+      for (int i = 0; i < nref; i++) {
+        front[i] = i + 1;
+      }
+      for (int index = 0; index < nref; index++) {
+        int nelt = nelttemp + front[index] * 7;
+        for (int i = 0; i < 7; i++) {
+          tree[nelt + i] = ntemp + (i + 1) % 8;
+        }
+      }
+    }
+  )", {{"nref", 1}});
+  auto v = p.verdict_of("f", 1);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_NE(v.reason.find("monotonic"), std::string::npos) << v.reason;
+}
+
+// --------------------------------------------------------------------------
+// Fig. 8-style — branch-dependent disjoint windows
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig8DisjointBranchWindows) {
+  auto p = build(R"(
+    int nelt;
+    int ich[100];
+    int front[100];
+    int mt_to_id_old[100];
+    int mt_to_id[10000];
+    int ref_front_id[10000];
+    void f() {
+      for (int i = 0; i < nelt; i++) {
+        front[i] = i + 1;
+      }
+      for (int i = 0; i < nelt; i++) {
+        mt_to_id_old[i] = nelt - 1 - i;
+      }
+      for (int miel = 0; miel < nelt; miel++) {
+        int iel = mt_to_id_old[miel];
+        int ntemp;
+        int mielnew;
+        if (ich[iel] == 4) {
+          ntemp = (front[miel] - 1) * 7;
+          mielnew = miel + ntemp;
+        } else {
+          ntemp = front[miel] * 7;
+          mielnew = miel + ntemp;
+        }
+        mt_to_id[mielnew] = iel;
+        ref_front_id[iel] = nelt + ntemp;
+      }
+    }
+  )", {{"nelt", 1}});
+  auto v = p.verdict_of("f", 2);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_TRUE(v.uses_subscripted_subscripts);
+}
+
+// --------------------------------------------------------------------------
+// Fig. 9 — the paper's running example, end to end
+// --------------------------------------------------------------------------
+
+const char* kFig9Full = R"(
+  int ROWLEN;
+  int COLUMNLEN;
+  int ind;
+  int index;
+  int j1;
+  int a[100][100];
+  int column_number[10000];
+  double value[10000];
+  double vector[10000];
+  double product_array[10000];
+  int rowsize[100];
+  int rowptr[101];
+  void f() {
+    for (int i = 0; i < ROWLEN; i++) {
+      int count = 0;
+      for (int j = 0; j < COLUMNLEN; j++) {
+        if (a[i][j] != 0) {
+          count++;
+          column_number[index++] = j;
+          value[ind++] = a[i][j];
+        }
+      }
+      rowsize[i] = count;
+    }
+    rowptr[0] = 0;
+    for (int i = 1; i < ROWLEN + 1; i++) {
+      rowptr[i] = rowptr[i-1] + rowsize[i-1];
+    }
+    for (int i = 0; i < ROWLEN + 1; i++) {
+      if (i == 0) {
+        j1 = i;
+      } else {
+        j1 = rowptr[i-1];
+      }
+      for (int j = j1; j < rowptr[i]; j++) {
+        product_array[j] = value[j] * vector[j];
+      }
+    }
+  }
+)";
+
+TEST(Parallelizer, Fig9ProductLoopParallel) {
+  auto p = build(kFig9Full, {{"ROWLEN", 1}, {"COLUMNLEN", 1}});
+  // Loop ids: 0 = outer fill, 1 = inner fill, 2 = rowptr recurrence,
+  // 3 = product outer, 4 = product inner.
+  auto v = p.verdict_of("f", 3);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_NE(v.reason.find("monotonic"), std::string::npos) << v.reason;
+  EXPECT_NE(v.reason.find("peeled"), std::string::npos) << v.reason;
+  EXPECT_TRUE(v.uses_subscripted_subscripts);
+  // j1 (and possibly j) must be privatized; j is declared inside the loop.
+  bool has_j1 = false;
+  for (const auto* d : v.privates) has_j1 = has_j1 || d->name == "j1";
+  EXPECT_TRUE(has_j1);
+}
+
+TEST(Parallelizer, Fig9FillLoopNotParallel) {
+  auto p = build(kFig9Full, {{"ROWLEN", 1}, {"COLUMNLEN", 1}});
+  // The fill loop carries `index`/`ind` across iterations: not parallel.
+  auto v = p.verdict_of("f", 0);
+  EXPECT_FALSE(v.parallel);
+  EXPECT_NE(blockers(v).find("loop-carried scalar"), std::string::npos) << blockers(v);
+}
+
+TEST(Parallelizer, Fig9RecurrenceLoopNotParallel) {
+  auto p = build(kFig9Full, {{"ROWLEN", 1}, {"COLUMNLEN", 1}});
+  auto v = p.verdict_of("f", 2);
+  EXPECT_FALSE(v.parallel);  // rowptr[i] depends on rowptr[i-1]
+}
+
+// --------------------------------------------------------------------------
+// Fig. 4 — monotonic difference of two arrays (CG)
+// --------------------------------------------------------------------------
+
+TEST(Parallelizer, Fig4MonotonicDifference) {
+  // rowstr grows by [2:5] per row, nzloc by [0:2]: the difference
+  // rowstr[j+1]-nzloc[j] advances at least as fast as rowstr[j]-nzloc[j-1].
+  auto p = build(R"(
+    int nrows;
+    int w1[100];
+    int w2[100];
+    int rowstr[101];
+    int nzloc[101];
+    double a[10000];
+    double v[10000];
+    int colidx[10000];
+    int iv[10000];
+    void f() {
+      rowstr[0] = 0;
+      nzloc[0] = 0;
+      for (int i = 1; i < nrows + 1; i++) {
+        rowstr[i] = rowstr[i-1] + 3 + (w1[i] > 0 ? 2 : 0);
+      }
+      for (int i = 1; i < nrows + 1; i++) {
+        nzloc[i] = nzloc[i-1] + (w2[i] > 0 ? 2 : 0);
+      }
+      for (int j = 0; j < nrows; j++) {
+        int j1;
+        if (j > 0) {
+          j1 = rowstr[j] - nzloc[j-1];
+        } else {
+          j1 = 0;
+        }
+        int j2 = rowstr[j+1] - nzloc[j];
+        int nza = rowstr[j];
+        for (int k = j1; k < j2; k++) {
+          a[k] = v[nza];
+          colidx[k] = iv[nza];
+          nza = nza + 1;
+        }
+      }
+    }
+  )", {{"nrows", 1}});
+  auto v = p.verdict_of("f", 2);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_NE(v.reason.find("monotonic"), std::string::npos) << v.reason;
+}
+
+}  // namespace
+}  // namespace sspar::core

@@ -1,0 +1,177 @@
+// Integration tests over the benchmark corpus: expected verdicts, soundness
+// against the dynamic dependence oracle, and permuted-execution equivalence.
+#include <gtest/gtest.h>
+
+#include "corpus/analysis.h"
+#include "interp/interpreter.h"
+#include "support/text.h"
+
+namespace sspar::corpus {
+namespace {
+
+// Supplies non-trivial input data for entries whose kernels read input arrays
+// that the program itself does not fill.
+void seed_inputs(const Entry& entry, interp::Interpreter& interp) {
+  for (const auto& param : entry.params) {
+    interp.set_scalar(param.name, param.interp_value);
+  }
+  auto fill_int = [&](const char* name, size_t count, auto fn) {
+    std::vector<int64_t> data(count);
+    for (size_t i = 0; i < count; ++i) data[i] = fn(i);
+    interp.set_array_int(name, std::move(data));
+  };
+  auto fill_double = [&](const char* name, size_t count, auto fn) {
+    std::vector<double> data(count);
+    for (size_t i = 0; i < count; ++i) data[i] = fn(i);
+    interp.set_array_double(name, std::move(data));
+  };
+  if (entry.name == "fig3" || entry.name == "CG") {
+    fill_int("cols", 512, [](size_t i) { return static_cast<int64_t>(i % 3) - 1; });
+  }
+  if (entry.name == "fig4") {
+    fill_int("w1", 512, [](size_t i) { return static_cast<int64_t>(i % 2); });
+    fill_int("w2", 512, [](size_t i) { return static_cast<int64_t>((i + 1) % 3) - 1; });
+    fill_double("v", 8192, [](size_t i) { return 0.25 * static_cast<double>(i % 17); });
+    fill_int("iv", 8192, [](size_t i) { return static_cast<int64_t>(i % 29); });
+  }
+  if (entry.name == "fig8") {
+    fill_int("ich", 2048, [](size_t i) { return static_cast<int64_t>(i % 5); });
+  }
+  if (entry.name == "fig9") {
+    fill_int("a", 128 * 128, [](size_t i) { return i % 3 == 0 ? static_cast<int64_t>(i % 7 + 1) : 0; });
+    fill_double("vector", 16384, [](size_t i) { return 0.125 * static_cast<double>(i % 11); });
+  }
+  if (entry.name == "CG") {
+    fill_double("aval", 8192, [](size_t i) { return 0.5 * static_cast<double>(i % 13); });
+    fill_double("p", 513, [](size_t i) { return 1.0 + 0.01 * static_cast<double>(i % 7); });
+  }
+  if (entry.name == "MG" || entry.name == "KLU") {
+    fill_double(entry.name == "MG" ? "u" : "x", 8192,
+                [](size_t i) { return 0.1 * static_cast<double>(i % 23); });
+  }
+}
+
+class CorpusTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const Entry& entry() {
+    const Entry* e = find_entry(GetParam());
+    EXPECT_NE(e, nullptr);
+    return *e;
+  }
+};
+
+TEST_P(CorpusTest, AnalysisMatchesExpectedVerdicts) {
+  const Entry& e = entry();
+  EntryAnalysis analysis = analyze_entry(e);
+  ASSERT_TRUE(analysis.ok) << analysis.diagnostics;
+  EXPECT_EQ(analysis.loops, e.expected_loops) << e.name;
+  EXPECT_EQ(analysis.subscripted, e.expected_subscripted) << e.name;
+  EXPECT_EQ(analysis.parallel, e.expected_parallel) << e.name;
+  EXPECT_EQ(analysis.parallel_subscripted, e.expected_parallel_subscripted) << e.name;
+  if (e.expected_parallel < analysis.loops) {
+    // At least one loop is (correctly) not parallel; blockers must say why.
+    bool has_blocker = false;
+    for (const auto& v : analysis.verdicts) {
+      if (!v.parallel) has_blocker = has_blocker || !v.blockers.empty();
+    }
+    EXPECT_TRUE(has_blocker);
+  }
+}
+
+TEST_P(CorpusTest, StaticParallelImpliesDynamicallyDependenceFree) {
+  const Entry& e = entry();
+  EntryAnalysis analysis = analyze_entry(e);
+  ASSERT_TRUE(analysis.ok) << analysis.diagnostics;
+  for (const auto& v : analysis.verdicts) {
+    if (!v.parallel) continue;
+    interp::Interpreter interp(*analysis.parsed.program);
+    seed_inputs(e, interp);
+    auto report = interp.analyze_loop_dependences("f", v.loop);
+    EXPECT_TRUE(report.executed) << e.name << " loop " << v.loop_id;
+    EXPECT_TRUE(report.dependence_free)
+        << e.name << " loop " << v.loop_id << " UNSOUND: " << report.first_conflict
+        << " (reason was: " << v.reason << ")";
+  }
+}
+
+TEST_P(CorpusTest, PermutedExecutionPreservesState) {
+  const Entry& e = entry();
+  EntryAnalysis analysis = analyze_entry(e);
+  ASSERT_TRUE(analysis.ok) << analysis.diagnostics;
+
+  interp::Interpreter sequential(*analysis.parsed.program);
+  seed_inputs(e, sequential);
+  sequential.run("f");
+  auto expected = sequential.snapshot();
+
+  for (const auto& v : analysis.verdicts) {
+    if (!v.parallel) continue;
+    // Only outermost parallel loops are transformed; nested ones execute
+    // inside them.
+    std::set<std::string> exclude;
+    for (const auto* decl : v.privates) exclude.insert(decl->name);
+    for (uint64_t seed : {3u, 17u}) {
+      interp::Interpreter permuted(*analysis.parsed.program);
+      seed_inputs(e, permuted);
+      permuted.run_permuted("f", v.loop, seed);
+      auto got = permuted.snapshot();
+      std::string diff;
+      EXPECT_TRUE(interp::Interpreter::equal_state(*expected, *got, exclude, &diff))
+          << e.name << " loop " << v.loop_id << " differs at " << diff << " (seed " << seed
+          << ", reason: " << v.reason << ")";
+    }
+  }
+}
+
+std::vector<const char*> corpus_names() {
+  std::vector<const char*> names;
+  for (const Entry& e : all_entries()) names.push_back(e.name.c_str());
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, CorpusTest, ::testing::ValuesIn(corpus_names()),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Corpus, SurveyRatiosMatchThePaper) {
+  // Paper Section 1/2: 6 of 10 NPB programs and 4 of 8 SuiteSparse programs
+  // contain parallelizable loops with subscripted-subscript patterns.
+  int npb_total = 0, npb_with = 0, ss_total = 0, ss_with = 0;
+  for (const Entry& e : all_entries()) {
+    if (e.suite == Suite::NPB) {
+      ++npb_total;
+      if (e.has_pattern) ++npb_with;
+    } else if (e.suite == Suite::SuiteSparse) {
+      ++ss_total;
+      if (e.has_pattern) ++ss_with;
+    }
+  }
+  EXPECT_EQ(npb_total, 10);
+  EXPECT_EQ(npb_with, 6);
+  EXPECT_EQ(ss_total, 8);
+  EXPECT_EQ(ss_with, 4);
+}
+
+TEST(Corpus, PatternEntriesDetectSubscriptedParallelLoops) {
+  for (const Entry& e : all_entries()) {
+    if (!e.has_pattern) continue;
+    EXPECT_GT(e.expected_parallel_subscripted, 0) << e.name;
+  }
+}
+
+TEST(Corpus, EntriesAreUniquelyNamed) {
+  std::set<std::string> names;
+  for (const Entry& e : all_entries()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate " << e.name;
+  }
+  EXPECT_NE(find_entry("fig9"), nullptr);
+  EXPECT_EQ(find_entry("nonexistent"), nullptr);
+}
+
+}  // namespace
+}  // namespace sspar::corpus

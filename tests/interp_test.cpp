@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.h"
+#include "interp/interpreter.h"
+#include "support/diagnostics.h"
+
+namespace sspar::interp {
+namespace {
+
+ast::ParseResult parse(const char* source) {
+  support::DiagnosticEngine diags;
+  auto result = ast::parse_and_resolve(source, diags);
+  EXPECT_TRUE(result.ok) << diags.dump();
+  return result;
+}
+
+TEST(Interpreter, ArithmeticAndControlFlow) {
+  auto r = parse(R"(
+    int out;
+    void f() {
+      out = 0;
+      for (int i = 1; i <= 10; i++) {
+        if (i % 2 == 0) {
+          out = out + i;
+        }
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("out"), 2 + 4 + 6 + 8 + 10);
+}
+
+TEST(Interpreter, DoubleArithmetic) {
+  auto r = parse(R"(
+    double x;
+    void f() {
+      x = 1.5;
+      x = x * 4.0 + 1.0;
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_DOUBLE_EQ(interp.scalar_double("x"), 7.0);
+}
+
+TEST(Interpreter, ArraysAndMultiDim) {
+  auto r = parse(R"(
+    int m[3][4];
+    int total;
+    void f() {
+      for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 4; j++) {
+          m[i][j] = i * 10 + j;
+        }
+      }
+      total = m[2][3] + m[0][1];
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("total"), 23 + 1);
+}
+
+TEST(Interpreter, WhileBreakContinue) {
+  auto r = parse(R"(
+    int n;
+    void f() {
+      n = 0;
+      while (1) {
+        n++;
+        if (n == 3) continue;
+        if (n >= 7) break;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("n"), 7);
+}
+
+TEST(Interpreter, PostIncrementSubscript) {
+  auto r = parse(R"(
+    int k;
+    int out[10];
+    void f() {
+      k = 0;
+      for (int i = 0; i < 5; i++) {
+        out[k++] = i * i;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("k"), 5);
+  EXPECT_EQ(interp.array_int("out")[3], 9);
+}
+
+TEST(Interpreter, TernaryAndLogical) {
+  auto r = parse(R"(
+    int a; int b;
+    void f() {
+      a = 5 > 3 && 2 > 1 ? 10 : 20;
+      b = 0 || 5 < 3 ? 1 : 2;
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("a"), 10);
+  EXPECT_EQ(interp.scalar_int("b"), 2);
+}
+
+TEST(Interpreter, ShortCircuitPreventsSideEffect) {
+  auto r = parse(R"(
+    int x; int guard;
+    void f() {
+      x = 0;
+      guard = 0;
+      if (guard && x++) {
+        x = 100;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("x"), 0);  // x++ never evaluated
+}
+
+TEST(Interpreter, OutOfBoundsThrows) {
+  auto r = parse(R"(
+    int a[4];
+    void f() {
+      a[4] = 1;
+    }
+  )");
+  Interpreter interp(*r.program);
+  EXPECT_THROW(interp.run("f"), std::runtime_error);
+}
+
+TEST(Interpreter, StepLimitStopsInfiniteLoop) {
+  auto r = parse(R"(
+    void f() {
+      while (1) {
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.set_step_limit(10'000);
+  EXPECT_THROW(interp.run("f"), std::runtime_error);
+}
+
+TEST(Interpreter, ZeroArgCalls) {
+  auto r = parse(R"(
+    int x;
+    void inc() {
+      x = x + 1;
+    }
+    void f() {
+      x = 40;
+      inc();
+      inc();
+    }
+  )");
+  Interpreter interp(*r.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("x"), 42);
+}
+
+TEST(Interpreter, SnapshotEquality) {
+  auto r = parse(R"(
+    int a[4]; int s;
+    void f() {
+      s = 1;
+      a[0] = 2;
+    }
+  )");
+  Interpreter i1(*r.program);
+  i1.run("f");
+  Interpreter i2(*r.program);
+  i2.run("f");
+  auto s1 = i1.snapshot();
+  auto s2 = i2.snapshot();
+  EXPECT_TRUE(Interpreter::equal_state(*s1, *s2));
+  i2.set_scalar("s", int64_t{5});
+  auto s3 = i2.snapshot();
+  std::string diff;
+  EXPECT_FALSE(Interpreter::equal_state(*s1, *s3, {}, &diff));
+  EXPECT_EQ(diff, "scalar s");
+  EXPECT_TRUE(Interpreter::equal_state(*s1, *s3, {"s"}));
+}
+
+// --------------------------------------------------------------------------
+// Dynamic dependence oracle
+// --------------------------------------------------------------------------
+
+const ast::For* loop_by_id(const ast::Program& program, const char* func, int id) {
+  for (const ast::For* loop : ast::collect_loops(program.find_function(func)->body.get())) {
+    if (loop->loop_id == id) return loop;
+  }
+  return nullptr;
+}
+
+TEST(Oracle, IndependentLoopIsDependenceFree) {
+  auto r = parse(R"(
+    int a[10];
+    void f() {
+      for (int i = 0; i < 10; i++) {
+        a[i] = i;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 0));
+  EXPECT_TRUE(report.executed);
+  EXPECT_TRUE(report.dependence_free) << report.first_conflict;
+}
+
+TEST(Oracle, FlowDependenceDetected) {
+  auto r = parse(R"(
+    int a[10];
+    void f() {
+      a[0] = 1;
+      for (int i = 1; i < 10; i++) {
+        a[i] = a[i-1] + 1;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 0));
+  EXPECT_FALSE(report.dependence_free);
+  EXPECT_GT(report.conflicting_locations, 0u);
+}
+
+TEST(Oracle, OutputDependenceDetected) {
+  auto r = parse(R"(
+    int a[10];
+    void f() {
+      for (int i = 0; i < 10; i++) {
+        a[i / 2] = i;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 0));
+  EXPECT_FALSE(report.dependence_free);
+}
+
+TEST(Oracle, PrivatizableScalarIsNotADependence) {
+  auto r = parse(R"(
+    int t;
+    int a[10]; int b[10];
+    void f() {
+      for (int i = 0; i < 10; i++) {
+        t = b[i] * 2;
+        a[i] = t;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 0));
+  EXPECT_TRUE(report.dependence_free) << report.first_conflict;
+}
+
+TEST(Oracle, ScalarRecurrenceIsADependence) {
+  auto r = parse(R"(
+    int s;
+    int a[10];
+    void f() {
+      s = 0;
+      for (int i = 0; i < 10; i++) {
+        s = s + a[i];
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 0));
+  EXPECT_FALSE(report.dependence_free);
+}
+
+TEST(Oracle, InjectiveIndirectionIsDependenceFree) {
+  auto r = parse(R"(
+    int perm[10];
+    int out[10];
+    void f() {
+      for (int i = 0; i < 10; i++) {
+        perm[i] = 9 - i;
+      }
+      for (int i = 0; i < 10; i++) {
+        out[perm[i]] = i;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 1));
+  EXPECT_TRUE(report.dependence_free) << report.first_conflict;
+}
+
+TEST(Oracle, DuplicateIndirectionIsCaught) {
+  auto r = parse(R"(
+    int idx[10];
+    int out[10];
+    void f() {
+      for (int i = 0; i < 10; i++) {
+        idx[i] = i / 2;
+      }
+      for (int i = 0; i < 10; i++) {
+        out[idx[i]] = i;
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 1));
+  EXPECT_FALSE(report.dependence_free);
+}
+
+TEST(Oracle, MultipleInvocationsAllChecked) {
+  auto r = parse(R"(
+    int a[10];
+    void f() {
+      for (int outer = 0; outer < 3; outer++) {
+        for (int i = 0; i < 10; i++) {
+          a[i] = a[i] + outer;
+        }
+      }
+    }
+  )");
+  Interpreter interp(*r.program);
+  auto report = interp.analyze_loop_dependences("f", loop_by_id(*r.program, "f", 1));
+  EXPECT_EQ(report.invocations, 3u);
+  EXPECT_TRUE(report.dependence_free) << report.first_conflict;
+}
+
+// --------------------------------------------------------------------------
+// Permuted execution
+// --------------------------------------------------------------------------
+
+TEST(Permuted, ParallelLoopStateMatchesSequential) {
+  const char* source = R"(
+    int a[64]; int b[64];
+    void f() {
+      for (int i = 0; i < 64; i++) {
+        b[i] = 3 * i + 1;
+      }
+      for (int i = 0; i < 64; i++) {
+        a[i] = b[i] * b[i];
+      }
+    }
+  )";
+  auto r = parse(source);
+  Interpreter seq(*r.program);
+  seq.run("f");
+  auto expected = seq.snapshot();
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    Interpreter perm(*r.program);
+    perm.run_permuted("f", loop_by_id(*r.program, "f", 1), seed);
+    auto got = perm.snapshot();
+    EXPECT_TRUE(Interpreter::equal_state(*expected, *got)) << "seed " << seed;
+  }
+}
+
+TEST(Permuted, SequentialLoopStateDiffers) {
+  // Prefix sum: permuting iterations must corrupt the result for some seed.
+  const char* source = R"(
+    int a[64];
+    void f() {
+      a[0] = 1;
+      for (int i = 1; i < 64; i++) {
+        a[i] = a[i-1] + 1;
+      }
+    }
+  )";
+  auto r = parse(source);
+  Interpreter seq(*r.program);
+  seq.run("f");
+  auto expected = seq.snapshot();
+  bool any_diff = false;
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    Interpreter perm(*r.program);
+    perm.run_permuted("f", loop_by_id(*r.program, "f", 0), seed);
+    auto got = perm.snapshot();
+    if (!Interpreter::equal_state(*expected, *got)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace sspar::interp

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "kernels/csr.h"
+#include "kernels/npb_cg.h"
+#include "kernels/pattern_kernels.h"
+#include "runtime/inspector.h"
+
+namespace sspar::kern {
+namespace {
+
+TEST(Csr, FromTriplesSortsAndMergesDuplicates) {
+  std::vector<int64_t> row = {1, 0, 1, 1};
+  std::vector<int64_t> col = {2, 0, 2, 0};
+  std::vector<double> val = {1.0, 5.0, 2.0, 7.0};
+  Csr a = Csr::from_triples(2, 3, row, col, val);
+  EXPECT_EQ(a.nnz(), 3);
+  ASSERT_EQ(a.rowptr, (std::vector<int64_t>{0, 1, 3}));
+  EXPECT_EQ(a.colidx, (std::vector<int64_t>{0, 0, 2}));
+  EXPECT_DOUBLE_EQ(a.values[0], 5.0);
+  EXPECT_DOUBLE_EQ(a.values[1], 7.0);
+  EXPECT_DOUBLE_EQ(a.values[2], 3.0);  // 1.0 + 2.0 merged
+}
+
+TEST(Csr, RandomHasMonotonicRowptr) {
+  Csr a = Csr::random(64, 64, 0.1, 42);
+  EXPECT_TRUE(rt::is_nondecreasing(a.rowptr));
+  EXPECT_EQ(a.rowptr.size(), 65u);
+  EXPECT_EQ(static_cast<int64_t>(a.values.size()), a.nnz());
+}
+
+TEST(Csr, SpmvSerialMatchesDense) {
+  std::vector<int64_t> row = {0, 0, 1};
+  std::vector<int64_t> col = {0, 1, 1};
+  std::vector<double> val = {2.0, 3.0, 4.0};
+  Csr a = Csr::from_triples(2, 2, row, col, val);
+  std::vector<double> x = {1.0, 10.0};
+  std::vector<double> y(2, 0.0);
+  spmv_serial(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 + 30.0);
+  EXPECT_DOUBLE_EQ(y[1], 40.0);
+}
+
+class SpmvParallelSweep : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(SpmvParallelSweep, MatchesSerial) {
+  auto [size, threads] = GetParam();
+  Csr a = Csr::random(size, size, 0.05, 7);
+  std::vector<double> x(static_cast<size_t>(size));
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.01 * static_cast<double>(i % 97);
+  std::vector<double> y_serial(static_cast<size_t>(size), 0.0);
+  std::vector<double> y_parallel(static_cast<size_t>(size), 0.0);
+  spmv_serial(a, x, y_serial);
+  rt::ThreadPool pool(threads);
+  spmv_parallel(a, x, y_parallel, pool);
+  for (size_t i = 0; i < y_serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y_serial[i], y_parallel[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SpmvParallelSweep,
+                         ::testing::Combine(::testing::Values(1, 17, 256),
+                                            ::testing::Values(1u, 2u, 4u, 8u)));
+
+// --------------------------------------------------------------------------
+// NPB CG
+// --------------------------------------------------------------------------
+
+TEST(NpbCg, RandlcMatchesReference) {
+  // First values of the NPB sequence from seed 314159265.0 with the standard
+  // multiplier; the identity x_{k+1} = a*x_k mod 2^46 must hold exactly.
+  double x = 314159265.0;
+  double r1 = randlc(&x, 1220703125.0);
+  EXPECT_GT(r1, 0.0);
+  EXPECT_LT(r1, 1.0);
+  // Cross-check against a 128-bit integer reference implementation.
+  unsigned __int128 xi = 314159265u;
+  const unsigned __int128 ai = 1220703125u;
+  const unsigned __int128 mod46 = (static_cast<unsigned __int128>(1) << 46);
+  double y = 314159265.0;
+  for (int i = 0; i < 100; ++i) {
+    xi = (xi * ai) % mod46;
+    randlc(&y, 1220703125.0);
+    EXPECT_EQ(static_cast<double>(static_cast<uint64_t>(xi)), y) << "step " << i;
+  }
+}
+
+TEST(NpbCg, ClassParamsMatchOfficialTables) {
+  EXPECT_EQ(cg_params(CgClass::S).na, 1400);
+  EXPECT_EQ(cg_params(CgClass::S).nonzer, 7);
+  EXPECT_EQ(cg_params(CgClass::A).na, 14000);
+  EXPECT_EQ(cg_params(CgClass::A).niter, 15);
+  EXPECT_EQ(cg_params(CgClass::B).na, 75000);
+  EXPECT_EQ(cg_params(CgClass::C).shift, 110.0);
+  EXPECT_EQ(cg_params("W").na, 7000);
+  EXPECT_THROW(cg_params("X"), std::invalid_argument);
+}
+
+TEST(NpbCg, ClassSVerifiesSerial) {
+  CgBenchmark bench(cg_params(CgClass::S));
+  CgResult result = bench.run(CgMode::Serial);
+  EXPECT_TRUE(result.verified) << "zeta = " << result.zeta;
+  EXPECT_NEAR(result.zeta, 8.5971775078648, 1e-10);
+  EXPECT_GT(result.nnz, 0);
+}
+
+TEST(NpbCg, ClassSVerifiesParallelSS) {
+  rt::ThreadPool pool(4);
+  CgBenchmark bench(cg_params(CgClass::S));
+  CgResult result = bench.run(CgMode::ParallelSS, &pool);
+  EXPECT_TRUE(result.verified) << "zeta = " << result.zeta;
+}
+
+TEST(NpbCg, ClassWVerifiesSerialAndParallel) {
+  CgBenchmark bench(cg_params(CgClass::W));
+  CgResult serial = bench.run(CgMode::Serial);
+  EXPECT_TRUE(serial.verified) << "zeta = " << serial.zeta;
+  EXPECT_NEAR(serial.zeta, 10.362595087124, 1e-10);
+  rt::ThreadPool pool(8);
+  CgResult parallel = bench.run(CgMode::ParallelSS, &pool);
+  EXPECT_TRUE(parallel.verified) << "zeta = " << parallel.zeta;
+  // SpMV partitioning must not perturb the result at all: the reductions
+  // stay sequential in ParallelSS mode.
+  EXPECT_EQ(serial.zeta, parallel.zeta);
+}
+
+TEST(NpbCg, TrimmedIterationsStillConverge) {
+  CgBenchmark bench(cg_params(CgClass::S), /*niter_override=*/5);
+  CgResult result = bench.run(CgMode::Serial);
+  EXPECT_FALSE(result.verified);  // official value only holds for niter=15
+  EXPECT_EQ(result.niter_run, 5);
+  EXPECT_NEAR(result.zeta, 8.59, 0.5);  // same fixed point, fewer refinements
+}
+
+TEST(NpbCg, RowstrIsMonotonicAfterAssembly) {
+  CgBenchmark bench(cg_params(CgClass::S));
+  bench.run(CgMode::Serial);
+  // The property the paper's analysis derives statically holds dynamically.
+  EXPECT_TRUE(rt::is_nondecreasing(bench.rowstr()));
+}
+
+TEST(NpbCg, ColidxWithinBounds) {
+  CgBenchmark bench(cg_params(CgClass::S));
+  bench.run(CgMode::Serial);
+  int64_t n = cg_params(CgClass::S).na;
+  int64_t nnz = bench.rowstr().back();
+  for (int64_t k = 0; k < nnz; ++k) {
+    ASSERT_GE(bench.colidx()[static_cast<size_t>(k)], 0);
+    ASSERT_LT(bench.colidx()[static_cast<size_t>(k)], n);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Pattern kernels (Figs. 2-9): serial == parallel on randomized inputs
+// --------------------------------------------------------------------------
+
+class PatternSweep : public ::testing::TestWithParam<std::tuple<int64_t, unsigned, uint64_t>> {
+ protected:
+  int64_t n() const { return std::get<0>(GetParam()); }
+  unsigned threads() const { return std::get<1>(GetParam()); }
+  uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(PatternSweep, InversePermutation) {
+  auto kernel = InversePermutation::random(n(), seed());
+  rt::ThreadPool pool(threads());
+  EXPECT_EQ(kernel.run_serial(), kernel.run_parallel(pool));
+}
+
+TEST_P(PatternSweep, RowRangeProduct) {
+  auto kernel = RowRangeProduct::random(n(), 5, seed());
+  rt::ThreadPool pool(threads());
+  EXPECT_EQ(kernel.run_serial(), kernel.run_parallel(pool));
+}
+
+TEST_P(PatternSweep, GuardedScatter) {
+  auto kernel = GuardedScatter::random(n(), 0.6, seed());
+  rt::ThreadPool pool(threads());
+  EXPECT_EQ(kernel.run_serial(), kernel.run_parallel(pool));
+}
+
+TEST_P(PatternSweep, BlockScatter) {
+  auto kernel = BlockScatter::random(n(), 4, seed());
+  rt::ThreadPool pool(threads());
+  EXPECT_EQ(kernel.run_serial(), kernel.run_parallel(pool));
+}
+
+TEST_P(PatternSweep, WindowScatter) {
+  auto kernel = WindowScatter::random(n(), seed());
+  rt::ThreadPool pool(threads());
+  EXPECT_EQ(kernel.run_serial(), kernel.run_parallel(pool));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PatternSweep,
+                         ::testing::Combine(::testing::Values<int64_t>(1, 33, 512),
+                                            ::testing::Values(2u, 8u),
+                                            ::testing::Values<uint64_t>(1, 99)));
+
+TEST(Patterns, InversePermutationIsActuallyInjective) {
+  auto kernel = InversePermutation::random(100, 5);
+  EXPECT_TRUE(rt::is_injective(kernel.mt_to_id));
+  auto inverse = kernel.run_serial();
+  // inverse ∘ forward == identity
+  for (size_t i = 0; i < kernel.mt_to_id.size(); ++i) {
+    EXPECT_EQ(inverse[static_cast<size_t>(kernel.mt_to_id[i])], static_cast<int64_t>(i));
+  }
+}
+
+TEST(Patterns, GuardedScatterSubsetIsInjective) {
+  auto kernel = GuardedScatter::random(200, 0.5, 11);
+  EXPECT_TRUE(rt::is_subset_injective(kernel.jmatch, 0));
+}
+
+TEST(Patterns, WindowScatterFrontIsStrictlyIncreasing) {
+  auto kernel = WindowScatter::random(100, 3);
+  EXPECT_TRUE(rt::is_strictly_increasing(kernel.front));
+}
+
+}  // namespace
+}  // namespace sspar::kern

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/text.h"
+
+namespace sspar::support {
+namespace {
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.warning({1, 2, 0}, "w");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({3, 4, 0}, "e");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.diagnostics().size(), 2u);
+}
+
+TEST(Diagnostics, ToStringIncludesLocation) {
+  Diagnostic d{Severity::Error, {12, 5, 0}, "unexpected token"};
+  EXPECT_EQ(d.to_string(), "12:5: error: unexpected token");
+}
+
+TEST(Diagnostics, DumpJoinsAll) {
+  DiagnosticEngine diags;
+  diags.error({1, 1, 0}, "a");
+  diags.note({2, 1, 0}, "b");
+  std::string dump = diags.dump();
+  EXPECT_NE(dump.find("error: a"), std::string::npos);
+  EXPECT_NE(dump.find("note: b"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({1, 1, 0}, "a");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(Text, Format) {
+  EXPECT_EQ(format("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(Text, SplitLines) {
+  auto lines = split_lines("a\nb\nc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[2], "c");
+  EXPECT_EQ(split_lines("").size(), 1u);
+  EXPECT_EQ(split_lines("x\n").size(), 2u);
+}
+
+TEST(Text, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Text, Contains) {
+  EXPECT_TRUE(contains("hello world", "lo wo"));
+  EXPECT_FALSE(contains("hello", "xyz"));
+}
+
+TEST(Text, RenderTableAligns) {
+  std::string table = render_table({{"name", "count"}, {"cg", "12"}, {"ua", "3"}});
+  auto lines = split_lines(table);
+  ASSERT_GE(lines.size(), 4u);
+  // Header separator is dashes.
+  EXPECT_EQ(lines[1].find_first_not_of('-'), std::string::npos);
+  // Columns aligned: "count" starts at same offset in all rows.
+  size_t col = lines[0].find("count");
+  EXPECT_EQ(lines[2].find("12"), col);
+}
+
+}  // namespace
+}  // namespace sspar::support

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/context.h"
+
+namespace sspar::sym {
+namespace {
+
+class ContextTest : public ::testing::Test {
+ protected:
+  SymbolTable syms;
+  SymbolId i = syms.intern("i");
+  SymbolId n = syms.intern("n");
+  SymbolId rowptr = syms.intern("rowptr");
+
+  ExprPtr I() { return make_sym(i); }
+  ExprPtr N() { return make_sym(n); }
+  ExprPtr elem(const ExprPtr& idx) { return make_array_elem(rowptr, idx); }
+};
+
+TEST_F(ContextTest, ConstComparisons) {
+  AssumptionContext ctx;
+  EXPECT_EQ(prove_ge(make_const(3), make_const(3), ctx), Truth::True);
+  EXPECT_EQ(prove_gt(make_const(3), make_const(3), ctx), Truth::False);
+  EXPECT_EQ(prove_lt(make_const(2), make_const(3), ctx), Truth::True);
+}
+
+TEST_F(ContextTest, SymbolBoundsDecide) {
+  AssumptionContext ctx;
+  ctx.assume_ge(n, 1);
+  // n - 1 >= 0
+  EXPECT_EQ(prove_ge(N(), make_const(1), ctx), Truth::True);
+  // 2n >= n requires n >= 0 knowledge
+  EXPECT_EQ(prove_ge(mul_const(N(), 2), N(), ctx), Truth::True);
+  // n >= 2 is unknown
+  EXPECT_EQ(prove_ge(N(), make_const(2), ctx), Truth::Unknown);
+}
+
+TEST_F(ContextTest, UpperBoundDisproves) {
+  AssumptionContext ctx;
+  ctx.assume(i, Range::of_consts(0, 9));
+  EXPECT_EQ(prove_ge(I(), make_const(10), ctx), Truth::False);
+  EXPECT_EQ(prove_lt(I(), make_const(10), ctx), Truth::True);
+}
+
+TEST_F(ContextTest, IdenticalExpressionsEqual) {
+  AssumptionContext ctx;
+  auto e = add(elem(I()), make_const(2));
+  EXPECT_EQ(prove_eq(e, e, ctx), Truth::True);
+  EXPECT_EQ(prove_ge(e, e, ctx), Truth::True);
+}
+
+TEST_F(ContextTest, ArrayElemCancellation) {
+  AssumptionContext ctx;
+  // rowptr[i] + 1 > rowptr[i] even with no facts: the array terms cancel.
+  EXPECT_EQ(prove_gt(add(elem(I()), make_const(1)), elem(I()), ctx), Truth::True);
+}
+
+TEST_F(ContextTest, MonotonicityFactProvesAdjacentOrder) {
+  AssumptionContext ctx;
+  // Install the Monotonic_inc fact: rowptr[hi] - rowptr[lo] in [0 : +inf)
+  // whenever hi - lo is a non-negative constant.
+  ctx.set_elem_diff([this](SymbolId array, const ExprPtr& hi_idx,
+                           const ExprPtr& lo_idx) -> std::optional<Range> {
+    if (array != rowptr) return std::nullopt;
+    auto d = const_value(sub(hi_idx, lo_idx));
+    if (!d) return std::nullopt;
+    if (*d >= 0) return Range::of(make_const(0), nullptr);
+    return Range::of(nullptr, make_const(0));
+  });
+  // rowptr[i+1] >= rowptr[i]
+  EXPECT_EQ(prove_ge(elem(add(I(), make_const(1))), elem(I()), ctx), Truth::True);
+  // rowptr[i] <= rowptr[i+2]
+  EXPECT_EQ(prove_le(elem(I()), elem(add(I(), make_const(2))), ctx), Truth::True);
+  // The key Range Test query (paper Section 5): upper bound of iteration i is
+  // rowptr[i] - 1, lower bound of iteration i+1 is rowptr[i]:
+  EXPECT_EQ(prove_lt(sub(elem(I()), make_const(1)), elem(I()), ctx), Truth::True);
+  // Strictness is NOT provable from a non-strict fact:
+  EXPECT_EQ(prove_gt(elem(add(I(), make_const(1))), elem(I()), ctx), Truth::Unknown);
+}
+
+TEST_F(ContextTest, StepRangeFactScalesWithDistance) {
+  AssumptionContext ctx;
+  ctx.assume_ge(n, 1);
+  // Strict monotonicity with step in [7 : 7]: rowptr[hi]-rowptr[lo] = 7*(hi-lo).
+  ctx.set_elem_diff([this](SymbolId array, const ExprPtr& hi_idx,
+                           const ExprPtr& lo_idx) -> std::optional<Range> {
+    if (array != rowptr) return std::nullopt;
+    auto d = const_value(sub(hi_idx, lo_idx));
+    if (!d) return std::nullopt;
+    return Range::of_consts(7 * *d, 7 * *d);
+  });
+  // Window disjointness: rowptr[i]+6 < rowptr[i+1]
+  EXPECT_EQ(prove_lt(add(elem(I()), make_const(6)), elem(add(I(), make_const(1))), ctx),
+            Truth::True);
+  // But rowptr[i]+7 is not strictly less.
+  EXPECT_EQ(prove_lt(add(elem(I()), make_const(7)), elem(add(I(), make_const(1))), ctx),
+            Truth::False);
+}
+
+TEST_F(ContextTest, ElemValueFactsBound) {
+  SymbolId rowsize = syms.intern("rowsize");
+  AssumptionContext ctx;
+  SymbolId columnlen = syms.intern("COLUMNLEN");
+  ctx.assume_ge(columnlen, 1);
+  ctx.set_elem_value([&](SymbolId array, const ExprPtr&) -> std::optional<Range> {
+    if (array != rowsize) return std::nullopt;
+    return Range::of(make_const(0), make_sym(columnlen));
+  });
+  // rowsize[i] >= 0 via value fact.
+  EXPECT_EQ(prove_ge(make_array_elem(rowsize, I()), make_const(0), ctx), Truth::True);
+  // rowsize[i] + 1 > 0
+  EXPECT_EQ(prove_gt(add(make_array_elem(rowsize, I()), make_const(1)), make_const(0), ctx),
+            Truth::True);
+}
+
+TEST_F(ContextTest, SymbolicBoundIteration) {
+  // step lower bound is the symbol K, and K >= 3: prove diff >= 2.
+  SymbolId k = syms.intern("K");
+  AssumptionContext ctx;
+  ctx.assume_ge(k, 3);
+  ctx.set_elem_diff([this, k](SymbolId array, const ExprPtr& hi_idx,
+                              const ExprPtr& lo_idx) -> std::optional<Range> {
+    if (array != rowptr) return std::nullopt;
+    auto d = const_value(sub(hi_idx, lo_idx));
+    if (!d || *d != 1) return std::nullopt;
+    return Range::of(make_sym(k), nullptr);
+  });
+  EXPECT_EQ(prove_ge(sub(elem(add(I(), make_const(1))), elem(I())), make_const(2), ctx),
+            Truth::True);
+}
+
+TEST_F(ContextTest, DivAtomBounds) {
+  AssumptionContext ctx;
+  ctx.assume(n, Range::of(make_const(1), nullptr));
+  // n*(n-1)/2 >= 0 when n >= 1: numerator n*n - n has lower bound... this needs
+  // the Mul rule: n*n >= 0 since n >= 0.
+  auto tri = div_floor(mul(N(), sub(N(), make_const(1))), make_const(2));
+  EXPECT_EQ(prove_ge(tri, make_const(0), ctx), Truth::Unknown);
+  // A simpler exact case: n/2 >= 0 when n >= 0.
+  auto half = div_floor(N(), make_const(2));
+  EXPECT_EQ(prove_ge(half, make_const(0), ctx), Truth::True);
+}
+
+TEST_F(ContextTest, ModAtomBounds) {
+  AssumptionContext ctx;
+  // (x mod 8) in [0:7] regardless of x.
+  SymbolId x = syms.intern("x");
+  auto m = mod(make_sym(x), make_const(8));
+  EXPECT_EQ(prove_ge(m, make_const(0), ctx), Truth::True);
+  EXPECT_EQ(prove_lt(m, make_const(8), ctx), Truth::True);
+}
+
+TEST_F(ContextTest, ProveNonnegOnRanges) {
+  AssumptionContext ctx;
+  ctx.assume_ge(n, 0);
+  EXPECT_EQ(prove_nonneg(Range::of(make_const(0), N()), ctx), Truth::True);
+  // prove_pos reports on the lower bound: 0 >= 1 is provably false.
+  EXPECT_EQ(prove_pos(Range::of(make_const(0), N()), ctx), Truth::False);
+  EXPECT_EQ(prove_pos(Range::of(make_const(1), nullptr), ctx), Truth::True);
+  EXPECT_EQ(prove_nonneg(Range::bottom(), ctx), Truth::Unknown);
+}
+
+// Parameterized soundness sweep for the prover: for constant-bounded symbols,
+// prove_ge must never contradict exhaustive evaluation.
+struct ProverCase {
+  int64_t ilo, ihi;  // bounds assumed for symbol i
+  int64_t c1, c0;    // lhs = c1*i + c0, rhs = 0
+};
+
+class ProverSoundness : public ::testing::TestWithParam<ProverCase> {};
+
+TEST_P(ProverSoundness, NeverContradictsExhaustiveCheck) {
+  const auto& p = GetParam();
+  SymbolTable syms;
+  SymbolId i = syms.intern("i");
+  AssumptionContext ctx;
+  ctx.assume(i, Range::of_consts(p.ilo, p.ihi));
+  auto lhs = add(mul_const(make_sym(i), p.c1), make_const(p.c0));
+  Truth verdict = prove_ge(lhs, make_const(0), ctx);
+  bool all_ge = true, none_ge = true;
+  for (int64_t v = p.ilo; v <= p.ihi; ++v) {
+    if (p.c1 * v + p.c0 >= 0) {
+      none_ge = false;
+    } else {
+      all_ge = false;
+    }
+  }
+  if (verdict == Truth::True) {
+    EXPECT_TRUE(all_ge);
+  }
+  if (verdict == Truth::False) {
+    EXPECT_TRUE(none_ge);
+  }
+  // For affine expressions over interval bounds the prover is also complete:
+  if (all_ge) {
+    EXPECT_EQ(verdict, Truth::True);
+  }
+  if (none_ge) {
+    EXPECT_EQ(verdict, Truth::False);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProverSoundness,
+                         ::testing::Values(ProverCase{0, 9, 1, 0}, ProverCase{0, 9, -1, 9},
+                                           ProverCase{0, 9, -1, 8}, ProverCase{1, 5, 2, -2},
+                                           ProverCase{-5, -1, 1, 0}, ProverCase{-5, -1, -1, -1},
+                                           ProverCase{3, 3, 5, -15}, ProverCase{0, 0, 0, 0}));
+
+}  // namespace
+}  // namespace sspar::sym

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "symbolic/range.h"
+
+namespace sspar::sym {
+namespace {
+
+class RangeTest : public ::testing::Test {
+ protected:
+  SymbolTable syms;
+  SymbolId i = syms.intern("i");
+  SymbolId n = syms.intern("n");
+  SymbolId x = syms.intern("x");
+
+  ExprPtr I() { return make_sym(i); }
+  ExprPtr N() { return make_sym(n); }
+  std::string str(const Range& r) { return r.to_string(syms); }
+};
+
+TEST_F(RangeTest, BottomAndExact) {
+  EXPECT_TRUE(Range::bottom().is_bottom());
+  Range r = Range::exact(I());
+  EXPECT_TRUE(r.is_exact());
+  EXPECT_TRUE(equal(r.exact_value(), I()));
+  EXPECT_EQ(str(r), "[i : i]");
+}
+
+TEST_F(RangeTest, BottomBoundsBecomeUnbounded) {
+  Range r = Range::of(make_bottom(), make_const(3));
+  EXPECT_FALSE(r.lo_bounded());
+  EXPECT_TRUE(r.hi_bounded());
+  EXPECT_EQ(str(r), "[-inf : 3]");
+}
+
+TEST_F(RangeTest, Add) {
+  Range r = range_add(Range::of_consts(0, 1), Range::of_consts(2, 5));
+  EXPECT_EQ(str(r), "[2 : 6]");
+}
+
+TEST_F(RangeTest, AddUnboundedPropagates) {
+  Range r = range_add(Range::of(make_const(0), nullptr), Range::of_consts(1, 1));
+  EXPECT_EQ(str(r), "[1 : +inf]");
+}
+
+TEST_F(RangeTest, NegateSwapsBounds) {
+  Range r = range_negate(Range::of_consts(2, 5));
+  EXPECT_EQ(str(r), "[-5 : -2]");
+  r = range_negate(Range::of(make_const(0), nullptr));
+  EXPECT_EQ(str(r), "[-inf : 0]");
+}
+
+TEST_F(RangeTest, Sub) {
+  Range r = range_sub(Range::of_consts(10, 12), Range::of_consts(1, 3));
+  EXPECT_EQ(str(r), "[7 : 11]");
+}
+
+TEST_F(RangeTest, MulConstNegativeSwaps) {
+  Range r = range_mul_const(Range::of_consts(2, 5), -2);
+  EXPECT_EQ(str(r), "[-10 : -4]");
+  EXPECT_EQ(str(range_mul_const(Range::of_consts(2, 5), 0)), "[0 : 0]");
+}
+
+TEST_F(RangeTest, MulNonnegSymbolic) {
+  Range r = range_mul_nonneg(Range::of_consts(0, 1), N());
+  EXPECT_EQ(str(r), "[0 : n]");
+}
+
+TEST_F(RangeTest, JoinUsesMinMax) {
+  Range r = range_join(Range::of_consts(0, 5), Range::of_consts(3, 9));
+  EXPECT_EQ(str(r), "[0 : 9]");
+  Range s = range_join(Range::exact(I()), Range::exact(N()));
+  EXPECT_EQ(str(s), "[min(i, n) : max(i, n)]");
+}
+
+TEST_F(RangeTest, JoinProvableByConstantDifference) {
+  Range s = range_join(Range::exact(I()), Range::exact(add(I(), make_const(2))));
+  EXPECT_EQ(str(s), "[i : i + 2]");
+}
+
+TEST_F(RangeTest, EvalRangeSubstitutesSymbol) {
+  // 2*i + 1 with i in [0 : n-1]  ->  [1 : 2n-1]
+  RangeEnv env;
+  env.entries.emplace_back(i, Range::of(make_const(0), sub(N(), make_const(1))));
+  Range r = eval_range(add(mul_const(I(), 2), make_const(1)), env);
+  EXPECT_EQ(str(r), "[1 : 2*n - 1]");
+}
+
+TEST_F(RangeTest, EvalRangeNegativeCoefficientSwaps) {
+  RangeEnv env;
+  env.entries.emplace_back(i, Range::of_consts(0, 9));
+  Range r = eval_range(sub(make_const(100), I()), env);
+  EXPECT_EQ(str(r), "[91 : 100]");
+}
+
+TEST_F(RangeTest, EvalRangeKeepsUntouchedAtomsSymbolic) {
+  SymbolId a = syms.intern("a");
+  RangeEnv env;
+  env.entries.emplace_back(i, Range::of_consts(0, 4));
+  // a[n] is unaffected; i is substituted.
+  Range r = eval_range(add(make_array_elem(a, N()), I()), env);
+  EXPECT_EQ(str(r), "[a[n] : a[n] + 4]");
+}
+
+TEST_F(RangeTest, EvalRangeNonlinearAtomMentioningEnvDegrades) {
+  SymbolId a = syms.intern("a");
+  RangeEnv env;
+  env.entries.emplace_back(i, Range::of_consts(0, 4));
+  // a[i] cannot be bounded when i varies.
+  Range r = eval_range(make_array_elem(a, I()), env);
+  EXPECT_TRUE(r.is_bottom());
+}
+
+TEST_F(RangeTest, PromoteIterToLoop) {
+  Range r = Range::of(make_iter_start(x), add(make_iter_start(x), make_const(1)));
+  Range p = promote_iter_to_loop(r);
+  EXPECT_EQ(str(p), "[LAM.x : LAM.x + 1]");
+}
+
+// Soundness sweep: eval_range's interval always contains the concrete result
+// of substituting any value inside the symbol's interval.
+class EvalRangeSoundness
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>> {};
+
+TEST_P(EvalRangeSoundness, IntervalContainsAllConcretizations) {
+  auto [lo, width, coeff] = GetParam();
+  int64_t hi = lo + width;
+  SymbolTable syms;
+  SymbolId i = syms.intern("i");
+  RangeEnv env;
+  env.entries.emplace_back(i, Range::of_consts(lo, hi));
+  // e = coeff*i + 3
+  auto e = add(mul_const(make_sym(i), coeff), make_const(3));
+  Range r = eval_range(e, env);
+  ASSERT_TRUE(r.lo_bounded());
+  ASSERT_TRUE(r.hi_bounded());
+  int64_t rlo = *const_value(r.lo());
+  int64_t rhi = *const_value(r.hi());
+  for (int64_t v = lo; v <= hi; ++v) {
+    int64_t concrete = coeff * v + 3;
+    EXPECT_LE(rlo, concrete);
+    EXPECT_GE(rhi, concrete);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EvalRangeSoundness,
+    ::testing::Combine(::testing::Values(-10, -1, 0, 5),
+                       ::testing::Values(0, 1, 7),
+                       ::testing::Values(-3, -1, 0, 1, 4)));
+
+}  // namespace
+}  // namespace sspar::sym

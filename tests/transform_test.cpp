@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "frontend/sema.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
+#include "transform/omp_emitter.h"
+
+namespace sspar::transform {
+namespace {
+
+TEST(Transform, AnnotatesParallelLoopWithPragma) {
+  auto result = translate_source(R"(
+    int n;
+    int a[100];
+    int b[100];
+    void f(void) {
+      for (int i = 0; i < n; i++) {
+        a[i] = b[i] + 1;
+      }
+    }
+  )");
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_EQ(result.parallelized, 1);
+  EXPECT_TRUE(support::contains(result.output, "#pragma omp parallel for"));
+}
+
+TEST(Transform, PrivateClauseListsScalars) {
+  auto result = translate_source(R"(
+    int n;
+    int t;
+    int a[100];
+    int b[100];
+    void f(void) {
+      for (int i = 0; i < n; i++) {
+        t = b[i] * 2;
+        a[i] = t;
+      }
+    }
+  )");
+  ASSERT_TRUE(result.ok);
+  EXPECT_TRUE(support::contains(result.output, "private(t)")) << result.output;
+}
+
+TEST(Transform, SequentialLoopNotAnnotated) {
+  auto result = translate_source(R"(
+    int n;
+    int a[100];
+    void f(void) {
+      for (int i = 1; i < n; i++) {
+        a[i] = a[i-1] + 1;
+      }
+    }
+  )");
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.parallelized, 0);
+  EXPECT_FALSE(support::contains(result.output, "#pragma"));
+}
+
+TEST(Transform, OnlyOutermostParallelLoopAnnotated) {
+  auto result = translate_source(R"(
+    int n;
+    int a[100][100];
+    double c[100];
+    double d[100];
+    void f(void) {
+      for (int i = 0; i < n; i++) {
+        c[i] = d[i] * 2.0;
+        for (int j = 0; j < n; j++) {
+          d[j] = 0.0;
+        }
+      }
+    }
+  )");
+  ASSERT_TRUE(result.ok);
+  // The outer loop is NOT parallel (all iterations write d[0..n-1]); the
+  // inner one is, and it should carry the pragma.
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = result.output.find("#pragma omp parallel for", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Transform, Fig9EndToEnd) {
+  // The headline transformation: the paper's Fig. 9 product loop gets the
+  // pragma with j1 privatized; the fill loops stay sequential.
+  auto result = translate_source(R"(
+    int ROWLEN;
+    int COLUMNLEN;
+    int ind;
+    int index;
+    int j1;
+    int a[100][100];
+    int column_number[10000];
+    double value[10000];
+    double vector[10000];
+    double product_array[10000];
+    int rowsize[100];
+    int rowptr[101];
+    void f(void) {
+      for (int i = 0; i < ROWLEN; i++) {
+        int count = 0;
+        for (int j = 0; j < COLUMNLEN; j++) {
+          if (a[i][j] != 0) {
+            count++;
+            column_number[index++] = j;
+            value[ind++] = a[i][j];
+          }
+        }
+        rowsize[i] = count;
+      }
+      rowptr[0] = 0;
+      for (int i = 1; i < ROWLEN + 1; i++) {
+        rowptr[i] = rowptr[i-1] + rowsize[i-1];
+      }
+      for (int i = 0; i < ROWLEN + 1; i++) {
+        if (i == 0) {
+          j1 = i;
+        } else {
+          j1 = rowptr[i-1];
+        }
+        for (int j = j1; j < rowptr[i]; j++) {
+          product_array[j] = value[j] * vector[j];
+        }
+      }
+    }
+  )",
+                                 core::AnalyzerOptions{},
+                                 {{"ROWLEN", 1}, {"COLUMNLEN", 1}});
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_EQ(result.parallelized, 1);
+  EXPECT_TRUE(support::contains(result.output, "private(j1)")) << result.output;
+  // The pragma must be attached to the product loop (after rowptr[0] = 0).
+  size_t pragma_pos = result.output.find("#pragma omp parallel for");
+  size_t rowptr0_pos = result.output.find("rowptr[0] = 0");
+  ASSERT_NE(pragma_pos, std::string::npos);
+  ASSERT_NE(rowptr0_pos, std::string::npos);
+  EXPECT_GT(pragma_pos, rowptr0_pos);
+  // The transformed source must still parse.
+  support::DiagnosticEngine diags;
+  auto reparsed = ast::parse_and_resolve(result.output, diags);
+  EXPECT_TRUE(reparsed.ok) << diags.dump();
+}
+
+}  // namespace
+}  // namespace sspar::transform

@@ -1,0 +1,51 @@
+// Compile-and-use smoke test for the umbrella header: the public API surface
+// a downstream user sees.
+#include "sspar.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, FullPipelineThroughPublicApi) {
+  auto result = sspar::transform::translate_source(R"(
+    int n;
+    int nsz[100];
+    int ptr[101];
+    double data[1000];
+    void f(void) {
+      for (int i = 0; i < n; i++) {
+        nsz[i] = (i % 2 == 0) ? 2 : 1;
+      }
+      ptr[0] = 0;
+      for (int i = 1; i < n + 1; i++) {
+        ptr[i] = ptr[i-1] + nsz[i-1];
+      }
+      for (int i = 0; i < n; i++) {
+        for (int k = ptr[i]; k < ptr[i+1]; k++) {
+          data[k] = data[k] * 0.5;
+        }
+      }
+    }
+  )",
+                                                   sspar::core::AnalyzerOptions{},
+                                                   {{"n", 1}});
+  ASSERT_TRUE(result.ok) << result.diagnostics;
+  EXPECT_GE(result.parallelized, 1);
+
+  // Dynamic validation through the same public surface.
+  sspar::interp::Interpreter interp(*result.parsed.program);
+  interp.set_scalar("n", int64_t{40});
+  for (const auto& v : result.verdicts) {
+    if (!v.parallel) continue;
+    auto report = interp.analyze_loop_dependences("f", v.loop);
+    EXPECT_TRUE(report.dependence_free) << report.first_conflict;
+  }
+
+  // Kernel + runtime surface.
+  sspar::rt::ThreadPool pool(4);
+  auto kernel = sspar::kern::RowRangeProduct::random(1000, 4, 1);
+  EXPECT_EQ(kernel.run_serial(), kernel.run_parallel(pool));
+  EXPECT_FALSE(sspar::corpus::all_entries().empty());
+}
+
+}  // namespace
