@@ -57,8 +57,28 @@ struct ArrayAccessSet {
   std::vector<const ArrayWriteEffect*> reads;
 };
 
-std::map<const ast::VarDecl*, ArrayAccessSet> group_accesses(const BodyInterp& interp) {
-  std::map<const ast::VarDecl*, ArrayAccessSet> groups;
+// Verdict text (blockers, private lists) is produced by iterating decl-keyed
+// containers; ordering them by raw AST pointer would make the output depend
+// on heap layout and differ run to run. Symbol ids are assigned in sema
+// (source) order, so they give a stable, meaningful iteration order.
+struct DeclOrder {
+  bool operator()(const ast::VarDecl* a, const ast::VarDecl* b) const {
+    if (a->symbol != b->symbol) return a->symbol < b->symbol;
+    if (a->location.offset != b->location.offset) return a->location.offset < b->location.offset;
+    return a->name < b->name;
+  }
+};
+
+using AccessGroups = std::map<const ast::VarDecl*, ArrayAccessSet, DeclOrder>;
+
+std::vector<const ast::VarDecl*> sorted_decls(const std::set<const ast::VarDecl*>& decls) {
+  std::vector<const ast::VarDecl*> out(decls.begin(), decls.end());
+  std::sort(out.begin(), out.end(), DeclOrder{});
+  return out;
+}
+
+AccessGroups group_accesses(const BodyInterp& interp) {
+  AccessGroups groups;
   for (const auto& w : interp.writes) {
     auto& g = groups[w.array];
     g.array = w.array;
@@ -226,7 +246,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     return true;
   });
   auto check_scalars = [&](const BodyInterp& interp) {
-    for (const ast::VarDecl* decl : interp.written) {
+    for (const ast::VarDecl* decl : sorted_decls(interp.written)) {
       if (decl == info.index) {
         verdict.blockers.push_back("loop index is assigned inside the body");
         continue;

@@ -42,4 +42,45 @@ EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& opt
   return result;
 }
 
+void seed_interpreter_inputs(const Entry& entry, interp::Interpreter& interp) {
+  for (const auto& param : entry.params) {
+    interp.set_scalar(param.name, param.interp_value);
+  }
+  auto fill_int = [&](const char* name, size_t count, auto fn) {
+    std::vector<int64_t> data(count);
+    for (size_t i = 0; i < count; ++i) data[i] = fn(i);
+    interp.set_array_int(name, std::move(data));
+  };
+  auto fill_double = [&](const char* name, size_t count, auto fn) {
+    std::vector<double> data(count);
+    for (size_t i = 0; i < count; ++i) data[i] = fn(i);
+    interp.set_array_double(name, std::move(data));
+  };
+  if (entry.name == "fig3" || entry.name == "CG") {
+    fill_int("cols", 512, [](size_t i) { return static_cast<int64_t>(i % 3) - 1; });
+  }
+  if (entry.name == "fig4") {
+    fill_int("w1", 512, [](size_t i) { return static_cast<int64_t>(i % 2); });
+    fill_int("w2", 512, [](size_t i) { return static_cast<int64_t>((i + 1) % 3) - 1; });
+    fill_double("v", 8192, [](size_t i) { return 0.25 * static_cast<double>(i % 17); });
+    fill_int("iv", 8192, [](size_t i) { return static_cast<int64_t>(i % 29); });
+  }
+  if (entry.name == "fig8") {
+    fill_int("ich", 2048, [](size_t i) { return static_cast<int64_t>(i % 5); });
+  }
+  if (entry.name == "fig9") {
+    fill_int("a", 128 * 128,
+             [](size_t i) { return i % 3 == 0 ? static_cast<int64_t>(i % 7 + 1) : 0; });
+    fill_double("vector", 16384, [](size_t i) { return 0.125 * static_cast<double>(i % 11); });
+  }
+  if (entry.name == "CG") {
+    fill_double("aval", 8192, [](size_t i) { return 0.5 * static_cast<double>(i % 13); });
+    fill_double("p", 513, [](size_t i) { return 1.0 + 0.01 * static_cast<double>(i % 7); });
+  }
+  if (entry.name == "MG" || entry.name == "KLU") {
+    fill_double(entry.name == "MG" ? "u" : "x", 8192,
+                [](size_t i) { return 0.1 * static_cast<double>(i % 23); });
+  }
+}
+
 }  // namespace sspar::corpus

@@ -8,6 +8,7 @@
 #include "core/parallelizer.h"
 #include "corpus/corpus.h"
 #include "frontend/frontend.h"
+#include "interp/interpreter.h"
 
 namespace sspar::corpus {
 
@@ -28,5 +29,10 @@ struct EntryAnalysis {
 };
 
 EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& options = {});
+
+// Seeds an interpreter with the entry's size parameters plus non-trivial data
+// for input arrays the kernel reads but does not fill itself. Used by every
+// dynamic-validation path (soundness tests, differential driver tests).
+void seed_interpreter_inputs(const Entry& entry, interp::Interpreter& interp);
 
 }  // namespace sspar::corpus

@@ -1,0 +1,122 @@
+#include "driver/batch_analyzer.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "corpus/corpus.h"
+#include "runtime/thread_pool.h"
+
+namespace sspar::driver {
+
+namespace {
+
+unsigned clamp_threads(unsigned requested) {
+  if (requested == 0) {
+    // Floor of 2 so batch analysis exercises the concurrent path even on
+    // single-core hosts (verdicts are deterministic either way).
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::min(std::max(hw, 2u), 8u);
+  }
+  return std::max(requested, 1u);
+}
+
+ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions& options) {
+  ProgramReport report;
+  report.name = input.name;
+  try {
+    report.result = transform::translate_source(input.source, options, input.assumptions);
+  } catch (const std::exception& e) {
+    report.error = e.what();
+    return report;
+  }
+  if (!report.result.ok) {
+    report.error = report.result.diagnostics.empty() ? "frontend failed"
+                                                     : report.result.diagnostics;
+    return report;
+  }
+  for (const auto& v : report.result.verdicts) {
+    ++report.loops;
+    if (v.uses_subscripted_subscripts) ++report.subscripted;
+    if (v.parallel) ++report.parallel;
+    if (v.parallel && v.uses_subscripted_subscripts) ++report.parallel_subscripted;
+  }
+  report.ok = true;
+  return report;
+}
+
+}  // namespace
+
+bool BatchStats::operator==(const BatchStats& other) const {
+  return programs == other.programs && failed == other.failed && loops == other.loops &&
+         subscripted == other.subscripted && parallel == other.parallel &&
+         parallel_subscripted == other.parallel_subscripted && annotated == other.annotated &&
+         programs_with_pattern == other.programs_with_pattern &&
+         property_counts == other.property_counts;
+}
+
+std::string property_key(const std::string& reason) {
+  size_t end = reason.find_first_of(" (:");
+  return end == std::string::npos ? reason : reason.substr(0, end);
+}
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions options)
+    : options_(options), threads_(clamp_threads(options.threads)) {}
+
+BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs) const {
+  BatchReport report;
+  report.programs.resize(inputs.size());
+  if (!inputs.empty()) {
+    // Each index writes only its own slot, so the report vector needs no
+    // locking and its order never depends on scheduling.
+    rt::ThreadPool pool(std::min<size_t>(threads_, inputs.size()));
+    pool.parallel_for(0, static_cast<int64_t>(inputs.size()),
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          report.programs[static_cast<size_t>(i)] =
+                              analyze_one(inputs[static_cast<size_t>(i)], options_.analyzer);
+                        }
+                      });
+  }
+  report.stats = aggregate(report.programs);
+  return report;
+}
+
+BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) {
+  BatchStats stats;
+  for (const ProgramReport& p : programs) {
+    ++stats.programs;
+    if (!p.ok) {
+      ++stats.failed;
+      continue;
+    }
+    stats.loops += p.loops;
+    stats.subscripted += p.subscripted;
+    stats.parallel += p.parallel;
+    stats.parallel_subscripted += p.parallel_subscripted;
+    stats.annotated += p.result.parallelized;
+    if (p.parallel_subscripted > 0) ++stats.programs_with_pattern;
+    for (const auto& v : p.result.verdicts) {
+      if (v.parallel && v.uses_subscripted_subscripts) {
+        ++stats.property_counts[property_key(v.reason)];
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<ProgramInput> BatchAnalyzer::corpus_inputs() {
+  std::vector<ProgramInput> inputs;
+  for (const corpus::Entry& entry : corpus::all_entries()) {
+    ProgramInput input;
+    input.name = entry.name;
+    input.source = entry.source;
+    for (const auto& param : entry.params) {
+      input.assumptions.emplace_back(param.name, param.assume_min);
+    }
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+}  // namespace sspar::driver

@@ -1,0 +1,102 @@
+// Concurrent batch-analysis driver: runs the full pipeline (parse -> analyze
+// -> parallelize -> annotate) over many programs on a rt::ThreadPool and
+// aggregates per-loop verdicts into corpus-wide statistics — the paper's
+// Fig. 1 survey numbers as a programmatic API.
+//
+// Results are deterministic: reports come back in input order and every
+// aggregate is computed serially from them, so a 1-thread and an 8-thread run
+// produce identical output. A malformed program never aborts the batch; it
+// yields a per-program diagnostic and counts toward `stats.failed`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "transform/omp_emitter.h"
+
+namespace sspar::driver {
+
+// One program to analyze. `assumptions` declares lower bounds for global
+// symbols (problem sizes known to be positive), as in transform::translate_source.
+struct ProgramInput {
+  std::string name;
+  std::string source;
+  std::vector<std::pair<std::string, int64_t>> assumptions;
+};
+
+// Pipeline output for one program. `result.parsed` owns the AST that
+// `result.verdicts` point into, so downstream consumers (e.g. the dynamic
+// dependence oracle in the differential tests) can keep interrogating loops.
+struct ProgramReport {
+  std::string name;
+  bool ok = false;
+  std::string error;  // frontend diagnostics or exception text when !ok
+  transform::TranslateResult result;
+
+  // Per-program counts over result.verdicts (all zero when !ok).
+  int loops = 0;
+  int subscripted = 0;
+  int parallel = 0;
+  int parallel_subscripted = 0;
+};
+
+// Corpus-wide aggregates (the Fig. 1 survey as numbers).
+struct BatchStats {
+  int programs = 0;
+  int failed = 0;
+  int loops = 0;
+  int subscripted = 0;
+  int parallel = 0;
+  int parallel_subscripted = 0;
+  int annotated = 0;
+  // Programs containing >= 1 parallel loop with a subscripted subscript.
+  int programs_with_pattern = 0;
+  // Enabling-property histogram over parallel subscripted-subscript loops
+  // (keyed by the stable prefix of LoopVerdict::reason).
+  std::map<std::string, int> property_counts;
+
+  bool operator==(const BatchStats& other) const;
+};
+
+struct BatchReport {
+  std::vector<ProgramReport> programs;  // in input order
+  BatchStats stats;
+};
+
+struct BatchOptions {
+  // Total degree of parallelism (including the calling thread). 0 means
+  // "pick from the hardware", clamped to [2, 8].
+  unsigned threads = 0;
+  core::AnalyzerOptions analyzer;
+};
+
+class BatchAnalyzer {
+ public:
+  explicit BatchAnalyzer(BatchOptions options = {});
+
+  // Analyzes all inputs concurrently; never throws for bad input programs.
+  BatchReport run(const std::vector<ProgramInput>& inputs) const;
+
+  // Thread count the analyzer will actually use (after clamping).
+  unsigned threads() const { return threads_; }
+
+  // The whole benchmark corpus (corpus::all_entries()) as batch inputs.
+  static std::vector<ProgramInput> corpus_inputs();
+
+  // Serial aggregation in input order; exposed for tests.
+  static BatchStats aggregate(const std::vector<ProgramReport>& programs);
+
+ private:
+  BatchOptions options_;
+  unsigned threads_;
+};
+
+// The stable property key for a verdict reason ("monotonic non-decreasing
+// bounds" -> "monotonic").
+std::string property_key(const std::string& reason);
+
+}  // namespace sspar::driver

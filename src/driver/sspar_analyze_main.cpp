@@ -1,0 +1,196 @@
+// sspar-analyze: batch-analysis CLI over the built-in corpus or user files.
+//
+//   sspar-analyze                       # analyze the whole benchmark corpus
+//   sspar-analyze --suite=npb           # one suite only
+//   sspar-analyze --threads=4 --emit    # 4 threads, print annotated sources
+//   sspar-analyze --assume n=1 prog.c   # analyze mini-C files instead
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "driver/batch_analyzer.h"
+
+namespace {
+
+using sspar::driver::BatchAnalyzer;
+using sspar::driver::BatchOptions;
+using sspar::driver::BatchReport;
+using sspar::driver::ProgramInput;
+using sspar::driver::ProgramReport;
+
+void print_usage(std::ostream& os) {
+  os << "usage: sspar-analyze [options] [file.c ...]\n"
+        "\n"
+        "Analyzes mini-C programs for parallelizable subscripted-subscript\n"
+        "loops. With no files, runs over the built-in benchmark corpus.\n"
+        "\n"
+        "options:\n"
+        "  --threads=N      degree of parallelism (default: hardware, max 8)\n"
+        "  --suite=NAME     corpus subset: paper | npb | suitesparse\n"
+        "  --emit           also print the OpenMP-annotated source\n"
+        "  --quiet          aggregate statistics only\n"
+        "  --assume VAR=MIN assume global VAR >= MIN for file inputs (repeatable)\n"
+        "  --help           this message\n";
+}
+
+bool parse_int(const std::string& text, int64_t* value) {
+  try {
+    size_t consumed = 0;
+    *value = std::stoll(text, &consumed);
+    return consumed == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_suite(const std::string& name, sspar::corpus::Suite* suite) {
+  if (name == "paper") {
+    *suite = sspar::corpus::Suite::Paper;
+  } else if (name == "npb") {
+    *suite = sspar::corpus::Suite::NPB;
+  } else if (name == "suitesparse") {
+    *suite = sspar::corpus::Suite::SuiteSparse;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void print_program(const ProgramReport& report, bool emit, std::ostream& os) {
+  os << "== " << report.name;
+  if (!report.ok) {
+    os << "  ERROR\n" << report.error << "\n";
+    return;
+  }
+  os << "  (" << report.loops << " loops, " << report.subscripted << " subscripted, "
+     << report.parallel << " parallel, " << report.parallel_subscripted
+     << " parallel+subscripted)\n";
+  for (const auto& v : report.result.verdicts) {
+    os << "  L" << v.loop_id;
+    if (v.loop && v.loop->location.valid()) os << " @" << v.loop->location.to_string();
+    os << (v.parallel ? "  parallel" : "  serial  ");
+    if (v.uses_subscripted_subscripts) os << "  [subscripted]";
+    if (v.parallel && !v.reason.empty()) os << "  " << v.reason;
+    if (!v.parallel && !v.blockers.empty()) os << "  blockers: " << v.blockers.front();
+    os << "\n";
+  }
+  if (emit) os << "---- annotated source ----\n" << report.result.output << "\n";
+}
+
+void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) {
+  const auto& s = report.stats;
+  os << "== aggregate (" << s.programs << " programs, " << threads << " threads)\n"
+     << "  analyzed ok:            " << (s.programs - s.failed) << "\n"
+     << "  failed:                 " << s.failed << "\n"
+     << "  loops:                  " << s.loops << "\n"
+     << "  subscripted loops:      " << s.subscripted << "\n"
+     << "  parallel loops:         " << s.parallel << "\n"
+     << "  parallel+subscripted:   " << s.parallel_subscripted << "\n"
+     << "  loops annotated (omp):  " << s.annotated << "\n"
+     << "  programs with pattern:  " << s.programs_with_pattern << "\n";
+  if (!s.property_counts.empty()) {
+    os << "  enabling properties:\n";
+    for (const auto& [key, count] : s.property_counts) {
+      os << "    " << key << ": " << count << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BatchOptions options;
+  bool emit = false;
+  bool quiet = false;
+  bool have_suite = false;
+  sspar::corpus::Suite suite = sspar::corpus::Suite::Paper;
+  std::vector<std::string> files;
+  std::vector<std::pair<std::string, int64_t>> assumptions;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      int64_t threads = 0;
+      if (!parse_int(arg.substr(10), &threads) || threads < 0 || threads > 1024) {
+        std::cerr << "sspar-analyze: --threads expects an integer in [0, 1024], got '"
+                  << arg.substr(10) << "'\n";
+        return 2;
+      }
+      options.threads = static_cast<unsigned>(threads);
+    } else if (arg.rfind("--suite=", 0) == 0) {
+      if (!parse_suite(arg.substr(8), &suite)) {
+        std::cerr << "sspar-analyze: unknown suite '" << arg.substr(8) << "'\n";
+        return 2;
+      }
+      have_suite = true;
+    } else if (arg == "--emit") {
+      emit = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--assume" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      size_t eq = spec.find('=');
+      int64_t min = 0;
+      if (eq == std::string::npos || eq == 0 || !parse_int(spec.substr(eq + 1), &min)) {
+        std::cerr << "sspar-analyze: --assume expects VAR=MIN, got '" << spec << "'\n";
+        return 2;
+      }
+      assumptions.emplace_back(spec.substr(0, eq), min);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "sspar-analyze: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (!files.empty() && have_suite) {
+    std::cerr << "sspar-analyze: --suite only applies to corpus runs, not file inputs\n";
+    return 2;
+  }
+  if (files.empty() && !assumptions.empty()) {
+    std::cerr << "sspar-analyze: --assume only applies to file inputs; corpus entries "
+                 "carry their own assumptions\n";
+    return 2;
+  }
+
+  std::vector<ProgramInput> inputs;
+  if (files.empty()) {
+    inputs = BatchAnalyzer::corpus_inputs();
+    if (have_suite) {
+      std::erase_if(inputs, [&](const ProgramInput& input) {
+        const sspar::corpus::Entry* e = sspar::corpus::find_entry(input.name);
+        return !e || e->suite != suite;
+      });
+    }
+  } else {
+    for (const std::string& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << "sspar-analyze: cannot open '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      inputs.push_back(ProgramInput{path, buffer.str(), assumptions});
+    }
+  }
+
+  BatchAnalyzer analyzer(options);
+  BatchReport report = analyzer.run(inputs);
+
+  if (!quiet) {
+    for (const ProgramReport& p : report.programs) print_program(p, emit, std::cout);
+  }
+  print_stats(report, analyzer.threads(), std::cout);
+  return report.stats.failed == 0 ? 0 : 1;
+}

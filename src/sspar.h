@@ -10,6 +10,8 @@
 // Lower-level entry points: ast::parse_and_resolve, core::Analyzer,
 // core::Parallelizer, interp::Interpreter (dynamic oracle), rt::ThreadPool,
 // kern::CgBenchmark (NPB CG), corpus::all_entries().
+// Batch mode: driver::BatchAnalyzer runs the pipeline over many programs
+// concurrently and aggregates corpus-wide statistics.
 #pragma once
 
 #include "core/analyzer.h"        // IWYU pragma: export
@@ -17,6 +19,7 @@
 #include "core/parallelizer.h"    // IWYU pragma: export
 #include "corpus/analysis.h"      // IWYU pragma: export
 #include "corpus/corpus.h"        // IWYU pragma: export
+#include "driver/batch_analyzer.h"  // IWYU pragma: export
 #include "frontend/frontend.h"    // IWYU pragma: export
 #include "interp/interpreter.h"   // IWYU pragma: export
 #include "kernels/csr.h"          // IWYU pragma: export

@@ -131,7 +131,6 @@ TEST(Phase2, IdentityFill) {
   const FactDB* facts = a.end_facts("fill");
   sym::AssumptionContext ctx;
   ctx.assume_ge(a.sym_of("n"), 1);
-  ExprPtrCheck:
   EXPECT_TRUE(facts->identity_over(a.sym_of("perm"), sym::make_const(0),
                                    sym::sub(sym::make_sym(a.sym_of("n")), sym::make_const(1)),
                                    ctx))

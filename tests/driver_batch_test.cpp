@@ -1,0 +1,108 @@
+// BatchAnalyzer unit tests: aggregate correctness, negative paths (malformed
+// programs must not abort the batch), and option handling.
+#include <gtest/gtest.h>
+
+#include "corpus/corpus.h"
+#include "driver/batch_analyzer.h"
+
+namespace sspar::driver {
+namespace {
+
+const char* kGoodSource = R"(
+  int n;
+  int perm[100];
+  double a[100];
+  void f(void) {
+    for (int i = 0; i < n; i++) {
+      perm[i] = i;
+    }
+    for (int i = 0; i < n; i++) {
+      a[perm[i]] = a[perm[i]] * 2.0;
+    }
+  }
+)";
+
+ProgramInput good(const std::string& name) {
+  return ProgramInput{name, kGoodSource, {{"n", 1}}};
+}
+
+TEST(BatchAnalyzer, EmptyBatchReturnsEmptyStats) {
+  BatchAnalyzer analyzer;
+  BatchReport report = analyzer.run({});
+  EXPECT_TRUE(report.programs.empty());
+  EXPECT_EQ(report.stats, BatchStats{});
+}
+
+TEST(BatchAnalyzer, AnalyzesASingleProgram) {
+  BatchAnalyzer analyzer(BatchOptions{/*threads=*/2, {}});
+  BatchReport report = analyzer.run({good("p0")});
+  ASSERT_EQ(report.programs.size(), 1u);
+  const ProgramReport& p = report.programs[0];
+  EXPECT_TRUE(p.ok) << p.error;
+  EXPECT_EQ(p.name, "p0");
+  EXPECT_EQ(p.loops, 2);
+  EXPECT_GE(p.parallel, 1);
+  EXPECT_GE(p.subscripted, 1);
+  EXPECT_EQ(report.stats.programs, 1);
+  EXPECT_EQ(report.stats.failed, 0);
+  EXPECT_EQ(report.stats.loops, 2);
+}
+
+TEST(BatchAnalyzer, MalformedSourceYieldsDiagnosticNotAbort) {
+  BatchAnalyzer analyzer(BatchOptions{/*threads=*/4, {}});
+  std::vector<ProgramInput> inputs = {
+      good("ok-before"),
+      ProgramInput{"bad-syntax", "void f( { this is not C }", {}},
+      ProgramInput{"bad-sema", "void f(void) { undeclared[0] = 1; }", {}},
+      good("ok-after"),
+  };
+  BatchReport report = analyzer.run(inputs);
+  ASSERT_EQ(report.programs.size(), 4u);
+
+  EXPECT_TRUE(report.programs[0].ok);
+  EXPECT_FALSE(report.programs[1].ok);
+  EXPECT_FALSE(report.programs[1].error.empty()) << "diagnostic must name the failure";
+  EXPECT_FALSE(report.programs[2].ok);
+  EXPECT_FALSE(report.programs[2].error.empty());
+  EXPECT_TRUE(report.programs[3].ok) << "batch must continue past malformed entries";
+
+  EXPECT_EQ(report.stats.programs, 4);
+  EXPECT_EQ(report.stats.failed, 2);
+  // Failed programs contribute nothing to loop counts.
+  EXPECT_EQ(report.stats.loops, 4);
+}
+
+TEST(BatchAnalyzer, ReportsComeBackInInputOrder) {
+  BatchAnalyzer analyzer(BatchOptions{/*threads=*/8, {}});
+  std::vector<ProgramInput> inputs;
+  for (int i = 0; i < 40; ++i) inputs.push_back(good("p" + std::to_string(i)));
+  BatchReport report = analyzer.run(inputs);
+  ASSERT_EQ(report.programs.size(), inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(report.programs[i].name, inputs[i].name);
+  }
+}
+
+TEST(BatchAnalyzer, CorpusInputsCoverTheWholeCorpus) {
+  auto inputs = BatchAnalyzer::corpus_inputs();
+  ASSERT_EQ(inputs.size(), corpus::all_entries().size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(inputs[i].name, corpus::all_entries()[i].name);
+    EXPECT_FALSE(inputs[i].source.empty());
+  }
+}
+
+TEST(BatchAnalyzer, ThreadClamping) {
+  EXPECT_GE(BatchAnalyzer(BatchOptions{0, {}}).threads(), 2u);
+  EXPECT_LE(BatchAnalyzer(BatchOptions{0, {}}).threads(), 8u);
+  EXPECT_EQ(BatchAnalyzer(BatchOptions{3, {}}).threads(), 3u);
+}
+
+TEST(BatchAnalyzer, PropertyKeyStripsDetail) {
+  EXPECT_EQ(property_key("monotonic non-decreasing bounds"), "monotonic");
+  EXPECT_EQ(property_key("subset-injective (guarded)"), "subset-injective");
+  EXPECT_EQ(property_key("affine"), "affine");
+}
+
+}  // namespace
+}  // namespace sspar::driver

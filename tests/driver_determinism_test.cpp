@@ -1,0 +1,77 @@
+// Determinism: the batch driver's verdicts and aggregates must not depend on
+// the degree of parallelism. Runs the whole corpus with 1 and 8 threads and
+// requires bit-identical per-loop verdicts and aggregate statistics.
+#include <gtest/gtest.h>
+
+#include "driver/batch_analyzer.h"
+
+namespace sspar::driver {
+namespace {
+
+struct FlatVerdict {
+  std::string program;
+  int loop_id;
+  bool canonical, parallel, subscripted;
+  std::string reason;
+  std::vector<std::string> blockers;
+
+  bool operator==(const FlatVerdict& other) const {
+    return program == other.program && loop_id == other.loop_id &&
+           canonical == other.canonical && parallel == other.parallel &&
+           subscripted == other.subscripted && reason == other.reason &&
+           blockers == other.blockers;
+  }
+};
+
+std::vector<FlatVerdict> flatten(const BatchReport& report) {
+  std::vector<FlatVerdict> flat;
+  for (const ProgramReport& p : report.programs) {
+    for (const auto& v : p.result.verdicts) {
+      flat.push_back(FlatVerdict{p.name, v.loop_id, v.canonical, v.parallel,
+                                 v.uses_subscripted_subscripts, v.reason, v.blockers});
+    }
+  }
+  return flat;
+}
+
+TEST(DriverDeterminism, OneThreadAndEightThreadsAgreeOverTheCorpus) {
+  auto inputs = BatchAnalyzer::corpus_inputs();
+
+  BatchReport serial = BatchAnalyzer(BatchOptions{1, {}}).run(inputs);
+  BatchReport parallel = BatchAnalyzer(BatchOptions{8, {}}).run(inputs);
+
+  ASSERT_EQ(serial.programs.size(), parallel.programs.size());
+  for (size_t i = 0; i < serial.programs.size(); ++i) {
+    EXPECT_EQ(serial.programs[i].name, parallel.programs[i].name);
+    EXPECT_EQ(serial.programs[i].ok, parallel.programs[i].ok);
+    EXPECT_EQ(serial.programs[i].result.output, parallel.programs[i].result.output)
+        << serial.programs[i].name;
+  }
+
+  auto serial_verdicts = flatten(serial);
+  auto parallel_verdicts = flatten(parallel);
+  ASSERT_EQ(serial_verdicts.size(), parallel_verdicts.size());
+  for (size_t i = 0; i < serial_verdicts.size(); ++i) {
+    EXPECT_TRUE(serial_verdicts[i] == parallel_verdicts[i])
+        << serial_verdicts[i].program << " loop " << serial_verdicts[i].loop_id;
+  }
+
+  EXPECT_EQ(serial.stats, parallel.stats);
+  // identical aggregate counts, spelled out for readable failures
+  EXPECT_EQ(serial.stats.loops, parallel.stats.loops);
+  EXPECT_EQ(serial.stats.parallel, parallel.stats.parallel);
+  EXPECT_EQ(serial.stats.parallel_subscripted, parallel.stats.parallel_subscripted);
+  EXPECT_EQ(serial.stats.property_counts, parallel.stats.property_counts);
+}
+
+TEST(DriverDeterminism, RepeatedRunsAreStable) {
+  auto inputs = BatchAnalyzer::corpus_inputs();
+  BatchAnalyzer analyzer(BatchOptions{4, {}});
+  BatchReport first = analyzer.run(inputs);
+  BatchReport second = analyzer.run(inputs);
+  EXPECT_EQ(first.stats, second.stats);
+  EXPECT_TRUE(flatten(first) == flatten(second));
+}
+
+}  // namespace
+}  // namespace sspar::driver

@@ -1,0 +1,66 @@
+// Differential validation of the batch driver, in the spirit of the NAS
+// auto-vs-manual parallelization comparison study: every loop the static
+// pipeline marks parallel is re-checked against the dynamic dependence
+// oracle. A single false positive (statically parallel, dynamically
+// dependence-carrying) fails the test.
+#include <gtest/gtest.h>
+
+#include "corpus/analysis.h"
+#include "corpus/corpus.h"
+#include "driver/batch_analyzer.h"
+#include "interp/interpreter.h"
+
+namespace sspar::driver {
+namespace {
+
+TEST(DriverDifferential, NoStaticParallelVerdictIsADynamicFalsePositive) {
+  BatchAnalyzer analyzer(BatchOptions{/*threads=*/4, {}});
+  BatchReport report = analyzer.run(BatchAnalyzer::corpus_inputs());
+  ASSERT_EQ(report.programs.size(), corpus::all_entries().size());
+  ASSERT_EQ(report.stats.failed, 0);
+
+  int checked = 0;
+  for (const ProgramReport& p : report.programs) {
+    const corpus::Entry* entry = corpus::find_entry(p.name);
+    ASSERT_NE(entry, nullptr) << p.name;
+    ASSERT_TRUE(p.ok) << p.name << ": " << p.error;
+    for (const auto& v : p.result.verdicts) {
+      if (!v.parallel) continue;
+      interp::Interpreter interp(*p.result.parsed.program);
+      corpus::seed_interpreter_inputs(*entry, interp);
+      auto oracle = interp.analyze_loop_dependences("f", v.loop);
+      EXPECT_TRUE(oracle.executed) << p.name << " loop " << v.loop_id;
+      EXPECT_TRUE(oracle.dependence_free)
+          << p.name << " loop " << v.loop_id << " FALSE POSITIVE: " << oracle.first_conflict
+          << " (static reason: " << v.reason << ")";
+      ++checked;
+    }
+  }
+  // The corpus is built so a substantial number of loops are provably
+  // parallel; an empty check set would mean the differential test is vacuous.
+  EXPECT_GT(checked, 10);
+}
+
+TEST(DriverDifferential, SerialLoopsWithBlockersAreReported) {
+  // Sanity on the negative side of the differential: loops the static
+  // analysis rejects must say why, so a comparison study can attribute them.
+  BatchAnalyzer analyzer;
+  BatchReport report = analyzer.run(BatchAnalyzer::corpus_inputs());
+  for (const ProgramReport& p : report.programs) {
+    ASSERT_TRUE(p.ok) << p.name;
+    bool any_serial = false;
+    bool any_blocker = false;
+    for (const auto& v : p.result.verdicts) {
+      if (!v.parallel) {
+        any_serial = true;
+        any_blocker = any_blocker || !v.blockers.empty();
+      }
+    }
+    if (any_serial) {
+      EXPECT_TRUE(any_blocker) << p.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sspar::driver
