@@ -2,9 +2,15 @@
 // its "forthcoming algebra" extensions): each rule is disabled in turn and
 // the corpus re-analyzed; the table shows how many parallel subscripted-
 // subscript loops survive, i.e. which patterns each rule unlocks.
+//
+// Each corpus entry is held in ONE pipeline::Session across all nine
+// configurations, so the source is parsed once and only analyze/parallelize
+// re-run per configuration — the per-stage timing summary at the bottom
+// shows the re-run-without-reparse win.
 #include <cstdio>
 
 #include "corpus/analysis.h"
+#include "pipeline/session.h"
 #include "support/text.h"
 
 using namespace sspar;
@@ -16,20 +22,12 @@ struct Variant {
   core::AnalyzerOptions options;
 };
 
-int count_parallel_ss(const core::AnalyzerOptions& options, std::vector<std::string>* lost) {
-  int total = 0;
-  core::AnalyzerOptions baseline;  // all rules on
-  for (const corpus::Entry& entry : corpus::all_entries()) {
-    corpus::EntryAnalysis with = corpus::analyze_entry(entry, options);
-    total += with.parallel_subscripted;
-    if (lost) {
-      corpus::EntryAnalysis base = corpus::analyze_entry(entry, baseline);
-      if (with.parallel_subscripted < base.parallel_subscripted) {
-        lost->push_back(entry.name);
-      }
-    }
+int parallel_ss(const std::vector<core::LoopVerdict>& verdicts) {
+  int count = 0;
+  for (const auto& v : verdicts) {
+    if (v.parallel && v.uses_subscripted_subscripts) ++count;
   }
-  return total;
+  return count;
 }
 
 }  // namespace
@@ -78,15 +76,62 @@ int main() {
     variants.push_back({"- lambda+i closed form", o});
   }
 
+  // One session per corpus entry, reused across every configuration.
+  std::vector<pipeline::Session> sessions;
+  sessions.reserve(corpus::all_entries().size());
+  for (const corpus::Entry& entry : corpus::all_entries()) {
+    sessions.emplace_back(entry.source, corpus::analyzer_assumptions(entry));
+  }
+
+  // Baseline counts per entry (first variant is the all-rules baseline).
+  std::vector<int> baseline(sessions.size(), 0);
+
   std::printf("Ablation — parallel subscripted-subscript loops across the corpus\n\n");
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"configuration", "parallel ss-loops", "entries losing loops"});
-  for (const Variant& v : variants) {
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    const Variant& variant = variants[vi];
+    int total = 0;
     std::vector<std::string> lost;
-    int count = count_parallel_ss(v.options, &lost);
-    rows.push_back({v.name, std::to_string(count),
+    for (size_t si = 0; si < sessions.size(); ++si) {
+      pipeline::Session& session = sessions[si];
+      session.analyze(variant.options);
+      const auto* verdicts = session.parallelize();
+      int count = verdicts ? parallel_ss(*verdicts) : 0;
+      total += count;
+      if (vi == 0) {
+        baseline[si] = count;
+      } else if (count < baseline[si]) {
+        lost.push_back(corpus::all_entries()[si].name);
+      }
+    }
+    rows.push_back({variant.name, std::to_string(total),
                     lost.empty() ? "-" : support::join(lost, ", ")});
   }
   std::printf("%s\n", support::render_table(rows).c_str());
+
+  // Per-stage cost split: parse ran once per entry, analyze/parallelize once
+  // per entry per configuration.
+  pipeline::SessionStats sum;
+  for (const pipeline::Session& session : sessions) {
+    const pipeline::SessionStats& s = session.stats();
+    sum.parse.runs += s.parse.runs;
+    sum.parse.total_ms += s.parse.total_ms;
+    sum.analyze.runs += s.analyze.runs;
+    sum.analyze.total_ms += s.analyze.total_ms;
+    sum.parallelize.runs += s.parallelize.runs;
+    sum.parallelize.total_ms += s.parallelize.total_ms;
+  }
+  std::printf("Per-stage totals across %zu sessions x %zu configurations\n\n",
+              sessions.size(), variants.size());
+  std::vector<std::vector<std::string>> stage_rows;
+  stage_rows.push_back({"stage", "runs", "total[ms]"});
+  stage_rows.push_back({"parse (cached after first run)", std::to_string(sum.parse.runs),
+                        support::format("%.2f", sum.parse.total_ms)});
+  stage_rows.push_back({"analyze", std::to_string(sum.analyze.runs),
+                        support::format("%.2f", sum.analyze.total_ms)});
+  stage_rows.push_back({"parallelize", std::to_string(sum.parallelize.runs),
+                        support::format("%.2f", sum.parallelize.total_ms)});
+  std::printf("%s\n", support::render_table(stage_rows).c_str());
   return 0;
 }

@@ -1,11 +1,12 @@
 // Experiment E6 — cost of the compile-time analysis itself: wall time of the
-// full pipeline (parse -> Phase 1/2 -> Range Test) as a function of program
-// size. Programs are synthesized by repeating the Fig. 9 pattern block.
-#include <chrono>
+// pipeline stages (parse vs Phase 1/2 analysis vs Range Test) as a function
+// of program size. Programs are synthesized by repeating the Fig. 9 pattern
+// block. A second analyze() on the same pipeline::Session demonstrates the
+// staged API's re-run-without-reparse win (the ablation loop's inner step).
 #include <cstdio>
 
+#include "pipeline/session.h"
 #include "support/text.h"
-#include "transform/omp_emitter.h"
 
 using namespace sspar;
 
@@ -43,21 +44,37 @@ std::string synthesize(int blocks) {
 int main() {
   std::printf("Compile-time cost of the analysis (synthetic Fig. 9 pattern blocks)\n\n");
   std::vector<std::vector<std::string>> rows;
-  rows.push_back({"blocks", "loops", "source lines", "analysis[ms]", "parallel loops"});
+  rows.push_back({"blocks", "loops", "source lines", "parse[ms]", "analyze[ms]",
+                  "range test[ms]", "re-analyze[ms]", "parallel loops"});
   for (int blocks : {1, 4, 16, 64, 128}) {
     std::string src = synthesize(blocks);
     size_t lines = support::split_lines(src).size();
-    auto t0 = std::chrono::steady_clock::now();
-    auto result = transform::translate_source(src, core::AnalyzerOptions{}, {{"N", 1}});
-    double seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    if (!result.ok) {
-      std::fprintf(stderr, "synthesis broken:\n%s\n", result.diagnostics.c_str());
+
+    pipeline::Session session(src, {{"N", 1}});
+    if (!session.parse()) {
+      std::fprintf(stderr, "synthesis broken:\n%s\n", session.diagnostics().dump().c_str());
       return 1;
     }
-    rows.push_back({std::to_string(blocks), std::to_string(result.verdicts.size()),
-                    std::to_string(lines), support::format("%.2f", seconds * 1e3),
-                    std::to_string(result.parallelized)});
+    session.analyze();
+    const auto* verdicts = session.parallelize();
+    size_t total_loops = verdicts->size();
+    int parallel = 0;
+    for (const auto& v : *verdicts) parallel += v.parallel ? 1 : 0;
+    double first_analyze_ms = session.stats().analyze.last_ms;
+
+    // Re-analyze under different options on the SAME session: the parse is
+    // cached, so this pays only the analysis cost again.
+    core::AnalyzerOptions no_recurrence;
+    no_recurrence.enable_recurrence_rule = false;
+    session.analyze(no_recurrence);
+
+    const pipeline::SessionStats& stats = session.stats();
+    rows.push_back({std::to_string(blocks), std::to_string(total_loops),
+                    std::to_string(lines), support::format("%.2f", stats.parse.total_ms),
+                    support::format("%.2f", first_analyze_ms),
+                    support::format("%.2f", stats.parallelize.total_ms),
+                    support::format("%.2f", stats.analyze.last_ms),
+                    std::to_string(parallel)});
   }
   std::printf("%s\n", support::render_table(rows).c_str());
   return 0;

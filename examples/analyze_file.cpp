@@ -10,8 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "pipeline/session.h"
 #include "support/text.h"
-#include "transform/omp_emitter.h"
 
 using namespace sspar;
 
@@ -22,17 +22,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   const char* path = nullptr;
-  std::vector<std::pair<std::string, int64_t>> assumptions;
+  pipeline::Assumptions assumptions;
   bool report_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--assume") == 0 && i + 1 < argc) {
-      std::string spec = argv[++i];
-      size_t eq = spec.find('=');
-      if (eq == std::string::npos) {
-        std::fprintf(stderr, "bad --assume spec '%s' (want NAME=MIN)\n", spec.c_str());
+      if (!assumptions.add_spec(argv[++i])) {
+        std::fprintf(stderr, "bad --assume spec '%s' (want NAME=MIN)\n", argv[i]);
         return 1;
       }
-      assumptions.emplace_back(spec.substr(0, eq), std::stoll(spec.substr(eq + 1)));
     } else if (std::strcmp(argv[i], "--report-only") == 0) {
       report_only = true;
     } else if (!path) {
@@ -55,15 +52,17 @@ int main(int argc, char** argv) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  auto result = transform::translate_source(buffer.str(), core::AnalyzerOptions{}, assumptions);
-  if (!result.ok) {
-    std::fprintf(stderr, "%s", result.diagnostics.c_str());
+  pipeline::Session session(buffer.str(), assumptions);
+  if (!session.parse()) {
+    std::fprintf(stderr, "%s", session.diagnostics().dump().c_str());
     return 1;
   }
+  const auto* verdicts = session.parallelize();
+  int parallelized = session.annotate();
 
-  std::fprintf(stderr, "=== %s: %zu loop(s), %d parallelized ===\n", path,
-               result.verdicts.size(), result.parallelized);
-  for (const auto& v : result.verdicts) {
+  std::fprintf(stderr, "=== %s: %zu loop(s), %d parallelized ===\n", path, verdicts->size(),
+               parallelized);
+  for (const auto& v : *verdicts) {
     std::fprintf(stderr, "  loop %d (line %u): %s", v.loop_id, v.loop->location.line,
                  v.parallel ? "PARALLEL" : "sequential");
     if (v.parallel) {
@@ -73,6 +72,6 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "\n");
   }
-  if (!report_only) std::printf("%s", result.output.c_str());
+  if (!report_only) std::printf("%s", session.emit().output.c_str());
   return 0;
 }

@@ -1,12 +1,15 @@
-// Quickstart: run the whole pipeline on the paper's Fig. 9 program.
+// Quickstart: run the staged pipeline on the paper's Fig. 9 program.
 //
 //   parse  ->  index-array analysis (Phase 1 + Phase 2)  ->  extended Range
 //   Test  ->  OpenMP annotation  ->  source emission
 //
+// Each stage is an explicit pipeline::Session call, so re-analysis under
+// different AnalyzerOptions reuses the cached parse (see the ablation bench).
+//
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "transform/omp_emitter.h"
+#include "pipeline/session.h"
 
 using namespace sspar;
 
@@ -54,18 +57,24 @@ void f(void) {
 )";
 
   // Problem sizes are positive — the only assumption the analysis needs.
-  auto result = transform::translate_source(source, core::AnalyzerOptions{},
-                                            {{"ROWLEN", 1}, {"COLUMNLEN", 1}});
-  if (!result.ok) {
-    std::fprintf(stderr, "frontend errors:\n%s", result.diagnostics.c_str());
+  pipeline::Session session(source, {{"ROWLEN", 1}, {"COLUMNLEN", 1}});
+  if (!session.parse()) {
+    // Structured diagnostics: stable code + location per record.
+    for (const auto& d : session.diagnostics().diagnostics()) {
+      std::fprintf(stderr, "%s\n", d.to_string().c_str());
+    }
     return 1;
   }
 
+  session.analyze();  // default AnalyzerOptions; cached until options change
+  const auto* verdicts = session.parallelize();
+
   std::printf("=== loop verdicts ===\n");
-  for (const auto& v : result.verdicts) {
+  for (const auto& v : *verdicts) {
     std::printf("loop %d: %s", v.loop_id, v.parallel ? "PARALLEL" : "sequential");
     if (v.parallel) {
-      std::printf(" — %s", v.reason.c_str());
+      std::printf(" — %s [%s%s]", v.reason.c_str(), core::property_name(v.property),
+                  v.peeled ? ", peeled" : "");
     } else if (!v.blockers.empty()) {
       std::printf(" — %s", v.blockers.front().c_str());
     }
@@ -73,7 +82,12 @@ void f(void) {
     std::printf("\n");
   }
 
-  std::printf("\n=== transformed source (%d loop(s) parallelized) ===\n%s",
-              result.parallelized, result.output.c_str());
+  int annotated = session.annotate();
+  auto emitted = session.emit();
+  std::printf("\n=== transformed source (%d loop(s) parallelized) ===\n%s", annotated,
+              emitted.output.c_str());
+  std::printf("\n=== stage costs ===\nparse %.2fms  analyze %.2fms  range-test %.2fms\n",
+              session.stats().parse.total_ms, session.stats().analyze.total_ms,
+              session.stats().parallelize.total_ms);
   return 0;
 }

@@ -120,6 +120,10 @@ struct AnalyzerOptions {
   bool enable_branch_rules = true;        // subset-injective / disjoint strided
   bool enable_copy_rule = true;           // a[i] = b[i] propagates facts
   bool enable_lambda_sum_rule = true;     // λ+g(i) closed-form aggregation
+
+  // Equality lets pipeline::Session reuse a cached analysis when asked to
+  // re-analyze under options it has already run.
+  bool operator==(const AnalyzerOptions&) const = default;
 };
 
 class Analyzer {

@@ -466,18 +466,39 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
   if (verdict.parallel) {
     std::string reason;
     if (used_subset) {
+      verdict.property = EnablingProperty::SubsetInjective;
       reason = "subset-injective index array with matching guard";
     } else if (used_injectivity) {
+      verdict.property = EnablingProperty::Injective;
       reason = "injective index array subscript";
     } else if (used_monotonic_facts) {
+      verdict.property = EnablingProperty::Monotonic;
       reason = "monotonic index array ranges (extended Range Test)";
     } else {
+      verdict.property = EnablingProperty::Affine;
       reason = "affine disjoint accesses";
     }
+    verdict.peeled = used_peel;
     if (used_peel) reason += " + peeled first iteration";
     verdict.reason = reason;
   }
   return verdict;
+}
+
+const char* property_name(EnablingProperty property) {
+  switch (property) {
+    case EnablingProperty::None:
+      return "";
+    case EnablingProperty::Affine:
+      return "affine";
+    case EnablingProperty::Monotonic:
+      return "monotonic";
+    case EnablingProperty::Injective:
+      return "injective";
+    case EnablingProperty::SubsetInjective:
+      return "subset-injective";
+  }
+  return "";
 }
 
 std::vector<LoopVerdict> Parallelizer::analyze_all(const ast::FuncDecl& function) {

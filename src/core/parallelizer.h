@@ -27,6 +27,21 @@
 
 namespace sspar::core {
 
+// The property of the index array that made the dependence test succeed
+// (paper Section 2's property catalogue). `None` for serial loops.
+enum class EnablingProperty {
+  None,
+  Affine,           // no indirection needed: affine disjoint accesses
+  Monotonic,        // monotonic index array ranges (extended Range Test)
+  Injective,        // injective index array subscript (Fig. 2)
+  SubsetInjective,  // subset-injective with matching guard (Fig. 5)
+};
+
+// Stable lowercase spelling ("affine", "monotonic", "injective",
+// "subset-injective"); empty string for None. Used as the histogram key in
+// driver::BatchStats and in the JSON reports.
+const char* property_name(EnablingProperty property);
+
 struct LoopVerdict {
   const ast::For* loop = nullptr;
   int loop_id = -1;
@@ -35,8 +50,12 @@ struct LoopVerdict {
   // The loop involves subscripted subscripts (directly a[b[i]], or inner loop
   // bounds taken from an index array).
   bool uses_subscripted_subscripts = false;
-  // Main enabling property when parallel (human-readable, stable prefixes for
-  // tests: "affine", "monotonic", "injective", "subset-injective", "peeled").
+  // Main enabling property when parallel, plus whether the proof needed to
+  // virtually peel the first iteration (Fig. 9 / Fig. 4 idiom).
+  EnablingProperty property = EnablingProperty::None;
+  bool peeled = false;
+  // Human-readable restatement of `property` (+ peeling); prefix matches
+  // property_name(property) so legacy string consumers keep working.
   std::string reason;
   std::vector<std::string> blockers;
   // Scalars to privatize in the OpenMP clause (declared outside the loop).

@@ -2,29 +2,42 @@
 
 #include <algorithm>
 
+#include "pipeline/session.h"
 #include "support/diagnostics.h"
 
 namespace sspar::corpus {
 
+pipeline::Assumptions analyzer_assumptions(const Entry& entry) {
+  pipeline::Assumptions assumptions;
+  for (const auto& param : entry.params) assumptions.add(param.name, param.assume_min);
+  return assumptions;
+}
+
+pipeline::Assumptions interpreter_params(const Entry& entry) {
+  pipeline::Assumptions params;
+  for (const auto& param : entry.params) params.add(param.name, param.interp_value);
+  return params;
+}
+
 EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& options) {
   EntryAnalysis result;
   result.entry = &entry;
-  support::DiagnosticEngine diags;
-  result.parsed = ast::parse_and_resolve(entry.source, diags);
-  result.diagnostics = diags.dump();
-  if (!result.parsed.ok) return result;
-
-  core::Analyzer analyzer(*result.parsed.program, *result.parsed.symbols, options);
-  for (const auto& param : entry.params) {
-    const ast::VarDecl* decl = result.parsed.program->find_global(param.name);
-    if (decl) analyzer.assume_ge(decl, param.assume_min);
+  pipeline::Session session(entry.source, analyzer_assumptions(entry));
+  bool parsed = session.parse();
+  result.diagnostics = session.diagnostics().dump();
+  if (!parsed) {
+    result.parsed = session.take_parse();
+    return result;
   }
-  analyzer.run();
-
-  core::Parallelizer parallelizer(analyzer);
-  const ast::FuncDecl* func = result.parsed.program->find_function("f");
-  if (!func) return result;
-  result.verdicts = parallelizer.analyze_all(*func);
+  session.analyze(options);
+  // Every corpus entry is a single function f(); the session's all-function
+  // verdict list is exactly f()'s loops.
+  if (const auto* verdicts = session.parallelize()) result.verdicts = *verdicts;
+  result.parsed = session.take_parse();
+  if (!result.parsed.program->find_function("f")) {
+    result.verdicts.clear();
+    return result;
+  }
 
   for (const auto& v : result.verdicts) {
     ++result.loops;
@@ -43,9 +56,7 @@ EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& opt
 }
 
 void seed_interpreter_inputs(const Entry& entry, interp::Interpreter& interp) {
-  for (const auto& param : entry.params) {
-    interp.set_scalar(param.name, param.interp_value);
-  }
+  interpreter_params(entry).seed_interpreter(interp);
   auto fill_int = [&](const char* name, size_t count, auto fn) {
     std::vector<int64_t> data(count);
     for (size_t i = 0; i < count; ++i) data[i] = fn(i);

@@ -1,6 +1,6 @@
-// Shared driver: run the full pipeline (parse -> analyze -> parallelize) on a
-// corpus entry. Used by the survey bench, the pattern-gallery example, and
-// the integration tests.
+// Shared driver: run the staged pipeline (pipeline::Session) on a corpus
+// entry. Used by the survey bench, the pattern-gallery example, and the
+// integration tests.
 #pragma once
 
 #include <memory>
@@ -9,6 +9,7 @@
 #include "corpus/corpus.h"
 #include "frontend/frontend.h"
 #include "interp/interpreter.h"
+#include "pipeline/assumptions.h"
 
 namespace sspar::corpus {
 
@@ -29,6 +30,11 @@ struct EntryAnalysis {
 };
 
 EntryAnalysis analyze_entry(const Entry& entry, const core::AnalyzerOptions& options = {});
+
+// The entry's size parameters as analyzer assumptions (name >= assume_min).
+pipeline::Assumptions analyzer_assumptions(const Entry& entry);
+// The same parameters as concrete interpreter inputs (name = interp_value).
+pipeline::Assumptions interpreter_params(const Entry& entry);
 
 // Seeds an interpreter with the entry's size parameters plus non-trivial data
 // for input arrays the kernel reads but does not fill itself. Used by every

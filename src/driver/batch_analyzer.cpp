@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <mutex>
 #include <thread>
 
+#include "corpus/analysis.h"
 #include "corpus/corpus.h"
 #include "runtime/thread_pool.h"
 
@@ -18,14 +20,25 @@ unsigned clamp_threads(unsigned requested) {
     unsigned hw = std::thread::hardware_concurrency();
     return std::min(std::max(hw, 2u), 8u);
   }
-  return std::max(requested, 1u);
+  return requested;
 }
 
 ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions& options) {
   ProgramReport report;
   report.name = input.name;
   try {
-    report.result = transform::translate_source(input.source, options, input.assumptions);
+    pipeline::Session session(input.source, input.assumptions);
+    if (session.parse()) {
+      session.analyze(options);
+      if (const auto* verdicts = session.parallelize()) report.result.verdicts = *verdicts;
+      report.result.parallelized = session.annotate();
+      report.result.output = session.emit().output;
+      report.result.ok = true;
+    }
+    report.result.diags = session.diagnostics().diagnostics();
+    report.result.diagnostics = session.diagnostics().dump();
+    report.result.parsed = session.take_parse();
+    report.stages = session.stats();
   } catch (const std::exception& e) {
     report.error = e.what();
     return report;
@@ -55,6 +68,13 @@ bool BatchStats::operator==(const BatchStats& other) const {
          property_counts == other.property_counts;
 }
 
+std::string property_key(const core::LoopVerdict& verdict) {
+  if (verdict.property != core::EnablingProperty::None) {
+    return core::property_name(verdict.property);
+  }
+  return property_key(verdict.reason);
+}
+
 std::string property_key(const std::string& reason) {
   size_t end = reason.find_first_of(" (:");
   return end == std::string::npos ? reason : reason.substr(0, end);
@@ -63,20 +83,37 @@ std::string property_key(const std::string& reason) {
 BatchAnalyzer::BatchAnalyzer(BatchOptions options)
     : options_(options), threads_(clamp_threads(options.threads)) {}
 
-BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs) const {
+BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs,
+                               const ReportCallback& on_report) const {
   BatchReport report;
   report.programs.resize(inputs.size());
   if (!inputs.empty()) {
-    // Each index writes only its own slot, so the report vector needs no
-    // locking and its order never depends on scheduling.
-    rt::ThreadPool pool(std::min<size_t>(threads_, inputs.size()));
-    pool.parallel_for(0, static_cast<int64_t>(inputs.size()),
-                      [&](int64_t begin, int64_t end) {
-                        for (int64_t i = begin; i < end; ++i) {
-                          report.programs[static_cast<size_t>(i)] =
-                              analyze_one(inputs[static_cast<size_t>(i)], options_.analyzer);
-                        }
-                      });
+    if (threads_ == 1) {
+      // threads == 1 means "serial on the calling thread": no pool, and the
+      // streaming callback fires in input order.
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        report.programs[i] = analyze_one(inputs[i], options_.analyzer);
+        if (on_report) on_report(report.programs[i]);
+      }
+    } else {
+      // Each index writes only its own slot, so the report vector needs no
+      // locking and its order never depends on scheduling. Only the
+      // streaming callback needs serialization.
+      std::mutex callback_mutex;
+      rt::ThreadPool pool(std::min<size_t>(threads_, inputs.size()));
+      pool.parallel_for(0, static_cast<int64_t>(inputs.size()),
+                        [&](int64_t begin, int64_t end) {
+                          for (int64_t i = begin; i < end; ++i) {
+                            ProgramReport& slot = report.programs[static_cast<size_t>(i)];
+                            slot = analyze_one(inputs[static_cast<size_t>(i)],
+                                               options_.analyzer);
+                            if (on_report) {
+                              std::lock_guard<std::mutex> lock(callback_mutex);
+                              on_report(slot);
+                            }
+                          }
+                        });
+    }
   }
   report.stats = aggregate(report.programs);
   return report;
@@ -98,7 +135,7 @@ BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) 
     if (p.parallel_subscripted > 0) ++stats.programs_with_pattern;
     for (const auto& v : p.result.verdicts) {
       if (v.parallel && v.uses_subscripted_subscripts) {
-        ++stats.property_counts[property_key(v.reason)];
+        ++stats.property_counts[property_key(v)];
       }
     }
   }
@@ -108,13 +145,8 @@ BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) 
 std::vector<ProgramInput> BatchAnalyzer::corpus_inputs() {
   std::vector<ProgramInput> inputs;
   for (const corpus::Entry& entry : corpus::all_entries()) {
-    ProgramInput input;
-    input.name = entry.name;
-    input.source = entry.source;
-    for (const auto& param : entry.params) {
-      input.assumptions.emplace_back(param.name, param.assume_min);
-    }
-    inputs.push_back(std::move(input));
+    inputs.push_back(
+        ProgramInput{entry.name, entry.source, corpus::analyzer_assumptions(entry)});
   }
   return inputs;
 }

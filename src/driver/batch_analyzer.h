@@ -1,21 +1,29 @@
-// Concurrent batch-analysis driver: runs the full pipeline (parse -> analyze
-// -> parallelize -> annotate) over many programs on a rt::ThreadPool and
-// aggregates per-loop verdicts into corpus-wide statistics — the paper's
-// Fig. 1 survey numbers as a programmatic API.
+// Concurrent batch-analysis driver: runs the staged pipeline
+// (pipeline::Session — parse -> analyze -> parallelize -> annotate -> emit)
+// over many programs on a rt::ThreadPool and aggregates per-loop verdicts
+// into corpus-wide statistics — the paper's Fig. 1 survey numbers as a
+// programmatic API.
 //
 // Results are deterministic: reports come back in input order and every
 // aggregate is computed serially from them, so a 1-thread and an 8-thread run
 // produce identical output. A malformed program never aborts the batch; it
-// yields a per-program diagnostic and counts toward `stats.failed`.
+// yields per-program diagnostics and counts toward `stats.failed`.
+//
+// Callers that want results as they finish (progress bars, streaming JSON)
+// can pass a per-report callback to run(); see BatchAnalyzer::run below.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/analyzer.h"
+#include "pipeline/assumptions.h"
+#include "pipeline/session.h"
+#include "support/diagnostics.h"
 #include "transform/omp_emitter.h"
 
 namespace sspar::driver {
@@ -25,7 +33,7 @@ namespace sspar::driver {
 struct ProgramInput {
   std::string name;
   std::string source;
-  std::vector<std::pair<std::string, int64_t>> assumptions;
+  pipeline::Assumptions assumptions;
 };
 
 // Pipeline output for one program. `result.parsed` owns the AST that
@@ -35,7 +43,10 @@ struct ProgramReport {
   std::string name;
   bool ok = false;
   std::string error;  // frontend diagnostics or exception text when !ok
+  // Structured diagnostics (stable code + location) live in `result.diags`.
   transform::TranslateResult result;
+  // Per-stage wall-clock cost of this program's pipeline run.
+  pipeline::SessionStats stages;
 
   // Per-program counts over result.verdicts (all zero when !ok).
   int loops = 0;
@@ -55,8 +66,8 @@ struct BatchStats {
   int annotated = 0;
   // Programs containing >= 1 parallel loop with a subscripted subscript.
   int programs_with_pattern = 0;
-  // Enabling-property histogram over parallel subscripted-subscript loops
-  // (keyed by the stable prefix of LoopVerdict::reason).
+  // Enabling-property histogram over parallel subscripted-subscript loops,
+  // keyed by core::property_name(verdict.property).
   std::map<std::string, int> property_counts;
 
   bool operator==(const BatchStats& other) const;
@@ -68,18 +79,28 @@ struct BatchReport {
 };
 
 struct BatchOptions {
-  // Total degree of parallelism (including the calling thread). 0 means
-  // "pick from the hardware", clamped to [2, 8].
+  // Total degree of parallelism, including the calling thread:
+  //   0  -> pick from the hardware, clamped into [2, 8];
+  //   1  -> run serially on the calling thread (no pool, no extra threads);
+  //   N  -> a pool with N-1 workers plus the calling thread.
   unsigned threads = 0;
   core::AnalyzerOptions analyzer;
 };
 
 class BatchAnalyzer {
  public:
+  // Invoked once per finished program, in COMPLETION order (not input
+  // order — aggregation stays input-ordered and deterministic regardless).
+  // Calls are serialized by the analyzer; the reference is only valid for
+  // the duration of the call with threads > 1.
+  using ReportCallback = std::function<void(const ProgramReport&)>;
+
   explicit BatchAnalyzer(BatchOptions options = {});
 
   // Analyzes all inputs concurrently; never throws for bad input programs.
-  BatchReport run(const std::vector<ProgramInput>& inputs) const;
+  // `on_report`, if given, streams each report as it completes.
+  BatchReport run(const std::vector<ProgramInput>& inputs,
+                  const ReportCallback& on_report = nullptr) const;
 
   // Thread count the analyzer will actually use (after clamping).
   unsigned threads() const { return threads_; }
@@ -95,8 +116,11 @@ class BatchAnalyzer {
   unsigned threads_;
 };
 
-// The stable property key for a verdict reason ("monotonic non-decreasing
-// bounds" -> "monotonic").
+// Histogram key for a parallel verdict: core::property_name(property), with
+// the legacy string-prefix fallback for verdicts that predate the enum.
+std::string property_key(const core::LoopVerdict& verdict);
+// Legacy string-prefix form ("monotonic non-decreasing bounds" ->
+// "monotonic"); kept for callers that only have a reason string.
 std::string property_key(const std::string& reason);
 
 }  // namespace sspar::driver

@@ -1,0 +1,41 @@
+// JSON views of the analysis results: per-loop verdicts, index-array fact
+// databases, per-program reports, and corpus-wide batch statistics. Powers
+// `sspar-analyze --json`; the schema is part of the public contract (tests
+// prove stats round-trip through support::json::parse).
+#pragma once
+
+#include "core/facts.h"
+#include "core/parallelizer.h"
+#include "driver/batch_analyzer.h"
+#include "support/json.h"
+
+namespace sspar::driver {
+
+// One loop verdict:
+//   {"loop_id":3,"line":24,"parallel":true,"subscripted":true,
+//    "property":"monotonic","peeled":true,"reason":"...","blockers":[...],
+//    "privates":["count"]}
+support::json::Value verdict_to_json(const core::LoopVerdict& verdict);
+
+// One fact database, keyed by array name; each array maps to its fact lists:
+//   {"rowptr":{"identities":[...],"values":[...],"steps":[...],
+//              "injectives":[...]}}
+// Sections and ranges are rendered as symbolic strings.
+support::json::Value facts_to_json(const core::FactDB& facts, const sym::SymbolTable& symbols);
+
+// One program's pipeline outcome, including structured diagnostics
+// (code/severity/line/column/message) and per-stage timings in ms.
+support::json::Value program_report_to_json(const ProgramReport& report, bool include_output);
+
+// The aggregate statistics block. Inverse of stats_from_json.
+support::json::Value stats_to_json(const BatchStats& stats);
+
+// Rebuilds BatchStats from stats_to_json output (round-trip; used by tests
+// and downstream consumers of --json).
+BatchStats stats_from_json(const support::json::Value& value);
+
+// The whole --json document: {"threads":N,"programs":[...],"stats":{...}}.
+support::json::Value batch_report_to_json(const BatchReport& report, unsigned threads,
+                                          bool include_output = false);
+
+}  // namespace sspar::driver

@@ -3,6 +3,7 @@
 //   sspar-analyze                       # analyze the whole benchmark corpus
 //   sspar-analyze --suite=npb           # one suite only
 //   sspar-analyze --threads=4 --emit    # 4 threads, print annotated sources
+//   sspar-analyze --json                # machine-readable report on stdout
 //   sspar-analyze --assume n=1 prog.c   # analyze mini-C files instead
 #include <cstdint>
 #include <cstring>
@@ -14,6 +15,7 @@
 
 #include "corpus/corpus.h"
 #include "driver/batch_analyzer.h"
+#include "driver/json_report.h"
 
 namespace {
 
@@ -30,9 +32,12 @@ void print_usage(std::ostream& os) {
         "loops. With no files, runs over the built-in benchmark corpus.\n"
         "\n"
         "options:\n"
-        "  --threads=N      degree of parallelism (default: hardware, max 8)\n"
+        "  --threads=N      degree of parallelism (default: hardware, max 8;\n"
+        "                   1 = serial on the calling thread)\n"
         "  --suite=NAME     corpus subset: paper | npb | suitesparse\n"
         "  --emit           also print the OpenMP-annotated source\n"
+        "  --json           machine-readable JSON report on stdout (verdicts,\n"
+        "                   structured diagnostics, per-stage timings, stats)\n"
         "  --quiet          aggregate statistics only\n"
         "  --assume VAR=MIN assume global VAR >= MIN for file inputs (repeatable)\n"
         "  --help           this message\n";
@@ -107,10 +112,11 @@ int main(int argc, char** argv) {
   BatchOptions options;
   bool emit = false;
   bool quiet = false;
+  bool json = false;
   bool have_suite = false;
   sspar::corpus::Suite suite = sspar::corpus::Suite::Paper;
   std::vector<std::string> files;
-  std::vector<std::pair<std::string, int64_t>> assumptions;
+  sspar::pipeline::Assumptions assumptions;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -135,15 +141,14 @@ int main(int argc, char** argv) {
       emit = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--assume" && i + 1 < argc) {
       std::string spec = argv[++i];
-      size_t eq = spec.find('=');
-      int64_t min = 0;
-      if (eq == std::string::npos || eq == 0 || !parse_int(spec.substr(eq + 1), &min)) {
+      if (!assumptions.add_spec(spec)) {
         std::cerr << "sspar-analyze: --assume expects VAR=MIN, got '" << spec << "'\n";
         return 2;
       }
-      assumptions.emplace_back(spec.substr(0, eq), min);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "sspar-analyze: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
@@ -188,6 +193,11 @@ int main(int argc, char** argv) {
   BatchAnalyzer analyzer(options);
   BatchReport report = analyzer.run(inputs);
 
+  if (json) {
+    std::cout << sspar::driver::batch_report_to_json(report, analyzer.threads(), emit).dump(2)
+              << "\n";
+    return report.stats.failed == 0 ? 0 : 1;
+  }
   if (!quiet) {
     for (const ProgramReport& p : report.programs) print_program(p, emit, std::cout);
   }

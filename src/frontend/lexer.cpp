@@ -117,7 +117,8 @@ void Lexer::skip_trivia() {
         advance();
         advance();
       } else {
-        diags_.error(here(), "unterminated block comment");
+        diags_.error(support::DiagCode::LexUnterminatedComment, here(),
+                     "unterminated block comment");
       }
     } else if (c == '#') {
       while (pos_ < source_.size() && peek() != '\n') advance();
@@ -219,7 +220,8 @@ Token Lexer::next() {
       if (match('&')) {
         tok.kind = TokenKind::AmpAmp;
       } else {
-        diags_.error(tok.location, "unexpected character '&'");
+        diags_.error(support::DiagCode::LexUnexpectedChar, tok.location,
+                     "unexpected character '&'");
         return next();
       }
       break;
@@ -227,12 +229,14 @@ Token Lexer::next() {
       if (match('|')) {
         tok.kind = TokenKind::PipePipe;
       } else {
-        diags_.error(tok.location, "unexpected character '|'");
+        diags_.error(support::DiagCode::LexUnexpectedChar, tok.location,
+                     "unexpected character '|'");
         return next();
       }
       break;
     default:
-      diags_.error(tok.location, std::string("unexpected character '") + c + "'");
+      diags_.error(support::DiagCode::LexUnexpectedChar, tok.location,
+                   std::string("unexpected character '") + c + "'");
       return next();
   }
   return tok;

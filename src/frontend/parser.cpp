@@ -67,7 +67,7 @@ bool Parser::match(TokenKind kind) {
 
 Token Parser::expect(TokenKind kind, const char* context) {
   if (check(kind)) return consume();
-  diags_.error(current().location,
+  diags_.error(support::DiagCode::ParseExpectedToken, current().location,
                std::string("expected ") + token_kind_name(kind) + " " + context + ", found " +
                    token_kind_name(current().kind));
   return current();
@@ -113,7 +113,7 @@ TypeKind Parser::parse_type() {
       consume();
       return TypeKind::Void;
     default:
-      diags_.error(current().location, "expected type");
+      diags_.error(support::DiagCode::ParseExpectedType, current().location, "expected type");
       consume();
       return TypeKind::Int;
   }
@@ -129,7 +129,8 @@ std::unique_ptr<Program> Parser::parse_program() {
 
 void Parser::parse_top_level(Program& program) {
   if (!at_type_keyword()) {
-    diags_.error(current().location, "expected declaration at top level");
+    diags_.error(support::DiagCode::ParseExpectedDecl, current().location,
+                 "expected declaration at top level");
     synchronize();
     return;
   }
@@ -458,8 +459,9 @@ ExprPtr Parser::parse_primary() {
       return e;
     }
     default:
-      diags_.error(current().location, std::string("expected expression, found ") +
-                                           token_kind_name(current().kind));
+      diags_.error(support::DiagCode::ParseExpectedExpr, current().location,
+                   std::string("expected expression, found ") +
+                       token_kind_name(current().kind));
       consume();
       return std::make_unique<IntLit>(0);
   }

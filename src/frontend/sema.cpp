@@ -45,7 +45,8 @@ class Resolver {
   void declare(VarDecl& decl) {
     auto& scope = scopes_.back();
     if (scope.count(decl.name)) {
-      diags_.error(decl.location, "redeclaration of '" + decl.name + "'");
+      diags_.error(support::DiagCode::SemaRedeclaration, decl.location,
+                   "redeclaration of '" + decl.name + "'");
       // Rebind: later references see the newer declaration, like C.
     }
     decl.symbol = symbols_.fresh(decl.name);
@@ -120,7 +121,8 @@ class Resolver {
         auto* e = expr.as<VarRef>();
         e->decl = lookup(e->name);
         if (!e->decl) {
-          diags_.error(e->location, "use of undeclared identifier '" + e->name + "'");
+          diags_.error(support::DiagCode::SemaUndeclared, e->location,
+                       "use of undeclared identifier '" + e->name + "'");
         }
         break;
       }
@@ -130,12 +132,15 @@ class Resolver {
         resolve_expr(*e->index);
         if (const VarRef* root = e->root()) {
           if (root->decl && !root->decl->is_array()) {
-            diags_.error(e->location, "subscripted variable '" + root->name + "' is not an array");
+            diags_.error(support::DiagCode::SemaNotAnArray, e->location,
+                         "subscripted variable '" + root->name + "' is not an array");
           } else if (root->decl && e->subscripts().size() > root->decl->dims.size()) {
-            diags_.error(e->location, "too many subscripts for array '" + root->name + "'");
+            diags_.error(support::DiagCode::SemaTooManySubscripts, e->location,
+                         "too many subscripts for array '" + root->name + "'");
           }
         } else {
-          diags_.error(e->location, "subscript base must be a variable");
+          diags_.error(support::DiagCode::SemaSubscriptBase, e->location,
+                       "subscript base must be a variable");
         }
         break;
       }
@@ -154,7 +159,8 @@ class Resolver {
         resolve_expr(*e->value);
         if (e->target->kind != ExprNodeKind::VarRef &&
             e->target->kind != ExprNodeKind::ArrayRef) {
-          diags_.error(e->location, "assignment target must be a variable or array element");
+          diags_.error(support::DiagCode::SemaBadAssignTarget, e->location,
+                       "assignment target must be a variable or array element");
         }
         break;
       }
@@ -163,7 +169,8 @@ class Resolver {
         resolve_expr(*e->target);
         if (e->target->kind != ExprNodeKind::VarRef &&
             e->target->kind != ExprNodeKind::ArrayRef) {
-          diags_.error(e->location, "increment target must be a variable or array element");
+          diags_.error(support::DiagCode::SemaBadIncrementTarget, e->location,
+                       "increment target must be a variable or array element");
         }
         break;
       }

@@ -1,0 +1,51 @@
+#include "pipeline/assumptions.h"
+
+#include <exception>
+
+#include "core/analyzer.h"
+#include "frontend/ast.h"
+#include "interp/interpreter.h"
+
+namespace sspar::pipeline {
+
+Assumptions::Assumptions(std::initializer_list<std::pair<std::string, int64_t>> items) {
+  for (const auto& [name, value] : items) add(name, value);
+}
+
+Assumptions::Assumptions(const std::vector<std::pair<std::string, int64_t>>& items) {
+  for (const auto& [name, value] : items) add(name, value);
+}
+
+void Assumptions::add(std::string name, int64_t value) {
+  items_.push_back(Assumption{std::move(name), value});
+}
+
+bool Assumptions::add_spec(const std::string& spec) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  try {
+    size_t consumed = 0;
+    int64_t value = std::stoll(spec.substr(eq + 1), &consumed);
+    if (consumed != spec.size() - eq - 1) return false;
+    add(spec.substr(0, eq), value);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+void Assumptions::apply(core::Analyzer& analyzer, const ast::Program& program) const {
+  for (const Assumption& a : items_) {
+    if (const ast::VarDecl* decl = program.find_global(a.name)) {
+      analyzer.assume_ge(decl, a.value);
+    }
+  }
+}
+
+void Assumptions::seed_interpreter(interp::Interpreter& interp) const {
+  for (const Assumption& a : items_) {
+    interp.set_scalar(a.name, a.value);
+  }
+}
+
+}  // namespace sspar::pipeline

@@ -1,0 +1,115 @@
+#include "pipeline/session.h"
+
+#include <chrono>
+
+#include "frontend/printer.h"
+#include "transform/omp_emitter.h"
+
+namespace sspar::pipeline {
+
+namespace {
+
+// Scope guard: charges the enclosed work to one stage's stats.
+class StageTimer {
+ public:
+  explicit StageTimer(StageStats& stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          start_)
+                    .count();
+    ++stats_.runs;
+    stats_.last_ms = ms;
+    stats_.total_ms += ms;
+  }
+
+ private:
+  StageStats& stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Session::Session(std::string source, Assumptions assumptions)
+    : source_(std::move(source)), assumptions_(std::move(assumptions)) {}
+
+bool Session::parse() {
+  if (parse_done_) return parsed_.ok;
+  StageTimer timer(stats_.parse);
+  parsed_ = ast::parse_and_resolve(source_, diags_);
+  parse_done_ = true;
+  return parsed_.ok;
+}
+
+void Session::invalidate_analysis_downstream() {
+  verdicts_.reset();
+  annotated_ = 0;
+  if (annotate_done_ && parsed_.program) {
+    transform::clear_annotations(*parsed_.program);
+    annotate_done_ = false;
+  }
+}
+
+const AnalysisResult* Session::analyze(const core::AnalyzerOptions& options) {
+  if (!parse()) return nullptr;
+  if (analysis_ && analysis_->options == options) return &*analysis_;
+  invalidate_analysis_downstream();
+  StageTimer timer(stats_.analyze);
+  analyzer_ = std::make_unique<core::Analyzer>(*parsed_.program, *parsed_.symbols, options);
+  assumptions_.apply(*analyzer_, *parsed_.program);
+  analyzer_->run();
+  analysis_ = AnalysisResult{analyzer_.get(), options};
+  return &*analysis_;
+}
+
+const std::vector<core::LoopVerdict>* Session::parallelize() {
+  if (verdicts_) return &*verdicts_;
+  if (!analysis_ && !analyze()) return nullptr;
+  if (!parsed_.ok) return nullptr;
+  StageTimer timer(stats_.parallelize);
+  core::Parallelizer parallelizer(*analyzer_);
+  std::vector<core::LoopVerdict> verdicts;
+  for (const auto& function : parsed_.program->functions) {
+    auto vs = parallelizer.analyze_all(*function);
+    verdicts.insert(verdicts.end(), vs.begin(), vs.end());
+  }
+  verdicts_ = std::move(verdicts);
+  return &*verdicts_;
+}
+
+int Session::annotate() {
+  const std::vector<core::LoopVerdict>* verdicts = parallelize();
+  if (!verdicts) return -1;
+  StageTimer timer(stats_.annotate);
+  if (annotate_done_) transform::clear_annotations(*parsed_.program);
+  annotated_ = transform::annotate_parallel_loops(*parsed_.program, *verdicts);
+  annotate_done_ = true;
+  return annotated_;
+}
+
+EmitResult Session::emit() {
+  EmitResult result;
+  if (!parse()) return result;
+  StageTimer timer(stats_.emit);
+  result.output = ast::print_program(*parsed_.program);
+  result.annotated = annotated_;
+  result.ok = true;
+  return result;
+}
+
+ast::ParseResult Session::take_parse() {
+  ast::ParseResult out = std::move(parsed_);
+  parsed_ = ast::ParseResult{};
+  parse_done_ = false;
+  // Drop every cache derived from the moved-out AST: a later analyze() must
+  // not hand back an Analyzer referencing a Program this session no longer
+  // owns (the caller may have destroyed it).
+  analyzer_.reset();
+  analysis_.reset();
+  verdicts_.reset();
+  annotated_ = 0;
+  annotate_done_ = false;
+  return out;
+}
+
+}  // namespace sspar::pipeline

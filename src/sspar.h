@@ -1,17 +1,36 @@
 // Umbrella header for the sspar library.
 //
-// Typical pipeline:
+// Primary API — the staged pipeline session (src/pipeline/):
 //
 //   #include "sspar.h"
+//   sspar::pipeline::Session session(source, {{"N", 1}});
+//   session.parse();                        // cached; never re-runs
+//   session.analyze(options);               // re-runnable per AnalyzerOptions
+//   auto* verdicts = session.parallelize(); // per-loop LoopVerdict
+//   session.annotate();                     // OpenMP pragmas onto the AST
+//   auto emitted = session.emit();          // annotated source out
+//
+// Each stage implies its predecessors and caches its result on the session,
+// so an ablation loop re-analyzing under many AnalyzerOptions parses once.
+// Errors surface as structured support::Diagnostic records (stable DiagCode
+// + SourceLocation) on session.diagnostics(); parallel verdicts carry a
+// core::EnablingProperty enum. pipeline::Assumptions is the one encoding for
+// "symbol >= bound" (analyzer) / "symbol = value" (interpreter) inputs.
+//
+// One-shot convenience (compatibility wrapper over Session):
+//
 //   auto result = sspar::transform::translate_source(source, {}, {{"N", 1}});
 //   // result.verdicts  — per-loop analysis (parallel? enabling property?)
 //   // result.output    — OpenMP-annotated source
 //
+// Batch mode: driver::BatchAnalyzer runs sessions over many programs
+// concurrently (deterministic input-ordered aggregation, optional streaming
+// per-report callback) and driver/json_report.h renders verdicts, facts, and
+// BatchStats as JSON — the `sspar-analyze --json` document.
+//
 // Lower-level entry points: ast::parse_and_resolve, core::Analyzer,
 // core::Parallelizer, interp::Interpreter (dynamic oracle), rt::ThreadPool,
 // kern::CgBenchmark (NPB CG), corpus::all_entries().
-// Batch mode: driver::BatchAnalyzer runs the pipeline over many programs
-// concurrently and aggregates corpus-wide statistics.
 #pragma once
 
 #include "core/analyzer.h"        // IWYU pragma: export
@@ -20,12 +39,16 @@
 #include "corpus/analysis.h"      // IWYU pragma: export
 #include "corpus/corpus.h"        // IWYU pragma: export
 #include "driver/batch_analyzer.h"  // IWYU pragma: export
+#include "driver/json_report.h"   // IWYU pragma: export
 #include "frontend/frontend.h"    // IWYU pragma: export
 #include "interp/interpreter.h"   // IWYU pragma: export
 #include "kernels/csr.h"          // IWYU pragma: export
 #include "kernels/npb_cg.h"       // IWYU pragma: export
 #include "kernels/pattern_kernels.h"  // IWYU pragma: export
+#include "pipeline/assumptions.h"  // IWYU pragma: export
+#include "pipeline/session.h"     // IWYU pragma: export
 #include "runtime/inspector.h"    // IWYU pragma: export
 #include "runtime/thread_pool.h"  // IWYU pragma: export
+#include "support/json.h"         // IWYU pragma: export
 #include "symbolic/context.h"     // IWYU pragma: export
 #include "transform/omp_emitter.h"  // IWYU pragma: export

@@ -1,8 +1,9 @@
 #include "support/diagnostics.h"
 
+#include "support/text.h"
+
 namespace sspar::support {
 
-namespace {
 const char* severity_name(Severity sev) {
   switch (sev) {
     case Severity::Note:
@@ -14,15 +15,22 @@ const char* severity_name(Severity sev) {
   }
   return "unknown";
 }
-}  // namespace
 
-std::string Diagnostic::to_string() const {
-  return location.to_string() + ": " + severity_name(severity) + ": " + message;
+std::string diag_code_name(DiagCode code) {
+  if (code == DiagCode::Unspecified) return "";
+  return format("E%04d", static_cast<int>(code));
 }
 
-void DiagnosticEngine::report(Severity sev, SourceLocation loc, std::string message) {
+std::string Diagnostic::to_string() const {
+  std::string out = location.to_string() + ": " + severity_name(severity) + ": " + message;
+  if (code != DiagCode::Unspecified) out += " [" + diag_code_name(code) + "]";
+  return out;
+}
+
+void DiagnosticEngine::report(Severity sev, DiagCode code, SourceLocation loc,
+                              std::string message) {
   if (sev == Severity::Error) ++error_count_;
-  diagnostics_.push_back(Diagnostic{sev, loc, std::move(message)});
+  diagnostics_.push_back(Diagnostic{sev, code, loc, std::move(message)});
 }
 
 std::string DiagnosticEngine::dump() const {

@@ -1,7 +1,10 @@
 // Diagnostic sink shared by the frontend and the analysis passes.
 //
 // The engine collects diagnostics instead of printing them so tests can make
-// exact assertions about what a pass reported.
+// exact assertions about what a pass reported. Every diagnostic carries a
+// stable machine-readable code (DiagCode) in addition to the human-readable
+// message, so tools (and the JSON report) can match on the *kind* of error
+// without parsing message text.
 #pragma once
 
 #include <string>
@@ -13,19 +16,60 @@ namespace sspar::support {
 
 enum class Severity { Note, Warning, Error };
 
+// Stable diagnostic codes. The numeric ranges are reserved per layer:
+//   E01xx lexer, E02xx parser, E03xx sema. Codes are part of the public
+// contract (the JSON report exposes them); never renumber an existing one.
+enum class DiagCode {
+  Unspecified = 0,  // legacy call sites that have not been classified
+
+  // Lexer.
+  LexUnterminatedComment = 101,  // E0101
+  LexUnexpectedChar = 102,       // E0102
+
+  // Parser.
+  ParseExpectedToken = 201,  // E0201: expect() mismatch
+  ParseExpectedType = 202,   // E0202
+  ParseExpectedDecl = 203,   // E0203: junk at top level
+  ParseExpectedExpr = 204,   // E0204
+
+  // Sema.
+  SemaRedeclaration = 301,      // E0301
+  SemaUndeclared = 302,         // E0302
+  SemaNotAnArray = 303,         // E0303: subscripting a scalar
+  SemaTooManySubscripts = 304,  // E0304
+  SemaSubscriptBase = 305,      // E0305: base is not a variable
+  SemaBadAssignTarget = 306,    // E0306
+  SemaBadIncrementTarget = 307, // E0307
+};
+
+// "E0302"-style stable spelling (empty string for Unspecified).
+std::string diag_code_name(DiagCode code);
+
+// "note" / "warning" / "error".
+const char* severity_name(Severity sev);
+
 struct Diagnostic {
   Severity severity = Severity::Error;
+  DiagCode code = DiagCode::Unspecified;
   SourceLocation location;
   std::string message;
 
+  // "3:12: error: use of undeclared identifier 'y' [E0302]"
   std::string to_string() const;
 };
 
 class DiagnosticEngine {
  public:
-  void report(Severity sev, SourceLocation loc, std::string message);
+  void report(Severity sev, SourceLocation loc, std::string message) {
+    report(sev, DiagCode::Unspecified, loc, std::move(message));
+  }
+  void report(Severity sev, DiagCode code, SourceLocation loc, std::string message);
+
   void error(SourceLocation loc, std::string message) {
     report(Severity::Error, loc, std::move(message));
+  }
+  void error(DiagCode code, SourceLocation loc, std::string message) {
+    report(Severity::Error, code, loc, std::move(message));
   }
   void warning(SourceLocation loc, std::string message) {
     report(Severity::Warning, loc, std::move(message));

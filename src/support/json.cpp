@@ -1,0 +1,366 @@
+#include "support/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "support/text.h"
+
+namespace sspar::support::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+int64_t Value::int_or(const std::string& key, int64_t fallback) const {
+  const Value* v = find(key);
+  return v && v->is_number() ? v->as_int() : fallback;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void Value::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      break;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::Int:
+      out += std::to_string(int_);
+      break;
+    case Kind::Double:
+      if (std::isfinite(double_)) {
+        out += format("%.17g", double_);
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    case Kind::String:
+      out += quote(string_);
+      break;
+    case Kind::Array: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += quote(key);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    auto value = parse_value();
+    if (value) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after JSON document");
+        value = std::nullopt;
+      }
+    }
+    if (!value && error) *error = error_;
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = format("at offset %zu: %s", pos_, what.c_str());
+    return false;
+  }
+
+  bool consume_lit(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return fail("invalid literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::optional<Value> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (!consume_lit("null")) return std::nullopt;
+        return Value(nullptr);
+      case 't':
+        if (!consume_lit("true")) return std::nullopt;
+        return Value(true);
+      case 'f':
+        if (!consume_lit("false")) return std::nullopt;
+        return Value(false);
+      case '"': {
+        std::string s;
+        if (!parse_string(&s)) return std::nullopt;
+        return Value(std::move(s));
+      }
+      case '[':
+        return parse_array();
+      case '{':
+        return parse_object();
+      default:
+        return parse_number();
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) break;
+        char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_ + static_cast<size_t>(i)];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                return fail("bad \\u escape");
+              }
+              code = code * 16 +
+                     static_cast<unsigned>(std::isdigit(static_cast<unsigned char>(h))
+                                               ? h - '0'
+                                               : std::tolower(h) - 'a' + 10);
+            }
+            pos_ += 4;
+            // UTF-8 encode (BMP only; our emitter only escapes control chars).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<Value> parse_number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    // JSON numbers start with '-' or a digit (no leading '+' or '.').
+    if (token.empty() || token == "-" ||
+        (token[0] != '-' && !std::isdigit(static_cast<unsigned char>(token[0])))) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    if (!is_double) {
+      int64_t value = 0;
+      auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) return Value(value);
+    }
+    try {
+      size_t consumed = 0;
+      double value = std::stod(std::string(token), &consumed);
+      // The scanner greedily swallows any digits/.eE+- run; reject tokens
+      // stod did not consume entirely (e.g. "1.2.3", "1e+").
+      if (consumed != token.size()) {
+        fail("invalid number");
+        return std::nullopt;
+      }
+      return Value(value);
+    } catch (const std::exception&) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_array() {
+    ++pos_;  // '['
+    Array items;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    while (true) {
+      auto item = parse_value();
+      if (!item) return std::nullopt;
+      items.push_back(std::move(*item));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated array");
+        return std::nullopt;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Value(std::move(items));
+      }
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Value> parse_object() {
+    ++pos_;  // '{'
+    Object members;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Value(std::move(members));
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return std::nullopt;
+      }
+      std::string key;
+      if (!parse_string(&key)) return std::nullopt;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      ++pos_;
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      members.emplace(std::move(key), std::move(*value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated object");
+        return std::nullopt;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Value(std::move(members));
+      }
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace sspar::support::json

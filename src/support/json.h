@@ -1,0 +1,85 @@
+// Minimal JSON document model used by the structured reports
+// (driver/json_report.h and `sspar-analyze --json`).
+//
+// Deliberately small: the value tree covers exactly what the reports need
+// (null/bool/int64/double/string/array/object), objects keep keys sorted
+// (std::map) so serialization is deterministic, and the parser exists so the
+// tests can prove the emitted reports round-trip. Not a general-purpose JSON
+// library — no comments, no \uXXXX surrogate pairs beyond the BMP, numbers
+// outside int64 fall back to double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sspar::support::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  Value(std::nullptr_t) : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(int v) : kind_(Kind::Int), int_(v) {}
+  Value(unsigned v) : kind_(Kind::Int), int_(v) {}
+  Value(int64_t v) : kind_(Kind::Int), int_(v) {}
+  Value(double v) : kind_(Kind::Double), double_(v) {}
+  Value(const char* s) : kind_(Kind::String), string_(s) {}
+  Value(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+  Value(Array a) : kind_(Kind::Array), array_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::Object), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_int() const { return kind_ == Kind::Int; }
+  bool is_number() const { return kind_ == Kind::Int || kind_ == Kind::Double; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const { return kind_ == Kind::Double ? static_cast<int64_t>(double_) : int_; }
+  double as_double() const { return kind_ == Kind::Int ? static_cast<double>(int_) : double_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  // find(key)->as_int() with a default for absent members.
+  int64_t int_or(const std::string& key, int64_t fallback) const;
+
+  // Compact serialization (no whitespace). `indent >= 0` pretty-prints.
+  std::string dump(int indent = -1) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+// Escapes and quotes `s` as a JSON string literal.
+std::string quote(const std::string& s);
+
+// Parses a complete JSON document. Returns nullopt (and sets *error if
+// given) on malformed input or trailing garbage.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace sspar::support::json

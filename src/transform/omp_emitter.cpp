@@ -4,6 +4,7 @@
 
 #include "frontend/printer.h"
 #include "frontend/sema.h"
+#include "pipeline/session.h"
 #include "support/diagnostics.h"
 
 namespace sspar::transform {
@@ -65,30 +66,30 @@ int annotate_parallel_loops(ast::Program& program,
   return annotated;
 }
 
-TranslateResult translate_source(
-    std::string_view source, const core::AnalyzerOptions& options,
-    const std::vector<std::pair<std::string, int64_t>>& assumptions) {
-  TranslateResult result;
-  support::DiagnosticEngine diags;
-  result.parsed = ast::parse_and_resolve(source, diags);
-  result.diagnostics = diags.dump();
-  if (!result.parsed.ok) return result;
+void clear_annotations(ast::Program& program) {
+  for (auto& function : program.functions) {
+    // collect_loops is recursive, so this reaches nested loops too.
+    ast::Stmt* body = function->body.get();
+    for (ast::For* loop : ast::collect_loops(body)) loop->annotations.clear();
+  }
+}
 
-  core::Analyzer analyzer(*result.parsed.program, *result.parsed.symbols, options);
-  for (const auto& [name, min] : assumptions) {
-    if (const ast::VarDecl* decl = result.parsed.program->find_global(name)) {
-      analyzer.assume_ge(decl, min);
-    }
+TranslateResult translate_source(std::string_view source, const core::AnalyzerOptions& options,
+                                 const pipeline::Assumptions& assumptions) {
+  pipeline::Session session(std::string(source), assumptions);
+  TranslateResult result;
+  if (session.parse()) {
+    session.analyze(options);
+    if (const auto* verdicts = session.parallelize()) result.verdicts = *verdicts;
+    result.parallelized = session.annotate();
+    result.output = session.emit().output;
+    result.ok = true;
   }
-  analyzer.run();
-  core::Parallelizer parallelizer(analyzer);
-  for (const auto& function : result.parsed.program->functions) {
-    auto verdicts = parallelizer.analyze_all(*function);
-    result.verdicts.insert(result.verdicts.end(), verdicts.begin(), verdicts.end());
-  }
-  result.parallelized = annotate_parallel_loops(*result.parsed.program, result.verdicts);
-  result.output = ast::print_program(*result.parsed.program);
-  result.ok = true;
+  result.diagnostics = session.diagnostics().dump();
+  result.diags = session.diagnostics().diagnostics();
+  // Transfers AST + symbol ownership into the result; verdicts keep pointing
+  // at the same nodes.
+  result.parsed = session.take_parse();
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include "core/parallelizer.h"
 #include "frontend/ast.h"
 #include "frontend/sema.h"
+#include "pipeline/assumptions.h"
+#include "support/diagnostics.h"
 
 namespace sspar::transform {
 
@@ -18,7 +20,14 @@ namespace sspar::transform {
 int annotate_parallel_loops(ast::Program& program,
                             const std::vector<core::LoopVerdict>& verdicts);
 
-// Convenience: parse -> analyze -> parallelize -> annotate -> print.
+// Strips every loop annotation added by annotate_parallel_loops, so a
+// program can be re-annotated under different verdicts (pipeline::Session
+// re-entrancy).
+void clear_annotations(ast::Program& program);
+
+// Convenience one-shot: parse -> analyze -> parallelize -> annotate -> print.
+// Compatibility wrapper over pipeline::Session — prefer the Session API for
+// anything that re-runs stages (ablation loops, batch analysis).
 struct TranslateResult {
   bool ok = false;
   std::string output;                          // transformed source
@@ -27,12 +36,14 @@ struct TranslateResult {
   ast::ParseResult parsed;
   std::vector<core::LoopVerdict> verdicts;     // per-loop analysis results
   int parallelized = 0;                        // loops annotated
-  std::string diagnostics;                     // frontend errors, if any
+  std::string diagnostics;                     // frontend errors joined, if any
+  // The same diagnostics as structured records (stable code + location).
+  std::vector<support::Diagnostic> diags;
 };
 // `assumptions` declares lower bounds for global symbols (e.g. problem sizes
 // known to be positive), mirroring the paper's implicit n >= 1 assumptions.
-TranslateResult translate_source(
-    std::string_view source, const core::AnalyzerOptions& options = {},
-    const std::vector<std::pair<std::string, int64_t>>& assumptions = {});
+TranslateResult translate_source(std::string_view source,
+                                 const core::AnalyzerOptions& options = {},
+                                 const pipeline::Assumptions& assumptions = {});
 
 }  // namespace sspar::transform

@@ -90,6 +90,73 @@ TEST_F(FactDbTest, KillWithUnboundedSectionDropsAll) {
   EXPECT_FALSE(db.elem_value(arr, c(0), ctx).has_value());
 }
 
+TEST_F(FactDbTest, KillSparesFactsProvablyDisjointUnderSymbolicBounds) {
+  FactDB db;
+  // Fact about [0 : n-1]; write to [n : n+9]. Disjointness needs the symbol
+  // bound n >= 10 from the context — a purely constant comparison cannot
+  // decide it.
+  db.add_value(arr, ValueFact{c(0), sym::sub(N(), c(1)), sym::Range::of_consts(1, 1)});
+  db.add_injective(arr, InjectiveFact{c(0), sym::sub(N(), c(1)), std::nullopt});
+  db.kill_overlapping(arr, N(), sym::add(N(), c(9)), ctx);
+  EXPECT_TRUE(db.elem_value(arr, c(0), ctx).has_value());
+  EXPECT_TRUE(db.injective_over(arr, c(0), sym::sub(N(), c(1)), ctx));
+
+  // The same write kills a fact whose section reaches index n.
+  db.add_value(arr, ValueFact{c(0), N(), sym::Range::of_consts(2, 2)});
+  db.kill_overlapping(arr, N(), sym::add(N(), c(9)), ctx);
+  EXPECT_TRUE(db.elem_value(arr, c(0), ctx).has_value());  // [0:n-1] fact survives
+  EXPECT_FALSE(db.elem_value(arr, N(), ctx).has_value());  // [0:n] fact is gone
+}
+
+TEST_F(FactDbTest, HalfUnboundedWriteKillsOnlyFactsItMayReach) {
+  FactDB db;
+  // Fact entirely below the write's lower bound: still provably disjoint.
+  db.add_value(arr, ValueFact{c(0), c(9), sym::Range::of_consts(1, 1)});
+  // Fact whose section reaches into [100 : ∞): must die.
+  db.add_value(arr, ValueFact{c(50), c(200), sym::Range::of_consts(2, 2)});
+  db.kill_overlapping(arr, c(100), nullptr, ctx);
+  EXPECT_TRUE(db.elem_value(arr, c(0), ctx).has_value());
+  EXPECT_FALSE(db.elem_value(arr, c(150), ctx).has_value());
+  EXPECT_FALSE(db.elem_value(arr, c(60), ctx).has_value());  // whole fact gone
+}
+
+TEST_F(FactDbTest, FullyUnboundedWriteDropsEveryFactKind) {
+  FactDB db;
+  db.add_value(arr, ValueFact{c(0), c(9), sym::Range::of_consts(1, 1)});
+  db.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(1, 1)});
+  db.add_injective(arr, InjectiveFact{c(0), c(9), std::nullopt});
+  db.add_identity(arr, IdentityFact{c(0), c(9)});
+  // Both bounds unknown: no disjointness proof can succeed for any fact.
+  db.kill_overlapping(arr, nullptr, nullptr, ctx);
+  EXPECT_FALSE(db.elem_value(arr, c(0), ctx).has_value());
+  EXPECT_FALSE(db.elem_diff(arr, c(2), c(1), ctx).has_value());
+  EXPECT_FALSE(db.injective_over(arr, c(0), c(9), ctx));
+  EXPECT_FALSE(db.identity_over(arr, c(0), c(9), ctx));
+}
+
+TEST_F(FactDbTest, WithFactsContextObservesPostKillState) {
+  FactDB db;
+  db.add_value(arr, ValueFact{c(0), c(9), sym::Range::of_consts(0, 5)});
+  db.add_step(arr, StepFact{c(1), c(9), sym::Range::of_consts(1, 1)});
+
+  // Before the kill, the derived context answers element queries.
+  sym::AssumptionContext with = db.with_facts(ctx);
+  ASSERT_TRUE(with.elem_value());
+  ASSERT_TRUE(with.elem_diff());
+  EXPECT_TRUE(with.elem_value()(arr, c(3)).has_value());
+  EXPECT_TRUE(with.elem_diff()(arr, c(5), c(2)).has_value());
+
+  // Kill overlapping facts. The context references the FactDB (not a copy),
+  // so the same context object must stop answering.
+  db.kill_overlapping(arr, c(3), c(3), ctx);
+  EXPECT_FALSE(with.elem_value()(arr, c(3)).has_value());
+  EXPECT_FALSE(with.elem_diff()(arr, c(5), c(2)).has_value());
+
+  // A context rebuilt after the kill agrees.
+  sym::AssumptionContext rebuilt = db.with_facts(ctx);
+  EXPECT_FALSE(rebuilt.elem_value()(arr, c(3)).has_value());
+}
+
 TEST_F(FactDbTest, StepFactKilledByWriteToBaseElement) {
   FactDB db;
   // Links [1:9] read element 0; writing element 0 must kill the fact.

@@ -18,8 +18,24 @@ TEST(Diagnostics, CountsErrorsOnly) {
 }
 
 TEST(Diagnostics, ToStringIncludesLocation) {
-  Diagnostic d{Severity::Error, {12, 5, 0}, "unexpected token"};
+  Diagnostic d{Severity::Error, DiagCode::Unspecified, {12, 5, 0}, "unexpected token"};
   EXPECT_EQ(d.to_string(), "12:5: error: unexpected token");
+}
+
+TEST(Diagnostics, ToStringIncludesStableCode) {
+  Diagnostic d{Severity::Error, DiagCode::SemaUndeclared, {3, 7, 0}, "no such thing"};
+  EXPECT_EQ(d.to_string(), "3:7: error: no such thing [E0302]");
+  EXPECT_EQ(diag_code_name(DiagCode::SemaUndeclared), "E0302");
+  EXPECT_EQ(diag_code_name(DiagCode::LexUnexpectedChar), "E0102");
+  EXPECT_EQ(diag_code_name(DiagCode::Unspecified), "");
+}
+
+TEST(Diagnostics, ReportWithCodeStoresCode) {
+  DiagnosticEngine diags;
+  diags.error(DiagCode::ParseExpectedExpr, {1, 1, 0}, "expected expression");
+  ASSERT_EQ(diags.diagnostics().size(), 1u);
+  EXPECT_EQ(diags.diagnostics()[0].code, DiagCode::ParseExpectedExpr);
+  EXPECT_TRUE(diags.has_errors());
 }
 
 TEST(Diagnostics, DumpJoinsAll) {
