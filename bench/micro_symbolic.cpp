@@ -48,6 +48,39 @@ void BM_ProveWithMonotonicityFact(benchmark::State& state) {
 }
 BENCHMARK(BM_ProveWithMonotonicityFact);
 
+void BM_SubstIterStart(benchmark::State& state) {
+  // The analyzer's hottest rewrite: replacing λ(x) while aggregating a loop
+  // body. The arena memoizes on (node, replacement, symbol), so steady-state
+  // iterations are a memo hit.
+  sym::SymbolTable syms;
+  sym::SymbolId x = syms.intern("x");
+  auto i = sym::make_sym(syms.intern("i"));
+  auto rowptr = syms.intern("rowptr");
+  auto e = sym::add(sym::make_array_elem(rowptr, sym::add(sym::make_iter_start(x), i)),
+                    sym::mul_const(sym::make_iter_start(x), 3));
+  auto repl = sym::add(sym::make_loop_start(x), sym::mul_const(i, 2));
+  for (auto _ : state) {
+    auto r = sym::subst_iter_start(e, x, repl);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SubstIterStart);
+
+void BM_ContainsSymMiss(benchmark::State& state) {
+  // Containment misses are the common case during aggregation; the subtree
+  // bloom answers without walking.
+  sym::SymbolTable syms;
+  auto i = sym::make_sym(syms.intern("i"));
+  auto n = sym::make_sym(syms.intern("n"));
+  sym::SymbolId absent = syms.intern("absent");
+  auto e = sym::add(sym::mul(i, n), sym::make_array_elem(syms.intern("a"), i));
+  for (auto _ : state) {
+    bool r = sym::contains_sym(e, absent);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ContainsSymMiss);
+
 const char* kFig9 = R"(
 int ROWLEN;
 int COLUMNLEN;

@@ -105,7 +105,7 @@ LoopEffect Analyzer::aggregate(const ast::For& loop, const LoopInfo& info,
       } else if (lo_has && hi_has) {
         // Case (a): λ-relative recurrence; per-iteration delta in
         // [f.lo - λ : f.hi - λ].
-        ExprPtr delta_lo_expr, delta_hi_expr;  // deltas as functions of i
+        ExprPtr delta_lo_expr = nullptr, delta_hi_expr = nullptr;  // deltas as functions of i
         auto aggregate_bound = [&](const ExprPtr& bound, bool lower) -> ExprPtr {
           sym::LinearForm lf = sym::to_linear(bound);
           int64_t lam_coeff = 0;

@@ -54,7 +54,7 @@ struct ScalarEnv {
 // access pattern references only the injective subset).
 struct AccessGuard {
   const ast::VarDecl* array = nullptr;
-  sym::ExprPtr index;
+  sym::ExprPtr index = nullptr;
   int64_t min = 0;
 };
 
@@ -63,7 +63,7 @@ struct AccessGuard {
 struct ArrayWriteEffect {
   const ast::VarDecl* array = nullptr;
   size_t dims = 1;              // number of subscripts at the access site
-  sym::ExprPtr index;           // exact symbolic subscript (innermost), may be null
+  sym::ExprPtr index = nullptr;  // exact symbolic subscript (innermost), may be null
   sym::Range index_range;       // may-range of the subscript (for kills)
   sym::Range value;             // may-range of the stored value (writes only)
   bool conditional = false;     // access may not execute every iteration

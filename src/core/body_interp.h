@@ -36,8 +36,8 @@ class BodyInterp {
   // disjoint-strided): index expression shared by both branches.
   struct BranchWritePair {
     const ast::VarDecl* array;
-    sym::ExprPtr index;                 // common subscript (exact)
-    sym::ExprPtr then_value, else_value;  // exact values (may be null)
+    sym::ExprPtr index = nullptr;       // common subscript (exact)
+    sym::ExprPtr then_value = nullptr, else_value = nullptr;  // exact values (may be null)
   };
   std::vector<BranchWritePair> branch_pairs;
 

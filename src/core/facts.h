@@ -32,22 +32,22 @@
 namespace sspar::core {
 
 struct ValueFact {
-  sym::ExprPtr lo, hi;
+  sym::ExprPtr lo = nullptr, hi = nullptr;
   sym::Range value;
 };
 
 struct StepFact {
-  sym::ExprPtr lo, hi;  // link indices: constrains pairs (idx-1, idx)
+  sym::ExprPtr lo = nullptr, hi = nullptr;  // link indices: constrains pairs (idx-1, idx)
   sym::Range step;
 };
 
 struct InjectiveFact {
-  sym::ExprPtr lo, hi;
+  sym::ExprPtr lo = nullptr, hi = nullptr;
   std::optional<int64_t> min_value;  // subset injectivity threshold
 };
 
 struct IdentityFact {
-  sym::ExprPtr lo, hi;
+  sym::ExprPtr lo = nullptr, hi = nullptr;
 };
 
 struct ArrayFacts {

@@ -355,7 +355,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
 
   // Injectivity route: every access must target the same exact subscript s(i).
   auto injectivity_test = [&](const ArrayAccessSet& set) -> bool {
-    ExprPtr s;
+    ExprPtr s = nullptr;
     std::vector<const ArrayWriteEffect*> all;
     for (const auto* w : set.writes) all.push_back(w);
     for (const auto* r : set.reads) all.push_back(r);

@@ -31,7 +31,9 @@ class StageTimer {
 }  // namespace
 
 Session::Session(std::string source, Assumptions assumptions)
-    : source_(std::move(source)), assumptions_(std::move(assumptions)) {}
+    : source_(std::move(source)),
+      assumptions_(std::move(assumptions)),
+      arena_(std::make_unique<sym::ExprArena>()) {}
 
 bool Session::parse() {
   if (parse_done_) return parsed_.ok;
@@ -55,6 +57,7 @@ const AnalysisResult* Session::analyze(const core::AnalyzerOptions& options) {
   if (analysis_ && analysis_->options == options) return &*analysis_;
   invalidate_analysis_downstream();
   StageTimer timer(stats_.analyze);
+  sym::ArenaScope arena_scope(*arena_);
   analyzer_ = std::make_unique<core::Analyzer>(*parsed_.program, *parsed_.symbols, options);
   assumptions_.apply(*analyzer_, *parsed_.program);
   analyzer_->run();
@@ -67,6 +70,7 @@ const std::vector<core::LoopVerdict>* Session::parallelize() {
   if (!analysis_ && !analyze()) return nullptr;
   if (!parsed_.ok) return nullptr;
   StageTimer timer(stats_.parallelize);
+  sym::ArenaScope arena_scope(*arena_);
   core::Parallelizer parallelizer(*analyzer_);
   std::vector<core::LoopVerdict> verdicts;
   for (const auto& function : parsed_.program->functions) {

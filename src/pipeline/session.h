@@ -45,6 +45,7 @@
 #include "frontend/sema.h"
 #include "pipeline/assumptions.h"
 #include "support/diagnostics.h"
+#include "symbolic/arena.h"
 
 namespace sspar::pipeline {
 
@@ -137,6 +138,11 @@ class Session {
   std::string source_;
   Assumptions assumptions_;
   support::DiagnosticEngine diags_;
+
+  // Declared before the analysis caches: every sym::Expr they reference is
+  // owned by this arena. unique_ptr keeps nodes' addresses stable across
+  // Session moves.
+  std::unique_ptr<sym::ExprArena> arena_;
 
   ast::ParseResult parsed_;
   bool parse_done_ = false;

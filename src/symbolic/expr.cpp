@@ -2,88 +2,153 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
+
+#include "symbolic/arena.h"
 
 namespace sspar::sym {
 
 namespace {
 
-ExprPtr make(ExprKind k) { return std::make_shared<Expr>(k); }
+// Append-only vector with N inline slots; spills to the heap only past N.
+// Backs every canonicalization scratch list so the hot path allocates
+// nothing for typical operand counts.
+template <typename T, size_t N>
+class InlineVec {
+ public:
+  void push(const T& v) {
+    if (heap_.empty()) {
+      if (size_ < N) {
+        buf_[size_++] = v;
+        return;
+      }
+      heap_.assign(buf_, buf_ + N);
+    }
+    heap_.push_back(v);
+  }
+  T* data() { return heap_.empty() ? buf_ : heap_.data(); }
+  size_t size() const { return heap_.empty() ? size_ : heap_.size(); }
+  T& operator[](size_t i) { return data()[i]; }
 
-struct AtomLess {
-  bool operator()(const ExprPtr& a, const ExprPtr& b) const { return compare(a, b) < 0; }
+ private:
+  T buf_[N];
+  size_t size_ = 0;
+  std::vector<T> heap_;
 };
 
-using TermMap = std::map<ExprPtr, int64_t, AtomLess>;
+// Flat accumulator of (atom, coefficient) pairs: the replacement for the old
+// std::map-based TermMap. Atoms are interned, so the duplicate check is a
+// pointer scan over a handful of entries; term lists stay in a small inline
+// buffer, making canonicalization allocation-free for typical expressions.
+class TermAccum {
+ public:
+  bool bottom = false;
+  int64_t constant = 0;
 
-void accumulate(TermMap& terms, int64_t& constant, bool& bottom, const ExprPtr& e,
-                int64_t scale) {
-  if (bottom || scale == 0) return;
-  switch (e->kind) {
-    case ExprKind::Bottom:
-      bottom = true;
-      return;
-    case ExprKind::Const:
-      constant += scale * e->value;
-      return;
-    case ExprKind::Add:
-      constant += scale * e->value;
-      for (size_t i = 0; i < e->operands.size(); ++i) {
-        accumulate(terms, constant, bottom, e->operands[i], scale * e->coeffs[i]);
+  void accumulate(const ExprPtr& e, int64_t scale) {
+    if (bottom || scale == 0) return;
+    switch (e->kind) {
+      case ExprKind::Bottom:
+        bottom = true;
+        return;
+      case ExprKind::Const:
+        constant += scale * e->value;
+        return;
+      case ExprKind::Add:
+        constant += scale * e->value;
+        for (size_t i = 0; i < e->operands.size(); ++i) {
+          add_atom(e->operands[i], scale * e->coeffs[i]);
+        }
+        return;
+      default:
+        add_atom(e, scale);
+        return;
+    }
+  }
+
+  void add_atom(const ExprPtr& atom, int64_t coeff) {
+    // Same-arena equal atoms are the same pointer; the structural fallback in
+    // build() covers the (test-only) cross-arena case.
+    for (size_t i = 0; i < terms_.size(); ++i) {
+      if (terms_[i].first == atom) {
+        terms_[i].second += coeff;
+        return;
       }
-      return;
-    default:
-      terms[e] += scale;
-      return;
+    }
+    terms_.push({atom, coeff});
   }
-}
 
-ExprPtr build_from_terms(const TermMap& terms, int64_t constant, bool bottom) {
-  if (bottom) return make_bottom();
-  std::vector<std::pair<ExprPtr, int64_t>> nonzero;
-  for (const auto& [atom, coeff] : terms) {
-    if (coeff != 0) nonzero.emplace_back(atom, coeff);
+  // Canonical node for Σ coeff_k * atom_k + constant.
+  ExprPtr build() {
+    if (bottom) return make_bottom();
+    std::pair<ExprPtr, int64_t>* data = terms_.data();
+    size_t n = terms_.size();
+    std::sort(data, data + n, [](const auto& a, const auto& b) {
+      return compare(a.first, b.first) < 0;
+    });
+    // Merge structurally equal neighbours (cross-arena atoms only) and drop
+    // zero coefficients in one pass.
+    size_t out = 0;
+    for (size_t i = 0; i < n;) {
+      ExprPtr atom = data[i].first;
+      int64_t coeff = data[i].second;
+      size_t j = i + 1;
+      while (j < n && (data[j].first == atom || compare(data[j].first, atom) == 0)) {
+        coeff += data[j].second;
+        ++j;
+      }
+      if (coeff != 0) data[out++] = {atom, coeff};
+      i = j;
+    }
+    if (out == 0) return make_const(constant);
+    if (out == 1 && data[0].second == 1 && constant == 0) return data[0].first;
+    InlineVec<ExprPtr, 16> ops;
+    InlineVec<int64_t, 16> coeffs;
+    for (size_t i = 0; i < out; ++i) {
+      ops.push(data[i].first);
+      coeffs.push(data[i].second);
+    }
+    return ExprArena::current().node(ExprKind::Add, constant, kInvalidSymbol, ops.data(), out,
+                                     coeffs.data(), out);
   }
-  if (nonzero.empty()) return make_const(constant);
-  if (nonzero.size() == 1 && nonzero[0].second == 1 && constant == 0) {
-    return nonzero[0].first;
+
+  // Copies the (unsorted is fine — caller sorts) terms out for LinearForm.
+  void export_terms(std::vector<std::pair<ExprPtr, int64_t>>& out) {
+    out.reserve(terms_.size());
+    for (size_t i = 0; i < terms_.size(); ++i) {
+      if (terms_[i].second != 0) out.push_back(terms_[i]);
+    }
   }
-  auto node = make(ExprKind::Add);
-  auto mut = std::const_pointer_cast<Expr>(node);
-  mut->value = constant;
-  for (auto& [atom, coeff] : nonzero) {
-    mut->operands.push_back(atom);
-    mut->coeffs.push_back(coeff);
-  }
-  return node;
-}
+
+ private:
+  InlineVec<std::pair<ExprPtr, int64_t>, 16> terms_;
+};
 
 ExprPtr linear_combine(const ExprPtr& a, int64_t ca, const ExprPtr& b, int64_t cb) {
-  TermMap terms;
-  int64_t constant = 0;
-  bool bottom = false;
-  if (a) accumulate(terms, constant, bottom, a, ca);
-  if (b) accumulate(terms, constant, bottom, b, cb);
-  return build_from_terms(terms, constant, bottom);
+  TermAccum acc;
+  if (a) acc.accumulate(a, ca);
+  if (b) acc.accumulate(b, cb);
+  return acc.build();
+}
+
+// Appends `e` to `out`, splicing in the operands of nodes of kind `flatten`
+// (Mul factors into a product, Min/Max operands into a combined min/max).
+void flatten_into(InlineVec<ExprPtr, 8>& out, const ExprPtr& e, ExprKind flatten) {
+  if (e->kind == flatten) {
+    for (const auto& o : e->operands) out.push(o);
+  } else {
+    out.push(e);
+  }
 }
 
 // Product of two canonical atoms/atom-products -> canonical Mul (or atom).
 ExprPtr atom_product(const ExprPtr& a, const ExprPtr& b) {
-  std::vector<ExprPtr> factors;
-  auto push = [&factors](const ExprPtr& e) {
-    if (e->kind == ExprKind::Mul) {
-      for (const auto& f : e->operands) factors.push_back(f);
-    } else {
-      factors.push_back(e);
-    }
-  };
-  push(a);
-  push(b);
-  std::sort(factors.begin(), factors.end(),
+  InlineVec<ExprPtr, 8> factors;
+  flatten_into(factors, a, ExprKind::Mul);
+  flatten_into(factors, b, ExprKind::Mul);
+  std::sort(factors.data(), factors.data() + factors.size(),
             [](const ExprPtr& x, const ExprPtr& y) { return compare(x, y) < 0; });
-  auto node = make(ExprKind::Mul);
-  std::const_pointer_cast<Expr>(node)->operands = std::move(factors);
-  return node;
+  return ExprArena::current().node(ExprKind::Mul, 0, kInvalidSymbol, factors.data(),
+                                   factors.size());
 }
 
 int compare_vec(const std::vector<ExprPtr>& a, const std::vector<ExprPtr>& b) {
@@ -97,43 +162,17 @@ int compare_vec(const std::vector<ExprPtr>& a, const std::vector<ExprPtr>& b) {
 
 }  // namespace
 
-ExprPtr make_const(int64_t v) {
-  auto node = make(ExprKind::Const);
-  std::const_pointer_cast<Expr>(node)->value = v;
-  return node;
-}
-
-ExprPtr make_sym(SymbolId id) {
-  auto node = make(ExprKind::Sym);
-  std::const_pointer_cast<Expr>(node)->symbol = id;
-  return node;
-}
-
-ExprPtr make_iter_start(SymbolId id) {
-  auto node = make(ExprKind::IterStart);
-  std::const_pointer_cast<Expr>(node)->symbol = id;
-  return node;
-}
-
-ExprPtr make_loop_start(SymbolId id) {
-  auto node = make(ExprKind::LoopStart);
-  std::const_pointer_cast<Expr>(node)->symbol = id;
-  return node;
-}
+ExprPtr make_const(int64_t v) { return ExprArena::current().constant(v); }
+ExprPtr make_sym(SymbolId id) { return ExprArena::current().symbol(id); }
+ExprPtr make_iter_start(SymbolId id) { return ExprArena::current().iter_start(id); }
+ExprPtr make_loop_start(SymbolId id) { return ExprArena::current().loop_start(id); }
 
 ExprPtr make_array_elem(SymbolId array, ExprPtr index) {
   if (!index || is_bottom(index)) return make_bottom();
-  auto node = make(ExprKind::ArrayElem);
-  auto mut = std::const_pointer_cast<Expr>(node);
-  mut->symbol = array;
-  mut->operands.push_back(std::move(index));
-  return node;
+  return ExprArena::current().node(ExprKind::ArrayElem, 0, array, &index, 1);
 }
 
-ExprPtr make_bottom() {
-  static const ExprPtr instance = make(ExprKind::Bottom);
-  return instance;
-}
+ExprPtr make_bottom() { return ExprArena::current().bottom(); }
 
 ExprPtr add(const ExprPtr& a, const ExprPtr& b) { return linear_combine(a, 1, b, 1); }
 ExprPtr sub(const ExprPtr& a, const ExprPtr& b) { return linear_combine(a, 1, b, -1); }
@@ -147,22 +186,17 @@ ExprPtr mul(const ExprPtr& a, const ExprPtr& b) {
   // Distribute sums (operand counts are tiny in practice).
   LinearForm la = to_linear(a);
   LinearForm lb = to_linear(b);
-  TermMap terms;
-  int64_t constant = 0;
-  bool bottom = false;
-  auto add_term = [&](const ExprPtr& atom, int64_t coeff) {
-    accumulate(terms, constant, bottom, atom, coeff);
-  };
+  TermAccum acc;
   // (Σ ci*ti + c0) * (Σ dj*uj + d0)
-  constant += la.constant * lb.constant;
-  for (const auto& [t, c] : la.terms) add_term(t, c * lb.constant);
-  for (const auto& [u, d] : lb.terms) add_term(u, d * la.constant);
+  acc.constant += la.constant * lb.constant;
+  for (const auto& [t, c] : la.terms) acc.accumulate(t, c * lb.constant);
+  for (const auto& [u, d] : lb.terms) acc.accumulate(u, d * la.constant);
   for (const auto& [t, c] : la.terms) {
     for (const auto& [u, d] : lb.terms) {
-      add_term(atom_product(t, u), c * d);
+      acc.accumulate(atom_product(t, u), c * d);
     }
   }
-  return build_from_terms(terms, constant, bottom);
+  return acc.build();
 }
 
 ExprPtr div_floor(const ExprPtr& a, const ExprPtr& b) {
@@ -178,10 +212,8 @@ ExprPtr div_floor(const ExprPtr& a, const ExprPtr& b) {
     }
     if (*ca == 0) return make_const(0);
   }
-  auto node = make(ExprKind::Div);
-  auto mut = std::const_pointer_cast<Expr>(node);
-  mut->operands = {a, b};
-  return node;
+  ExprPtr ops[2] = {a, b};
+  return ExprArena::current().node(ExprKind::Div, 0, kInvalidSymbol, ops, 2);
 }
 
 ExprPtr mod(const ExprPtr& a, const ExprPtr& b) {
@@ -194,10 +226,8 @@ ExprPtr mod(const ExprPtr& a, const ExprPtr& b) {
     if (r != 0 && ((r < 0) != (*cb < 0))) r += *cb;  // floor-mod
     return make_const(r);
   }
-  auto node = make(ExprKind::Mod);
-  auto mut = std::const_pointer_cast<Expr>(node);
-  mut->operands = {a, b};
-  return node;
+  ExprPtr ops[2] = {a, b};
+  return ExprArena::current().node(ExprKind::Mod, 0, kInvalidSymbol, ops, 2);
 }
 
 namespace {
@@ -215,25 +245,19 @@ ExprPtr min_max(ExprKind kind, const ExprPtr& a, const ExprPtr& b) {
     if (kind == ExprKind::Min) return a_smaller ? a : b;
     return a_smaller ? b : a;
   }
-  std::vector<ExprPtr> ops;
-  auto push = [&](const ExprPtr& e) {
-    if (e->kind == kind) {
-      for (const auto& o : e->operands) ops.push_back(o);
-    } else {
-      ops.push_back(e);
-    }
-  };
-  push(a);
-  push(b);
-  std::sort(ops.begin(), ops.end(),
+  InlineVec<ExprPtr, 8> ops;
+  flatten_into(ops, a, kind);
+  flatten_into(ops, b, kind);
+  ExprPtr* data = ops.data();
+  size_t count = ops.size();
+  std::sort(data, data + count,
             [](const ExprPtr& x, const ExprPtr& y) { return compare(x, y) < 0; });
-  ops.erase(std::unique(ops.begin(), ops.end(),
-                        [](const ExprPtr& x, const ExprPtr& y) { return equal(x, y); }),
-            ops.end());
-  if (ops.size() == 1) return ops[0];
-  auto node = make(kind);
-  std::const_pointer_cast<Expr>(node)->operands = std::move(ops);
-  return node;
+  count = static_cast<size_t>(
+      std::unique(data, data + count,
+                  [](const ExprPtr& x, const ExprPtr& y) { return equal(x, y); }) -
+      data);
+  if (count == 1) return data[0];
+  return ExprArena::current().node(kind, 0, kInvalidSymbol, data, count);
 }
 }  // namespace
 
@@ -249,7 +273,7 @@ std::optional<int64_t> const_value(const ExprPtr& e) {
 }
 
 int compare(const ExprPtr& a, const ExprPtr& b) {
-  if (a.get() == b.get()) return 0;
+  if (a == b) return 0;
   if (!a || !b) return !a ? -1 : 1;
   if (a->kind != b->kind) return a->kind < b->kind ? -1 : 1;
   if (a->value != b->value) return a->value < b->value ? -1 : 1;
@@ -258,45 +282,35 @@ int compare(const ExprPtr& a, const ExprPtr& b) {
   return compare_vec(a->operands, b->operands);
 }
 
-bool equal(const ExprPtr& a, const ExprPtr& b) { return compare(a, b) == 0; }
+bool equal(const ExprPtr& a, const ExprPtr& b) { return a == b || compare(a, b) == 0; }
 
-size_t hash(const ExprPtr& e) {
-  if (!e) return 0;
-  size_t h = static_cast<size_t>(e->kind) * 0x9e3779b97f4a7c15ull;
-  h ^= std::hash<int64_t>{}(e->value) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  h ^= std::hash<uint32_t>{}(e->symbol) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  for (const auto& o : e->operands) h ^= hash(o) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  for (int64_t c : e->coeffs) h ^= std::hash<int64_t>{}(c) + 0x9e3779b9 + (h << 6) + (h >> 2);
-  return h;
-}
+size_t hash(const ExprPtr& e) { return e ? e->hash_value : 0; }
 
-bool any_of(const ExprPtr& e, const std::function<bool(const Expr&)>& pred) {
-  if (!e) return false;
-  if (pred(*e)) return true;
-  for (const auto& o : e->operands) {
-    if (any_of(o, pred)) return true;
-  }
-  return false;
+bool contains_kind(const ExprPtr& e, ExprKind kind) {
+  return e && (e->subtree_kinds & kind_bit(kind)) != 0;
 }
 
 bool contains_sym(const ExprPtr& e, SymbolId id) {
+  if (!e || !(e->subtree_kinds & kind_bit(ExprKind::Sym))) return false;
+  const uint64_t bit = atom_bloom_bit(ExprKind::Sym, id);
+  if (!(e->atom_bloom & bit)) return false;
   return any_of(e, [id](const Expr& n) { return n.kind == ExprKind::Sym && n.symbol == id; });
 }
 
-bool contains_kind(const ExprPtr& e, ExprKind kind) {
-  return any_of(e, [kind](const Expr& n) { return n.kind == kind; });
+namespace {
+void collect_array_elems_rec(const ExprPtr& n, std::optional<SymbolId> array,
+                             std::vector<ExprPtr>& out) {
+  if (!n || !(n->subtree_kinds & kind_bit(ExprKind::ArrayElem))) return;
+  if (n->kind == ExprKind::ArrayElem && (!array || n->symbol == *array)) {
+    out.push_back(n);
+  }
+  for (const auto& o : n->operands) collect_array_elems_rec(o, array, out);
 }
+}  // namespace
 
 std::vector<ExprPtr> collect_array_elems(const ExprPtr& e, std::optional<SymbolId> array) {
   std::vector<ExprPtr> out;
-  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& n) {
-    if (!n) return;
-    if (n->kind == ExprKind::ArrayElem && (!array || n->symbol == *array)) {
-      out.push_back(n);
-    }
-    for (const auto& o : n->operands) walk(o);
-  };
-  walk(e);
+  collect_array_elems_rec(e, array, out);
   return out;
 }
 
@@ -313,21 +327,22 @@ LinearForm to_linear(const ExprPtr& e) {
     lf.bottom = true;
     return lf;
   }
-  TermMap terms;
-  bool bottom = false;
-  accumulate(terms, lf.constant, bottom, e, 1);
-  lf.bottom = bottom;
-  for (const auto& [atom, coeff] : terms) {
-    if (coeff != 0) lf.terms.emplace_back(atom, coeff);
-  }
+  TermAccum acc;
+  acc.accumulate(e, 1);
+  lf.bottom = acc.bottom;
+  lf.constant = acc.constant;
+  acc.export_terms(lf.terms);
+  std::sort(lf.terms.begin(), lf.terms.end(),
+            [](const auto& a, const auto& b) { return compare(a.first, b.first) < 0; });
   return lf;
 }
 
 ExprPtr from_linear(const LinearForm& lf) {
   if (lf.bottom) return make_bottom();
-  TermMap terms;
-  for (const auto& [atom, coeff] : lf.terms) terms[atom] += coeff;
-  return build_from_terms(terms, lf.constant, false);
+  TermAccum acc;
+  acc.constant = lf.constant;
+  for (const auto& [atom, coeff] : lf.terms) acc.add_atom(atom, coeff);
+  return acc.build();
 }
 
 std::optional<std::pair<int64_t, int64_t>> as_affine_in(const ExprPtr& e, SymbolId id) {
@@ -376,7 +391,7 @@ ExprPtr rewrite(const ExprPtr& e, const RewriteFn& fn) {
   // Top-down: a replacement is final (children of the replacement are not
   // revisited), which gives capture-free substitution semantics.
   if (auto replaced = fn(e)) return *replaced;
-  ExprPtr rebuilt;
+  ExprPtr rebuilt = nullptr;
   switch (e->kind) {
     case ExprKind::Const:
     case ExprKind::Sym:
@@ -385,15 +400,18 @@ ExprPtr rewrite(const ExprPtr& e, const RewriteFn& fn) {
     case ExprKind::Bottom:
       rebuilt = e;
       break;
-    case ExprKind::ArrayElem:
-      rebuilt = make_array_elem(e->symbol, rewrite(e->operands[0], fn));
+    case ExprKind::ArrayElem: {
+      ExprPtr index = rewrite(e->operands[0], fn);
+      rebuilt = index == e->operands[0] ? e : make_array_elem(e->symbol, index);
       break;
+    }
     case ExprKind::Add: {
-      ExprPtr acc = make_const(e->value);
+      TermAccum acc;
+      acc.constant = e->value;
       for (size_t i = 0; i < e->operands.size(); ++i) {
-        acc = add(acc, mul_const(rewrite(e->operands[i], fn), e->coeffs[i]));
+        acc.accumulate(rewrite(e->operands[i], fn), e->coeffs[i]);
       }
-      rebuilt = acc;
+      rebuilt = acc.build();
       break;
     }
     case ExprKind::Mul: {
@@ -424,10 +442,62 @@ ExprPtr rewrite(const ExprPtr& e, const RewriteFn& fn) {
 
 namespace {
 ExprPtr subst_kind(const ExprPtr& e, ExprKind kind, SymbolId id, const ExprPtr& replacement) {
-  return rewrite(e, [&](const ExprPtr& n) -> std::optional<ExprPtr> {
-    if (n->kind == kind && n->symbol == id) return replacement;
-    return std::nullopt;
-  });
+  if (!e || !(e->subtree_kinds & kind_bit(kind))) return e;
+  if (!(e->atom_bloom & atom_bloom_bit(kind, id))) return e;
+  if (e->kind == kind && e->symbol == id) return replacement;
+  ExprArena& arena = ExprArena::current();
+  ExprArena::SubstKey key{e, replacement, id, kind};
+  if (ExprPtr memo = arena.memo_get(key)) return memo;
+  ExprPtr result = nullptr;
+  switch (e->kind) {
+    case ExprKind::Const:
+    case ExprKind::Sym:
+    case ExprKind::IterStart:
+    case ExprKind::LoopStart:
+    case ExprKind::Bottom:
+      result = e;  // leaf of another kind/symbol (bloom false positive)
+      break;
+    case ExprKind::ArrayElem: {
+      ExprPtr index = subst_kind(e->operands[0], kind, id, replacement);
+      result = index == e->operands[0] ? e : make_array_elem(e->symbol, index);
+      break;
+    }
+    case ExprKind::Add: {
+      TermAccum acc;
+      acc.constant = e->value;
+      for (size_t i = 0; i < e->operands.size(); ++i) {
+        acc.accumulate(subst_kind(e->operands[i], kind, id, replacement), e->coeffs[i]);
+      }
+      result = acc.build();
+      break;
+    }
+    case ExprKind::Mul: {
+      ExprPtr acc = make_const(1);
+      for (const auto& o : e->operands) acc = mul(acc, subst_kind(o, kind, id, replacement));
+      result = acc;
+      break;
+    }
+    case ExprKind::Div:
+      result = div_floor(subst_kind(e->operands[0], kind, id, replacement),
+                         subst_kind(e->operands[1], kind, id, replacement));
+      break;
+    case ExprKind::Mod:
+      result = mod(subst_kind(e->operands[0], kind, id, replacement),
+                   subst_kind(e->operands[1], kind, id, replacement));
+      break;
+    case ExprKind::Min:
+    case ExprKind::Max: {
+      ExprPtr acc = subst_kind(e->operands[0], kind, id, replacement);
+      for (size_t i = 1; i < e->operands.size(); ++i) {
+        auto next = subst_kind(e->operands[i], kind, id, replacement);
+        acc = e->kind == ExprKind::Min ? smin(acc, next) : smax(acc, next);
+      }
+      result = acc;
+      break;
+    }
+  }
+  arena.memo_put(key, result);
+  return result;
 }
 }  // namespace
 

@@ -16,6 +16,12 @@
 //  * Bottom absorbs every operation.
 // Because the form is canonical, structural equality is semantic equality for
 // the affine fragment (atoms are compared structurally).
+//
+// Storage: every node is owned by an ExprArena (symbolic/arena.h) and
+// hash-consed — within one arena, structural equality is pointer identity.
+// ExprPtr is therefore a borrowed, non-owning handle; it stays valid exactly
+// as long as the owning arena (for code without an explicit arena: the
+// thread-local default arena, which lives until thread exit).
 #pragma once
 
 #include <cstdint>
@@ -44,8 +50,19 @@ enum class ExprKind : uint8_t {
   Bottom,
 };
 
+inline constexpr uint32_t kind_bit(ExprKind k) { return 1u << static_cast<unsigned>(k); }
+
+// Bloom-filter bit for a leaf atom (Sym/IterStart/LoopStart over `symbol`).
+// Subtree blooms give an O(1) "definitely absent" answer for contains_sym and
+// the substitution fast paths.
+inline constexpr uint64_t atom_bloom_bit(ExprKind kind, SymbolId symbol) {
+  uint64_t x = (static_cast<uint64_t>(symbol) << 4) ^ static_cast<uint64_t>(kind);
+  x *= 0x9e3779b97f4a7c15ull;
+  return 1ull << (x >> 58);
+}
+
 class Expr;
-using ExprPtr = std::shared_ptr<const Expr>;
+using ExprPtr = const Expr*;
 
 class Expr {
  public:
@@ -55,10 +72,16 @@ class Expr {
   std::vector<ExprPtr> operands;     // children (atoms for Add/Mul; args otherwise)
   std::vector<int64_t> coeffs;       // parallel to operands, Add only
 
+  // Interning metadata, written exactly once by the owning ExprArena.
+  uint32_t id = 0;             // dense per-arena id, creation-ordered
+  uint32_t subtree_kinds = 0;  // exact union of kind_bit() over the subtree
+  uint64_t atom_bloom = 0;     // union of atom_bloom_bit() over the subtree
+  size_t hash_value = 0;       // structural hash (arena-independent)
+
   explicit Expr(ExprKind k) : kind(k) {}
 };
 
-// --- Factories (always canonicalize) ---------------------------------------
+// --- Factories (always canonicalize; allocate from ExprArena::current()) ----
 ExprPtr make_const(int64_t v);
 ExprPtr make_sym(SymbolId id);
 ExprPtr make_iter_start(SymbolId id);
@@ -81,15 +104,50 @@ bool is_bottom(const ExprPtr& e);
 bool is_const(const ExprPtr& e);
 std::optional<int64_t> const_value(const ExprPtr& e);
 
+// Within one arena, equality is pointer identity (hash-consing); the
+// structural fallback only does work for nodes from different arenas.
 bool equal(const ExprPtr& a, const ExprPtr& b);
-// Total structural order; used for canonical sorting.
+// Total structural order; used for canonical sorting. Pointer-equal nodes
+// short-circuit, and interned children make the recursion exit at the first
+// differing field in practice.
 int compare(const ExprPtr& a, const ExprPtr& b);
+// Cached at interning time: a field load.
 size_t hash(const ExprPtr& e);
 
-// True if any subexpression satisfies `pred`.
-bool any_of(const ExprPtr& e, const std::function<bool(const Expr&)>& pred);
-bool contains_sym(const ExprPtr& e, SymbolId id);
+// True if any subexpression satisfies `pred`. Iterative pre-order walk;
+// allocation-free up to 64 pending nodes (deeper trees spill to the heap).
+template <typename Pred>
+bool any_of(const ExprPtr& e, Pred&& pred) {
+  if (!e) return false;
+  ExprPtr inline_stack[64];
+  size_t top = 0;
+  std::vector<ExprPtr> spill;
+  inline_stack[top++] = e;
+  while (top > 0 || !spill.empty()) {
+    ExprPtr n;
+    if (!spill.empty()) {
+      n = spill.back();
+      spill.pop_back();
+    } else {
+      n = inline_stack[--top];
+    }
+    if (pred(*n)) return true;
+    for (const ExprPtr& o : n->operands) {
+      if (top < 64) {
+        inline_stack[top++] = o;
+      } else {
+        spill.push_back(o);
+      }
+    }
+  }
+  return false;
+}
+
+// O(1): exact subtree kind mask, computed at interning time.
 bool contains_kind(const ExprPtr& e, ExprKind kind);
+// O(1) "no" via the subtree atom bloom; bloom hits fall back to an
+// allocation-free iterative walk.
+bool contains_sym(const ExprPtr& e, SymbolId id);
 
 // Collects every ArrayElem subexpression (of `array` if given).
 std::vector<ExprPtr> collect_array_elems(const ExprPtr& e,
@@ -115,16 +173,19 @@ std::optional<std::pair<int64_t, int64_t>> as_affine_in(const ExprPtr& e, Symbol
 // sym(id) at all (also not inside non-linear atoms). Returns (coeff, rest).
 struct AffineSplit {
   int64_t coeff = 0;
-  ExprPtr rest;
+  ExprPtr rest = nullptr;
 };
 std::optional<AffineSplit> split_affine_in(const ExprPtr& e, SymbolId id);
 
 // --- Rewriting --------------------------------------------------------------
-// Bottom-up rewrite: children are rebuilt first, then `fn` may replace the
-// rebuilt node. Returning nullopt keeps the node.
+// Top-down rewrite: `fn` may replace a node before its children are visited;
+// a replacement is final (capture-free substitution semantics). Returning
+// nullopt rebuilds the node from rewritten children.
 using RewriteFn = std::function<std::optional<ExprPtr>(const ExprPtr&)>;
 ExprPtr rewrite(const ExprPtr& e, const RewriteFn& fn);
 
+// Substitutions are memoized per-arena on (node, replacement, symbol) and
+// prune untouched subtrees through the atom bloom in O(1).
 ExprPtr subst_sym(const ExprPtr& e, SymbolId id, const ExprPtr& replacement);
 ExprPtr subst_iter_start(const ExprPtr& e, SymbolId id, const ExprPtr& replacement);
 ExprPtr subst_loop_start(const ExprPtr& e, SymbolId id, const ExprPtr& replacement);

@@ -127,6 +127,8 @@ Range eval_range(const ExprPtr& e, const RangeEnv& env) {
 }
 
 ExprPtr promote_iter_to_loop(const ExprPtr& e) {
+  // O(1) via the subtree kind mask: most promoted expressions carry no λ.
+  if (e && !contains_kind(e, ExprKind::IterStart)) return e;
   return rewrite(e, [](const ExprPtr& n) -> std::optional<ExprPtr> {
     if (n->kind == ExprKind::IterStart) return make_loop_start(n->symbol);
     return std::nullopt;

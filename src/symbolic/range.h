@@ -42,8 +42,8 @@ class Range {
   std::string to_string(const SymbolTable& syms) const;
 
  private:
-  ExprPtr lo_;
-  ExprPtr hi_;
+  ExprPtr lo_ = nullptr;
+  ExprPtr hi_ = nullptr;
 };
 
 // Interval arithmetic over symbolic bounds.

@@ -5,7 +5,7 @@
 namespace sspar::sym {
 
 SymbolId SymbolTable::intern(std::string_view name) {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   if (it != index_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
@@ -16,7 +16,7 @@ SymbolId SymbolTable::intern(std::string_view name) {
 SymbolId SymbolTable::fresh(std::string_view base) {
   std::string candidate(base);
   int n = 0;
-  while (index_.count(candidate)) {
+  while (index_.contains(candidate)) {
     candidate = std::string(base) + "." + std::to_string(n++);
   }
   return intern(candidate);
@@ -28,7 +28,7 @@ const std::string& SymbolTable::name(SymbolId id) const {
 }
 
 SymbolId SymbolTable::lookup(std::string_view name) const {
-  auto it = index_.find(std::string(name));
+  auto it = index_.find(name);
   return it == index_.end() ? kInvalidSymbol : it->second;
 }
 

@@ -30,8 +30,15 @@ class SymbolTable {
   SymbolId lookup(std::string_view name) const;
 
  private:
+  // Transparent hash: lets find() take a string_view without materializing a
+  // temporary std::string per lookup.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, SymbolId> index_;
+  std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> index_;
 };
 
 }  // namespace sspar::sym

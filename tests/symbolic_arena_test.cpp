@@ -1,0 +1,227 @@
+// Randomized differential test of the hash-consed expression arena.
+//
+// A seeded generator produces ~10k random expression-construction programs;
+// each program is executed twice through the canonicalizing factories. Within
+// one arena the two runs must intern to the *same node* (equal ⇔ pointer
+// identity), hashes must be stable (also across arenas), compare() must stay
+// a total order consistent with equality, and the to_linear/from_linear round
+// trip must be the identity on canonical nodes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "symbolic/arena.h"
+#include "symbolic/expr.h"
+
+namespace sspar::sym {
+namespace {
+
+constexpr int kPrograms = 10000;
+constexpr SymbolId kNumSyms = 6;
+
+// One deterministic "construction program": a recursive random build driven
+// entirely by `rng` draws, so replaying with an equally-seeded rng rebuilds
+// the structurally identical expression — through a possibly different
+// sequence of intermediate nodes.
+ExprPtr build_random(std::mt19937& rng, int depth) {
+  std::uniform_int_distribution<int> op_dist(0, depth <= 0 ? 4 : 11);
+  switch (op_dist(rng)) {
+    case 0:
+      return make_const(static_cast<int64_t>(rng() % 21) - 10);
+    case 1:
+      return make_sym(static_cast<SymbolId>(rng() % kNumSyms));
+    case 2:
+      return make_iter_start(static_cast<SymbolId>(rng() % kNumSyms));
+    case 3:
+      return make_loop_start(static_cast<SymbolId>(rng() % kNumSyms));
+    case 4:
+      return rng() % 8 == 0 ? make_bottom()
+                            : make_array_elem(static_cast<SymbolId>(rng() % kNumSyms),
+                                              build_random(rng, depth - 1));
+    case 5:
+      return add(build_random(rng, depth - 1), build_random(rng, depth - 1));
+    case 6:
+      return sub(build_random(rng, depth - 1), build_random(rng, depth - 1));
+    case 7:
+      return mul(build_random(rng, depth - 1), build_random(rng, depth - 1));
+    case 8:
+      return mul_const(build_random(rng, depth - 1), static_cast<int64_t>(rng() % 7) - 3);
+    case 9:
+      return smin(build_random(rng, depth - 1), build_random(rng, depth - 1));
+    case 10:
+      return smax(build_random(rng, depth - 1), build_random(rng, depth - 1));
+    default:
+      return div_floor(build_random(rng, depth - 1), build_random(rng, depth - 1));
+  }
+}
+
+TEST(SymbolicArenaTest, RebuildInternsToTheSameNode) {
+  ExprArena arena;
+  ArenaScope scope(arena);
+  for (int p = 0; p < kPrograms; ++p) {
+    std::mt19937 rng_a(p);
+    std::mt19937 rng_b(p);
+    ExprPtr first = build_random(rng_a, 3);
+    ExprPtr second = build_random(rng_b, 3);
+    // Hash-consing: rebuilding the same program yields the same pointer, and
+    // pointer identity agrees with structural equality and hashing.
+    ASSERT_EQ(first, second) << "program " << p;
+    ASSERT_TRUE(equal(first, second));
+    ASSERT_EQ(compare(first, second), 0);
+    ASSERT_EQ(hash(first), hash(second));
+    ASSERT_TRUE(arena.owns(first));
+  }
+  EXPECT_GT(arena.stats().intern_hits, 0u);
+}
+
+TEST(SymbolicArenaTest, EqualIffSameNodeAcrossDistinctPrograms) {
+  ExprArena arena;
+  ArenaScope scope(arena);
+  std::vector<ExprPtr> pool;
+  for (int p = 0; p < kPrograms; ++p) {
+    std::mt19937 rng(p);
+    pool.push_back(build_random(rng, 3));
+  }
+  std::mt19937 pick(12345);
+  for (int t = 0; t < 20000; ++t) {
+    const ExprPtr& a = pool[pick() % pool.size()];
+    const ExprPtr& b = pool[pick() % pool.size()];
+    ASSERT_EQ(equal(a, b), a == b);
+    ASSERT_EQ(compare(a, b) == 0, a == b);
+    ASSERT_EQ(hash(a) == hash(b), a == b) << "hash collision or instability";
+  }
+}
+
+TEST(SymbolicArenaTest, CompareIsATotalOrder) {
+  ExprArena arena;
+  ArenaScope scope(arena);
+  std::vector<ExprPtr> pool;
+  for (int p = 0; p < 2000; ++p) {
+    std::mt19937 rng(p);
+    pool.push_back(build_random(rng, 2));
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const ExprPtr& a, const ExprPtr& b) { return compare(a, b) < 0; });
+  std::mt19937 pick(999);
+  for (int t = 0; t < 20000; ++t) {
+    const ExprPtr& a = pool[pick() % pool.size()];
+    const ExprPtr& b = pool[pick() % pool.size()];
+    // Antisymmetry.
+    ASSERT_EQ(compare(a, b), -compare(b, a));
+  }
+  // Transitivity along the sorted pool: adjacent order implies global order.
+  for (size_t i = 0; i + 1 < pool.size(); ++i) {
+    ASSERT_LE(compare(pool[i], pool[i + 1]), 0);
+  }
+  for (size_t i = 0; i + 2 < pool.size(); i += 97) {
+    ASSERT_LE(compare(pool[i], pool[i + 2]), 0);
+  }
+}
+
+TEST(SymbolicArenaTest, HashesAreStableAcrossArenas) {
+  std::vector<size_t> first_hashes;
+  {
+    ExprArena arena;
+    ArenaScope scope(arena);
+    for (int p = 0; p < 500; ++p) {
+      std::mt19937 rng(p);
+      first_hashes.push_back(hash(build_random(rng, 3)));
+    }
+  }
+  ExprArena other;
+  ArenaScope scope(other);
+  for (int p = 0; p < 500; ++p) {
+    std::mt19937 rng(p);
+    ASSERT_EQ(hash(build_random(rng, 3)), first_hashes[p]) << "program " << p;
+  }
+}
+
+TEST(SymbolicArenaTest, LinearRoundTripIsIdentity) {
+  ExprArena arena;
+  ArenaScope scope(arena);
+  for (int p = 0; p < kPrograms; ++p) {
+    std::mt19937 rng(p);
+    ExprPtr e = build_random(rng, 3);
+    LinearForm lf = to_linear(e);
+    ExprPtr back = from_linear(lf);
+    if (is_bottom(e)) {
+      ASSERT_TRUE(is_bottom(back));
+    } else {
+      // Canonical nodes survive the linear-view round trip as the same node.
+      ASSERT_EQ(back, e) << "program " << p;
+    }
+    // Terms come back sorted by compare() with no zero coefficients.
+    for (size_t i = 0; i + 1 < lf.terms.size(); ++i) {
+      ASSERT_LT(compare(lf.terms[i].first, lf.terms[i + 1].first), 0);
+    }
+    for (const auto& [atom, coeff] : lf.terms) {
+      ASSERT_NE(coeff, 0);
+      ASSERT_NE(atom->kind, ExprKind::Add);
+      ASSERT_NE(atom->kind, ExprKind::Const);
+    }
+  }
+}
+
+TEST(SymbolicArenaTest, ContainmentMatchesExplicitWalk) {
+  ExprArena arena;
+  ArenaScope scope(arena);
+  for (int p = 0; p < 2000; ++p) {
+    std::mt19937 rng(p);
+    ExprPtr e = build_random(rng, 3);
+    for (SymbolId s = 0; s < kNumSyms; ++s) {
+      bool expected = any_of(
+          e, [s](const Expr& n) { return n.kind == ExprKind::Sym && n.symbol == s; });
+      ASSERT_EQ(contains_sym(e, s), expected);
+    }
+    for (ExprKind k : {ExprKind::IterStart, ExprKind::ArrayElem, ExprKind::Mul,
+                       ExprKind::Bottom, ExprKind::Min}) {
+      bool expected = any_of(e, [k](const Expr& n) { return n.kind == k; });
+      ASSERT_EQ(contains_kind(e, k), expected);
+    }
+  }
+}
+
+TEST(SymbolicArenaTest, SubstitutionMemoReturnsCanonicalResults) {
+  ExprArena arena;
+  ArenaScope scope(arena);
+  for (int p = 0; p < 2000; ++p) {
+    std::mt19937 rng(p);
+    ExprPtr e = build_random(rng, 3);
+    SymbolId target = static_cast<SymbolId>(p % kNumSyms);
+    ExprPtr repl = add(make_sym((target + 1) % kNumSyms), make_const(1));
+    ExprPtr once = subst_sym(e, target, repl);
+    ExprPtr twice = subst_sym(e, target, repl);  // memo hit
+    ASSERT_EQ(once, twice);
+    ASSERT_FALSE(contains_sym(once, target));
+    if (!contains_sym(e, target)) {
+      ASSERT_EQ(once, e);
+    }
+  }
+  EXPECT_GT(arena.stats().memo_entries, 0u);
+}
+
+TEST(SymbolicArenaTest, ScopesNestAndRestore) {
+  ExprArena outer;
+  ArenaScope outer_scope(outer);
+  ExprPtr in_outer = make_sym(0);
+  {
+    ExprArena inner;
+    ArenaScope inner_scope(inner);
+    ExprPtr in_inner = make_sym(0);
+    EXPECT_TRUE(inner.owns(in_inner));
+    EXPECT_FALSE(inner.owns(in_outer));
+    EXPECT_TRUE(outer.owns(in_outer));
+    // Same structure, different arenas: distinct nodes, still structurally
+    // equal with identical hashes.
+    EXPECT_NE(in_inner, in_outer);
+    EXPECT_TRUE(equal(in_inner, in_outer));
+    EXPECT_EQ(hash(in_inner), hash(in_outer));
+  }
+  // Scope restored: new nodes intern into `outer` again.
+  EXPECT_EQ(make_sym(0), in_outer);
+}
+
+}  // namespace
+}  // namespace sspar::sym

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Runs the symbolic micro benches (google-benchmark JSON) plus the E6
+# analysis-time stage-split bench and merges both into one JSON document —
+# the perf trajectory snapshot checked in at the repo root (BENCH_pr3.json).
+#
+# usage: bench_report.sh <build-dir> <output.json> [min_time_seconds]
+set -eu
+
+BUILD_DIR=${1:?usage: bench_report.sh <build-dir> <output.json> [min_time]}
+OUT=${2:?usage: bench_report.sh <build-dir> <output.json> [min_time]}
+MIN_TIME=${3:-0.2}
+
+MICRO="$BUILD_DIR/bench_micro_symbolic"
+ANALYSIS="$BUILD_DIR/bench_analysis_time"
+
+if [ ! -x "$MICRO" ]; then
+  echo "bench_report.sh: $MICRO not built (google-benchmark missing?)" >&2
+  exit 1
+fi
+
+TMP_MICRO=$(mktemp)
+TMP_ANALYSIS=$(mktemp)
+trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS"' EXIT
+
+# Older google-benchmark rejects the "0.01s" suffix form; pass a plain double.
+"$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP_MICRO"
+if [ -x "$ANALYSIS" ]; then
+  "$ANALYSIS" >"$TMP_ANALYSIS"
+else
+  : >"$TMP_ANALYSIS"
+fi
+
+python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$OUT" <<'EOF'
+import json
+import sys
+
+micro_path, analysis_path, out_path = sys.argv[1:4]
+
+with open(micro_path) as f:
+    micro = json.load(f)
+
+# The stage-split bench prints an ASCII table; keep it verbatim (it is the
+# human-readable record) and parse the data rows into structured form.
+with open(analysis_path) as f:
+    analysis_text = f.read()
+
+rows = []
+header = None
+for line in analysis_text.splitlines():
+    cells = line.split()
+    if cells[:1] == ["blocks"]:
+        header = ["blocks", "loops", "source_lines", "parse_ms", "analyze_ms",
+                  "range_test_ms", "reanalyze_ms", "parallel_loops"]
+        continue
+    if header and len(cells) == len(header) and cells[0].isdigit():
+        rows.append({k: float(v) if "." in v else int(v)
+                     for k, v in zip(header, cells)})
+
+doc = {
+    "context": micro.get("context", {}),
+    "micro_symbolic": micro.get("benchmarks", []),
+    "analysis_time": rows,
+    "analysis_time_raw": analysis_text,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+EOF
