@@ -1,6 +1,12 @@
 #include "core/analyzer.h"
 
+#include <algorithm>
+
 #include "core/body_interp.h"
+#include "ipa/call_graph.h"
+#include "ipa/summary.h"
+#include "support/diagnostics.h"
+#include "support/text.h"
 
 namespace sspar::core {
 
@@ -95,8 +101,18 @@ Range eval_pure(const ast::Expr& expr, const ScalarEnv& env,
 // ---------------------------------------------------------------------------
 
 Analyzer::Analyzer(const ast::Program& program, sym::SymbolTable& symbols,
-                   AnalyzerOptions options)
-    : program_(program), symbols_(symbols), options_(options) {}
+                   AnalyzerOptions options, ipa::SummaryDB* summaries,
+                   support::DiagnosticEngine* diags)
+    : program_(program), symbols_(symbols), options_(options), summaries_(summaries),
+      diags_(diags) {
+  for (const auto& g : program.globals) global_decls_.insert(g.get());
+  for (const auto& function : program.functions) {
+    if (program_has_calls_) break;
+    ast::walk_exprs(function->body.get(), [this](const ast::Expr* e) {
+      if (e->kind == ast::ExprNodeKind::Call) program_has_calls_ = true;
+    });
+  }
+}
 
 void Analyzer::assume(const ast::VarDecl* decl, Range range) {
   base_ctx_.assume(decl->symbol, std::move(range));
@@ -107,12 +123,17 @@ void Analyzer::assume_ge(const ast::VarDecl* decl, int64_t lo) {
 }
 
 void Analyzer::run() {
+  if (summaries_ && program_has_calls_) {
+    ipa::CallGraph graph(program_);
+    compute_summaries(graph);
+  }
   for (const auto& function : program_.functions) {
     analyze_function(*function);
   }
 }
 
 void Analyzer::analyze_function(const ast::FuncDecl& function) {
+  fact_provenance_.clear();
   ScalarEnv env;
   // Globals with constant initializers have a known entry value; everything
   // else starts as its own symbol.
@@ -142,6 +163,9 @@ void Analyzer::flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts) {
       snap.info = recognize_loop(loop);
       snap.facts_at_entry = facts;
       snap.scalars_at_entry = env;
+      for (const auto& [array, origins] : fact_provenance_) {
+        snap.fact_provenance[array].assign(origins.begin(), origins.end());
+      }
       int key = next_key_++;
       loop_keys_[&loop] = key;
       snapshots_[key] = std::move(snap);
@@ -155,6 +179,9 @@ void Analyzer::flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts) {
           inner_snap.info = recognize_loop(*inner);
           inner_snap.facts_at_entry = facts;
           inner_snap.scalars_at_entry = env;
+          for (const auto& [array, origins] : fact_provenance_) {
+            inner_snap.fact_provenance[array].assign(origins.begin(), origins.end());
+          }
           int inner_key = next_key_++;
           loop_keys_[inner] = inner_key;
           snapshots_[inner_key] = std::move(inner_snap);
@@ -164,47 +191,130 @@ void Analyzer::flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts) {
       apply_effect(loop, effect, env, facts);
       return;
     }
-    case ast::StmtNodeKind::While: {
-      // Conservative: havoc everything the while loop writes.
-      const auto& w = *stmt.as<ast::While>();
-      for (const ast::VarDecl* decl : written_scalars(*w.body)) {
-        env.set(decl, Range::bottom());
-      }
-      for (const ast::VarDecl* arr : written_arrays(*w.body)) {
-        facts.kill_all(arr->symbol);
-      }
+    case ast::StmtNodeKind::While:
+      // Conservative: havoc everything the while loop (or its calls) writes.
+      havoc_stmt(stmt, env, facts);
       return;
-    }
     case ast::StmtNodeKind::If:
     case ast::StmtNodeKind::ExprStmt:
     case ast::StmtNodeKind::DeclStmt: {
       // Straight-line interpretation (single-trip "loop").
       BodyInterp interp(*this, stmt, /*index=*/nullptr, env, facts);
       if (!interp.run()) {
-        for (const ast::VarDecl* decl : written_scalars(stmt)) env.set(decl, Range::bottom());
-        for (const ast::VarDecl* arr : written_arrays(stmt)) facts.kill_all(arr->symbol);
+        havoc_stmt(stmt, env, facts);
         return;
       }
-      for (const auto& [decl, value] : interp.env.values) env.set(decl, value);
-      for (const auto& w : interp.writes) {
-        if (!w.array) continue;
-        if (w.index_range.is_bottom() || w.dims != 1) {
-          facts.kill_all(w.array->symbol);
-        } else {
-          facts.kill_overlapping(w.array->symbol, w.index_range.lo(), w.index_range.hi(),
-                                 base_ctx_);
-        }
-        // Single unconditional write with known value: point fact
-        // (e.g. rowptr[0] = 0 in Fig. 9).
-        if (!w.conditional && w.index && !w.value.is_bottom() && w.dims == 1) {
-          facts.add_value(w.array->symbol, ValueFact{w.index, w.index, w.value});
-        }
-      }
+      apply_straight_line(interp, env, facts, /*track_provenance=*/!summary_mode_);
       return;
     }
     default:
       return;  // Break/Continue/Return/Empty at top level: no effect to model
   }
+}
+
+void Analyzer::apply_straight_line(BodyInterp& interp, ScalarEnv& env, FactDB& facts,
+                                   bool track_provenance) {
+  for (const auto& [decl, value] : interp.env.values) env.set(decl, value);
+  for (const auto& w : interp.writes) {
+    if (!w.array) continue;
+    if (w.index_range.is_bottom() || w.dims != 1) {
+      facts.kill_all(w.array->symbol);
+    } else {
+      facts.kill_overlapping(w.array->symbol, w.index_range.lo(), w.index_range.hi(),
+                             base_ctx_);
+    }
+    // Single unconditional write with known value: point fact (e.g.
+    // rowptr[0] = 0 in Fig. 9). Summary-applied writes are skipped: the
+    // callee's exit facts below already carry everything provable.
+    if (!w.conditional && w.index && !w.value.is_bottom() && w.dims == 1 &&
+        !w.summary_origin) {
+      facts.add_value(w.array->symbol, ValueFact{w.index, w.index, w.value});
+    }
+    if (track_provenance && !w.summary_origin) fact_provenance_.erase(w.array->symbol);
+  }
+  // Callee exit facts from unconditional calls, after the kills.
+  for (const auto& pf : interp.pending_facts) {
+    // A write later in the same statement clobbers the callee's exit state.
+    bool clobbered = false;
+    for (size_t j = pf.writes_at_record; j < interp.writes.size(); ++j) {
+      const auto& w = interp.writes[j];
+      if (w.array && w.array->symbol == pf.fact.array) {
+        clobbered = true;
+        break;
+      }
+    }
+    if (clobbered) continue;
+    if (pf.fact.identity) facts.add_identity(pf.fact.array, *pf.fact.identity);
+    if (pf.fact.value) facts.add_value(pf.fact.array, *pf.fact.value);
+    if (pf.fact.step) facts.add_step(pf.fact.array, *pf.fact.step);
+    if (pf.fact.injective) facts.add_injective(pf.fact.array, *pf.fact.injective);
+    if (track_provenance && pf.origin) {
+      fact_provenance_[pf.fact.array].insert(pf.origin->name);
+    }
+  }
+}
+
+void Analyzer::havoc_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts) {
+  for (const ast::VarDecl* decl : written_scalars(stmt)) env.set(decl, Range::bottom());
+  for (const ast::VarDecl* arr : written_arrays(stmt)) {
+    facts.kill_all(arr->symbol);
+    fact_provenance_.erase(arr->symbol);
+  }
+  // Calls may write state that is invisible syntactically; havoc their
+  // may-write sets (or everything, when the callee is opaque or unknown).
+  bool havoc_world = false;
+  ast::walk_exprs(&stmt, [this, &havoc_world, &env, &facts](const ast::Expr* e) {
+    const auto* call = e->as<ast::Call>();
+    if (!call || havoc_world) return;
+    const ipa::FunctionSummary* s = call_summary(*call);
+    if (!s || s->opaque) {
+      havoc_world = true;
+      return;
+    }
+    for (const ast::VarDecl* decl : s->may_write_scalars) env.set(decl, Range::bottom());
+    for (const ast::VarDecl* arr : s->may_write_arrays) {
+      facts.kill_all(arr->symbol);
+      fact_provenance_.erase(arr->symbol);
+    }
+    if (s->writes_array_params) {
+      // The callee stores through its array parameters: the actuals at this
+      // site may be written. Array actuals are plain variables by grammar.
+      for (const auto& arg : call->args) {
+        if (const auto* var = arg->as<ast::VarRef>()) {
+          if (var->decl && var->decl->is_array()) {
+            facts.kill_all(var->decl->symbol);
+            fact_provenance_.erase(var->decl->symbol);
+          }
+        }
+      }
+    }
+  });
+  if (havoc_world) {
+    for (const auto& g : program_.globals) {
+      if (!g->is_array()) env.set(g.get(), Range::bottom());
+    }
+    // Kill every array fact at this point, not just the globals': a local
+    // array passed as an argument is writable by the opaque callee too.
+    std::vector<sym::SymbolId> known;
+    known.reserve(facts.all().size());
+    for (const auto& [array, unused] : facts.all()) known.push_back(array);
+    for (sym::SymbolId array : known) facts.kill_all(array);
+    fact_provenance_.clear();
+  }
+}
+
+const ipa::FunctionSummary* Analyzer::call_summary(const ast::Call& call) const {
+  if (!summaries_ || !call.decl) return nullptr;
+  return summaries_->find(call.decl, options_);
+}
+
+void Analyzer::warn_unanalyzable(const ast::For& loop, const BodyInterp& body) {
+  if (!diags_ || !body.failure) return;
+  if (!warned_loops_.insert(&loop).second) return;
+  const BodyInterp::Failure& f = *body.failure;
+  diags_->report(support::Severity::Warning, f.code, f.location,
+                 support::format("loop at line %u abandoned as unanalyzable: %s",
+                                 loop.location.line, f.message.c_str()));
 }
 
 LoopEffect Analyzer::analyze_loop(const ast::For& loop, const ScalarEnv& entry_env,
@@ -217,6 +327,7 @@ LoopEffect Analyzer::analyze_loop(const ast::For& loop, const ScalarEnv& entry_e
   }
   BodyInterp body(*this, *loop.body, info->index, entry_env, entry_facts);
   if (!body.run()) {
+    warn_unanalyzable(loop, body);
     LoopEffect effect;
     effect.analyzable = false;
     return effect;
@@ -227,10 +338,9 @@ LoopEffect Analyzer::analyze_loop(const ast::For& loop, const ScalarEnv& entry_e
 void Analyzer::apply_effect(const ast::For& loop, const LoopEffect& effect, ScalarEnv& env,
                             FactDB& facts) {
   if (!effect.analyzable) {
-    // Havoc everything the loop could touch.
-    for (const ast::VarDecl* decl : written_scalars(loop)) env.set(decl, Range::bottom());
+    // Havoc everything the loop (including its calls) could touch.
+    havoc_stmt(loop, env, facts);
     if (auto info = recognize_loop(loop)) env.set(info->index, Range::bottom());
-    for (const ast::VarDecl* arr : written_arrays(loop)) facts.kill_all(arr->symbol);
     return;
   }
   for (const auto& [decl, final] : effect.scalar_finals) env.set(decl, final);
@@ -246,12 +356,380 @@ void Analyzer::apply_effect(const ast::For& loop, const LoopEffect& effect, Scal
     }
   }
   // ...then the produced facts.
+  // Provenance: a fact whose underlying writes came (at least partly) from a
+  // callee's summary is attributed to that callee; locally re-derived facts
+  // clear the attribution.
+  std::map<sym::SymbolId, std::set<std::string>> write_origins;
+  for (const auto& w : effect.writes) {
+    if (!w.array) continue;
+    auto& origins = write_origins[w.array->symbol];
+    if (w.summary_origin) origins.insert(w.summary_origin->name);
+  }
   for (const auto& f : effect.facts) {
     if (f.identity) facts.add_identity(f.array, *f.identity);
     if (f.value) facts.add_value(f.array, *f.value);
     if (f.step) facts.add_step(f.array, *f.step);
     if (f.injective) facts.add_injective(f.array, *f.injective);
+    if (summary_mode_) continue;
+    auto it = write_origins.find(f.array);
+    if (it != write_origins.end() && !it->second.empty()) {
+      fact_provenance_[f.array].insert(it->second.begin(), it->second.end());
+    } else {
+      fact_provenance_.erase(f.array);
+    }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural summaries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Global scalars read anywhere in `stmt`. A VarRef that is the target of a
+// plain assignment is a write, not a read; compound assignments and
+// increments read first. Conservative superset of the exposed
+// (read-before-write) set a call site must λ-track.
+void collect_scalar_reads(const ast::Stmt* stmt,
+                          const std::function<bool(const ast::VarDecl*)>& is_global,
+                          std::set<const ast::VarDecl*>& out) {
+  std::function<void(const ast::Expr*)> scan = [&](const ast::Expr* e) {
+    if (!e) return;
+    switch (e->kind) {
+      case ast::ExprNodeKind::VarRef: {
+        const auto* var = e->as<ast::VarRef>();
+        if (var->decl && !var->decl->is_array() && is_global(var->decl)) {
+          out.insert(var->decl);
+        }
+        return;
+      }
+      case ast::ExprNodeKind::Assign: {
+        const auto* a = e->as<ast::Assign>();
+        // Plain assignment: the target VarRef is not a read. Compound
+        // assignment reads the target. Array targets: subscripts are reads.
+        if (a->op == ast::AssignOp::Assign &&
+            a->target->kind == ast::ExprNodeKind::VarRef) {
+          // skip target
+        } else {
+          scan(a->target.get());
+        }
+        scan(a->value.get());
+        return;
+      }
+      case ast::ExprNodeKind::ArrayRef: {
+        const auto* ar = e->as<ast::ArrayRef>();
+        scan(ar->base.get());
+        scan(ar->index.get());
+        return;
+      }
+      case ast::ExprNodeKind::Binary: {
+        const auto* b = e->as<ast::Binary>();
+        scan(b->lhs.get());
+        scan(b->rhs.get());
+        return;
+      }
+      case ast::ExprNodeKind::Unary:
+        scan(e->as<ast::Unary>()->operand.get());
+        return;
+      case ast::ExprNodeKind::IncDec:
+        scan(e->as<ast::IncDec>()->target.get());
+        return;
+      case ast::ExprNodeKind::Conditional: {
+        const auto* c = e->as<ast::Conditional>();
+        scan(c->cond.get());
+        scan(c->then_expr.get());
+        scan(c->else_expr.get());
+        return;
+      }
+      case ast::ExprNodeKind::Call:
+        for (const auto& a : e->as<ast::Call>()->args) scan(a.get());
+        return;
+      default:
+        return;
+    }
+  };
+  ast::walk_stmts(stmt, [&](const ast::Stmt* s) {
+    switch (s->kind) {
+      case ast::StmtNodeKind::ExprStmt:
+        scan(s->as<ast::ExprStmt>()->expr.get());
+        break;
+      case ast::StmtNodeKind::DeclStmt:
+        for (const auto& d : s->as<ast::DeclStmt>()->decls) {
+          if (d->init) scan(d->init.get());
+          for (const auto& dim : d->dims) scan(dim.get());
+        }
+        break;
+      case ast::StmtNodeKind::If:
+        scan(s->as<ast::If>()->cond.get());
+        break;
+      case ast::StmtNodeKind::For:
+        scan(s->as<ast::For>()->cond.get());
+        scan(s->as<ast::For>()->step.get());
+        break;
+      case ast::StmtNodeKind::While:
+        scan(s->as<ast::While>()->cond.get());
+        break;
+      case ast::StmtNodeKind::Return:
+        scan(s->as<ast::Return>()->value.get());
+        break;
+      default:
+        break;
+    }
+    return true;
+  });
+}
+
+}  // namespace
+
+void Analyzer::compute_summaries(const ipa::CallGraph& graph) {
+  for (const ast::FuncDecl* function : graph.bottom_up()) {
+    const ipa::CallGraph::Node* node = graph.node(function);
+    if (!node || !node->called) continue;  // only functions something calls
+    if (summaries_->lookup(function, options_)) continue;
+    summaries_->insert(function, options_, summarize_function(*function, graph));
+  }
+}
+
+ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
+                                                  const ipa::CallGraph& graph) {
+  ipa::FunctionSummary summary;
+  summary.function = &function;
+
+  // --- Conservative may-write sets (valid regardless of analyzability) ------
+  for (const ast::VarDecl* decl : written_scalars(*function.body)) {
+    if (!is_global(decl)) continue;
+    summary.may_write_scalars.insert(decl);
+    if (definitely_assigns(*function.body, decl)) {
+      summary.definite_scalar_writes.insert(decl);
+    }
+  }
+  for (const ast::VarDecl* arr : written_arrays(*function.body)) {
+    if (is_global(arr)) {
+      summary.may_write_arrays.insert(arr);
+    } else if (arr->is_param) {
+      summary.writes_array_params = true;
+    }
+  }
+  const ipa::CallGraph::Node* node = graph.node(&function);
+  if (node) {
+    if (node->has_unknown_callee) summary.opaque = true;
+    for (const ast::FuncDecl* callee : node->callees) {
+      if (callee == &function) continue;
+      const ipa::FunctionSummary* cs = summaries_->find(callee, options_);
+      if (!cs) {
+        // SCC sibling not summarized yet (mutual recursion): opaque.
+        summary.opaque = true;
+        continue;
+      }
+      summary.opaque = summary.opaque || cs->opaque;
+      summary.may_write_scalars.insert(cs->may_write_scalars.begin(),
+                                       cs->may_write_scalars.end());
+      summary.may_write_arrays.insert(cs->may_write_arrays.begin(),
+                                      cs->may_write_arrays.end());
+      summary.exposed_scalar_reads.insert(cs->exposed_scalar_reads.begin(),
+                                          cs->exposed_scalar_reads.end());
+    }
+    // Arrays we pass to callees that store through their array parameters.
+    for (const ast::Call* call : node->call_sites) {
+      if (!call->decl) continue;
+      const ipa::FunctionSummary* cs =
+          call->decl == &function ? nullptr : summaries_->find(call->decl, options_);
+      const bool callee_writes_params = !cs || cs->opaque || cs->writes_array_params;
+      if (!callee_writes_params) continue;
+      for (size_t i = 0; i < call->args.size() && i < call->decl->params.size(); ++i) {
+        if (!call->decl->params[i]->is_array()) continue;
+        if (const auto* var = call->args[i]->as<ast::VarRef>()) {
+          if (!var->decl || !var->decl->is_array()) continue;
+          if (is_global(var->decl)) {
+            summary.may_write_arrays.insert(var->decl);
+          } else if (var->decl->is_param) {
+            summary.writes_array_params = true;
+          }
+        }
+      }
+    }
+  }
+  std::set<const ast::VarDecl*> own_reads;
+  collect_scalar_reads(function.body.get(),
+                       [this](const ast::VarDecl* d) { return is_global(d); }, own_reads);
+  summary.exposed_scalar_reads.insert(own_reads.begin(), own_reads.end());
+
+  // --- Analyzability gates ---------------------------------------------------
+  auto fail = [&summary](support::SourceLocation loc, std::string why) {
+    if (summary.analyzable || summary.failure.empty()) {
+      summary.failure = std::move(why);
+      summary.failure_location = loc;
+    }
+    summary.analyzable = false;
+  };
+  if (graph.is_recursive(&function)) {
+    fail(function.location, "recursive");
+    return summary;
+  }
+  if (node && node->has_unknown_callee) {
+    std::string name;
+    for (const ast::Call* call : node->call_sites) {
+      if (!call->decl) {
+        name = call->callee;
+        break;
+      }
+    }
+    fail(function.location, support::format("calls undefined function '%s'", name.c_str()));
+    return summary;
+  }
+
+  // --- Effect computation: flow the body in function-entry terms -------------
+  summary_mode_ = true;
+  ScalarEnv env;   // empty: every scalar reads as its own symbol
+  FactDB facts;    // context-insensitive: no caller facts
+  std::set<sym::SymbolId> local_arrays;
+  bool ok = true;
+
+  auto append_effects = [&](const std::vector<ArrayWriteEffect>& source,
+                            std::vector<ArrayWriteEffect>& sink) {
+    for (const ArrayWriteEffect& e : source) {
+      if (!e.array) continue;
+      // Effects on function-local arrays are invisible to callers.
+      if (!is_global(e.array) && !e.array->is_param) continue;
+      ArrayWriteEffect out = e;
+      // Provenance is re-attributed to THIS function at the outer call site.
+      out.summary_origin = nullptr;
+      // A post-inc subscript through a by-value parameter or local does not
+      // survive the call boundary.
+      if (out.post_inc_subscript && !is_global(out.post_inc_subscript)) {
+        out.post_inc_subscript = nullptr;
+      }
+      sink.push_back(std::move(out));
+    }
+  };
+
+  std::function<void(const ast::Stmt&)> walk = [&](const ast::Stmt& stmt) {
+    if (!ok) return;
+    switch (stmt.kind) {
+      case ast::StmtNodeKind::Empty:
+        return;
+      case ast::StmtNodeKind::Compound:
+        for (const auto& s : stmt.as<ast::Compound>()->body) walk(*s);
+        return;
+      case ast::StmtNodeKind::For: {
+        const auto& loop = *stmt.as<ast::For>();
+        LoopEffect effect = analyze_loop(loop, env, facts);
+        if (!effect.analyzable) {
+          ok = false;
+          fail(loop.location, "contains an unanalyzable loop");
+          return;
+        }
+        apply_effect(loop, effect, env, facts);
+        append_effects(effect.writes, summary.writes);
+        append_effects(effect.reads, summary.reads);
+        return;
+      }
+      case ast::StmtNodeKind::If:
+      case ast::StmtNodeKind::ExprStmt:
+      case ast::StmtNodeKind::DeclStmt: {
+        BodyInterp interp(*this, stmt, /*index=*/nullptr, env, facts);
+        if (!interp.run()) {
+          ok = false;
+          if (interp.failure) {
+            fail(interp.failure->location, interp.failure->message);
+          } else {
+            fail(stmt.location, "contains an unanalyzable statement");
+          }
+          return;
+        }
+        for (const ast::VarDecl* local : interp.body_locals) {
+          if (local->is_array()) local_arrays.insert(local->symbol);
+        }
+        apply_straight_line(interp, env, facts, /*track_provenance=*/false);
+        append_effects(interp.writes, summary.writes);
+        append_effects(interp.reads, summary.reads);
+        return;
+      }
+      case ast::StmtNodeKind::Return:
+        // Only a trailing return is modeled; the caller peels it off before
+        // walking, so reaching one here means early control flow.
+        ok = false;
+        fail(stmt.location, "early return");
+        return;
+      case ast::StmtNodeKind::While:
+        ok = false;
+        fail(stmt.location, "contains a while loop");
+        return;
+      case ast::StmtNodeKind::Break:
+      case ast::StmtNodeKind::Continue:
+        ok = false;
+        fail(stmt.location, "break/continue outside an analyzable loop");
+        return;
+    }
+  };
+
+  const auto& body = function.body->body;
+  const ast::Return* trailing_return = nullptr;
+  size_t count = body.size();
+  if (!body.empty()) {
+    if (const auto* ret = body.back()->as<ast::Return>()) {
+      trailing_return = ret;
+      --count;
+    }
+  }
+  for (size_t i = 0; i < count && ok; ++i) walk(*body[i]);
+  summary_mode_ = false;
+
+  if (!ok) return summary;
+
+  // --- Trailing return (before finals: it may carry side effects) ------------
+  if (trailing_return && trailing_return->value) {
+    // Evaluate the return expression through a BodyInterp so its effects are
+    // summarized like any statement's: array reads feed the caller's
+    // dependence test, side effects (x++, nested summarizable calls) update
+    // the finals, and call values resolve through cached summaries.
+    bool calls_ok = true;
+    ast::walk_subexprs(trailing_return->value.get(), [&](const ast::Expr* e) {
+      const auto* call = e->as<ast::Call>();
+      if (!call || !calls_ok) return;
+      if (auto vetoed = BodyInterp::vet_call(*this, *call)) {
+        calls_ok = false;
+        fail(vetoed->location, vetoed->message);
+      }
+    });
+    if (!calls_ok) {
+      summary.analyzable = false;
+      return summary;
+    }
+    ast::Empty return_site;
+    BodyInterp interp(*this, return_site, /*index=*/nullptr, env, facts);
+    Range returned = interp.eval_expr(*trailing_return->value);
+    apply_straight_line(interp, env, facts, /*track_provenance=*/false);
+    append_effects(interp.writes, summary.writes);
+    append_effects(interp.reads, summary.reads);
+    if (function.return_type == ast::TypeKind::Int) {
+      // ArrayElem atoms denote call-entry content at the call site; a
+      // returned element of an array this function wrote would be misread.
+      std::set<sym::SymbolId> written_arrays_syms;
+      for (const auto& w : summary.writes) {
+        if (w.array) written_arrays_syms.insert(w.array->symbol);
+      }
+      auto stale = [&](const sym::ExprPtr& e) {
+        return e && sym::any_of(e, [&](const sym::Expr& n) {
+                 return n.kind == sym::ExprKind::ArrayElem &&
+                        written_arrays_syms.count(n.symbol) > 0;
+               });
+      };
+      if (!stale(returned.lo()) && !stale(returned.hi())) summary.return_value = returned;
+    }
+  }
+
+  // --- Finalize --------------------------------------------------------------
+  for (const ast::VarDecl* decl : summary.may_write_scalars) {
+    if (!decl->is_integer_scalar()) continue;
+    const Range* final = env.find(decl);
+    summary.scalar_finals[decl] = final ? *final : Range::bottom();
+  }
+  for (sym::SymbolId local : local_arrays) facts.kill_all(local);
+  summary.end_facts = std::move(facts);
+  summary.analyzable = true;
+  summary.failure.clear();
+  return summary;
 }
 
 const LoopSnapshot* Analyzer::snapshot(const ast::For* loop) const {

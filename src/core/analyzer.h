@@ -37,6 +37,15 @@
 #include "frontend/ast.h"
 #include "symbolic/context.h"
 
+namespace sspar::support {
+class DiagnosticEngine;
+}
+namespace sspar::ipa {
+class CallGraph;
+class SummaryDB;
+struct FunctionSummary;
+}
+
 namespace sspar::core {
 
 // May-range values of integer scalars at a program point.
@@ -78,6 +87,9 @@ struct ArrayWriteEffect {
   // Subscript was literally `x++` on an integer scalar (dense-prefix pattern,
   // paper Fig. 9 line 6; aggregation rule is an extension of Section 3.4).
   const ast::VarDecl* post_inc_subscript = nullptr;
+  // Non-null when this effect was instantiated from a callee's function
+  // summary at a call site (provenance for verdicts and fact tracking).
+  const ast::FuncDecl* summary_origin = nullptr;
 };
 
 // Aggregate effect of one loop, expressed in terms of values at loop entry.
@@ -107,6 +119,10 @@ struct LoopSnapshot {
   std::optional<LoopInfo> info;
   FactDB facts_at_entry;
   ScalarEnv scalars_at_entry;
+  // For each array with facts at loop entry that were produced by applying a
+  // callee's summary: the (sorted) names of the summarized functions. Feeds
+  // LoopVerdict::summaries_used ("property proven via summary of f").
+  std::map<sym::SymbolId, std::vector<std::string>> fact_provenance;
 };
 
 struct AnalyzerOptions {
@@ -128,8 +144,16 @@ struct AnalyzerOptions {
 
 class Analyzer {
  public:
+  // `summaries` (optional) enables interprocedural analysis: before the
+  // per-function walk, every called function is summarized bottom-up over the
+  // call graph and cached there, and call sites apply the summaries instead
+  // of rejecting the enclosing body. Without it the analysis is strictly
+  // intraprocedural (calls degrade conservatively, as in the paper).
+  // `diags` (optional) receives W03xx warnings when a loop is abandoned as
+  // unanalyzable (see support::DiagCode).
   Analyzer(const ast::Program& program, sym::SymbolTable& symbols,
-           AnalyzerOptions options = {});
+           AnalyzerOptions options = {}, ipa::SummaryDB* summaries = nullptr,
+           support::DiagnosticEngine* diags = nullptr);
 
   // Declares an assumption about a global/parameter symbol (e.g. N >= 1).
   void assume(const ast::VarDecl* decl, sym::Range range);
@@ -148,6 +172,9 @@ class Analyzer {
   sym::SymbolTable& symbols() const { return symbols_; }
   const AnalyzerOptions& options() const { return options_; }
 
+  // True for declarations from the program's global scope.
+  bool is_global(const ast::VarDecl* decl) const { return global_decls_.count(decl) > 0; }
+
  private:
   friend class BodyInterp;
 
@@ -155,6 +182,25 @@ class Analyzer {
   // Interprets a statement sequence at "top level" (not inside a loop being
   // summarized), updating env/facts in flow order and snapshotting loops.
   void flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts);
+
+  // --- Interprocedural analysis (active when summaries_ is set) -------------
+  // Summarizes every called function bottom-up over the call graph.
+  void compute_summaries(const ipa::CallGraph& graph);
+  ipa::FunctionSummary summarize_function(const ast::FuncDecl& function,
+                                          const ipa::CallGraph& graph);
+  // The cached summary for a call site's callee (null without a DB, for
+  // unknown callees, or before compute_summaries ran).
+  const ipa::FunctionSummary* call_summary(const ast::Call& call) const;
+  // Conservative degradation of a statement that could not be analyzed:
+  // havocs its syntactic writes plus everything its calls may write (an
+  // opaque call havocs every global).
+  void havoc_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts);
+  // Merges a successful straight-line interpretation into env/facts (scalar
+  // finals, fact kills, point facts, call-produced facts).
+  void apply_straight_line(class BodyInterp& interp, ScalarEnv& env, FactDB& facts,
+                           bool track_provenance);
+  // W03xx: records why `loop` degraded to unanalyzable (once per loop).
+  void warn_unanalyzable(const ast::For& loop, const class BodyInterp& body);
 
   // Phase 1 + Phase 2 for one loop. Returns the collapsed effect relative to
   // `entry_env`; `entry_facts` supplies array facts for in-loop proofs.
@@ -172,11 +218,24 @@ class Analyzer {
   const ast::Program& program_;
   sym::SymbolTable& symbols_;
   AnalyzerOptions options_;
+  ipa::SummaryDB* summaries_ = nullptr;
+  support::DiagnosticEngine* diags_ = nullptr;
   sym::AssumptionContext base_ctx_;
   std::map<int, LoopSnapshot> snapshots_;  // keyed by loop_id per function
   std::map<const ast::For*, int> loop_keys_;
   std::map<const ast::FuncDecl*, FactDB> end_facts_;
   int next_key_ = 0;
+  // Summary computation re-flows callee bodies; it must not pollute the
+  // per-loop snapshots the parallelizer consumes.
+  bool summary_mode_ = false;
+  // One-time scan: call-free programs (the common case) skip every
+  // interprocedural code path, including the per-body call prescans.
+  bool program_has_calls_ = false;
+  std::set<const ast::For*> warned_loops_;  // one W03xx per loop
+  std::set<const ast::VarDecl*> global_decls_;
+  // Flow state of the function being analyzed: which summaries produced the
+  // facts currently held for each array (cleared when locally re-derived).
+  std::map<sym::SymbolId, std::set<std::string>> fact_provenance_;
 };
 
 // Evaluates an AST expression to a symbolic may-range under `env`.

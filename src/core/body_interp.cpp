@@ -1,5 +1,8 @@
 #include "core/body_interp.h"
 
+#include "ipa/summary.h"
+#include "support/text.h"
+
 namespace sspar::core {
 
 using sym::ExprPtr;
@@ -165,17 +168,78 @@ BodyInterp::BodyInterp(Analyzer& analyzer, const ast::Stmt& body, const ast::Var
     written.insert(decl);
     if (definitely_assigns(body, decl)) definitely_written.insert(decl);
   }
+  // Global scalars written only inside called functions evolve per iteration
+  // too; without them in `written`, reads would miss λ semantics.
+  if (analyzer_.summaries_ && analyzer_.program_has_calls_) {
+    ast::walk_exprs(&body, [this](const ast::Expr* e) {
+      const auto* call = e->as<ast::Call>();
+      if (!call) return;
+      const ipa::FunctionSummary* s = analyzer_.call_summary(*call);
+      if (!s || !s->analyzable) return;
+      for (const ast::VarDecl* decl : s->may_write_scalars) written.insert(decl);
+    });
+  }
 }
 
 bool BodyInterp::run() {
-  // Calls may write arbitrary state; reject the body outright (the paper's
-  // analysis is intraprocedural).
-  bool has_call = false;
-  ast::walk_exprs(&body_, [&has_call](const ast::Expr* e) {
-    if (e->kind == ast::ExprNodeKind::Call) has_call = true;
-  });
-  if (has_call) return false;
+  // Every call must be coverable by a callee summary (without a SummaryDB the
+  // analysis stays intraprocedural and any call rejects the body, as in the
+  // paper).
+  if (!prescan_calls()) return false;
   return exec(body_);
+}
+
+std::optional<BodyInterp::Failure> BodyInterp::vet_call(const Analyzer& analyzer,
+                                                        const ast::Call& call) {
+  auto fail = [&call](std::string message) {
+    return Failure{support::DiagCode::AnalysisLoopCall, call.location, std::move(message),
+                   call.callee};
+  };
+  if (!analyzer.summaries_) {
+    return fail(support::format("call to '%s' (interprocedural analysis disabled)",
+                                call.callee.c_str()));
+  }
+  if (!call.decl) {
+    return fail(support::format("call to undefined function '%s'", call.callee.c_str()));
+  }
+  const ipa::FunctionSummary* s = analyzer.call_summary(call);
+  if (!s) {
+    return fail(support::format("call to '%s' has no function summary", call.callee.c_str()));
+  }
+  if (!s->analyzable) {
+    return fail(support::format("call to '%s' is not summarizable (%s)",
+                                call.callee.c_str(), s->failure.c_str()));
+  }
+  if (call.args.size() != call.decl->params.size()) {
+    return fail(support::format("call to '%s' passes %zu arguments for %zu parameters",
+                                call.callee.c_str(), call.args.size(),
+                                call.decl->params.size()));
+  }
+  for (size_t i = 0; i < call.args.size(); ++i) {
+    const ast::VarDecl* param = call.decl->params[i].get();
+    if (!param->is_array()) continue;
+    const auto* var = call.args[i]->as<ast::VarRef>();
+    if (!var || !var->decl || !var->decl->is_array()) {
+      return fail(support::format("call to '%s': argument %zu must be a plain array variable",
+                                  call.callee.c_str(), i + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+bool BodyInterp::prescan_calls() {
+  if (!analyzer_.program_has_calls_) return true;
+  bool ok = true;
+  ast::walk_exprs(&body_, [this, &ok](const ast::Expr* e) {
+    if (!ok) return;
+    const auto* call = e->as<ast::Call>();
+    if (!call) return;
+    if (auto vetoed = vet_call(analyzer_, *call)) {
+      failure = std::move(vetoed);
+      ok = false;
+    }
+  });
+  return ok;
 }
 
 bool BodyInterp::array_written(const ast::VarDecl* array) const {
@@ -395,9 +459,143 @@ Range BodyInterp::eval(const ast::Expr& expr) {
       return range_join(t, f);
     }
     case ast::ExprNodeKind::Call:
-      return Range::bottom();  // run() rejects bodies with calls beforehand
+      // prescan_calls() vetted every call site; apply the callee's summary.
+      return apply_call(*expr.as<ast::Call>());
   }
   return Range::bottom();
+}
+
+Range BodyInterp::apply_call(const ast::Call& call) {
+  const ipa::FunctionSummary* s = analyzer_.call_summary(call);
+  // Evaluate the arguments in order regardless (they may carry side effects).
+  std::vector<Range> arg_values;
+  arg_values.reserve(call.args.size());
+  for (const auto& a : call.args) arg_values.push_back(eval(*a));
+  if (!s || !s->analyzable || !call.decl ||
+      call.args.size() != call.decl->params.size()) {
+    return Range::bottom();  // prescan rejected the body already
+  }
+
+  ipa::SummaryApplier applier;
+  for (size_t i = 0; i < call.decl->params.size(); ++i) {
+    const ast::VarDecl* param = call.decl->params[i].get();
+    if (param->is_array()) {
+      if (const auto* var = call.args[i]->as<ast::VarRef>()) {
+        if (var->decl) applier.bind_array(param, var->decl);
+      }
+    } else if (param->is_integer_scalar()) {
+      applier.bind(param->symbol, arg_values[i]);
+    }
+  }
+  // The callee observes the caller's *current* values of the globals it may
+  // read; read_scalar registers the λ-dependence when this body writes them.
+  for (const ast::VarDecl* g : s->exposed_scalar_reads) {
+    if (g->is_integer_scalar()) {
+      applier.bind(g->symbol, read_scalar(g));
+    } else if (index_ && written.count(g) && !double_assigned_.count(g)) {
+      lambda_reads.insert(g);
+    }
+  }
+  // Summary expressions read array elements at call-entry; elements of arrays
+  // this body already wrote are stale and must degrade.
+  for (const auto& w : writes) {
+    if (w.array) applier.mark_stale(w.array->symbol);
+  }
+
+  // Scalar effects. A scalar the callee assigns only on some paths keeps its
+  // pre-call value on the others — join with it, exactly like merge_branches
+  // does for an inlined conditional assignment (read_scalar registers the
+  // λ-dependence in loop mode).
+  for (const auto& [decl, final] : s->scalar_finals) {
+    Range value = applier.apply(final);
+    if (!s->definite_scalar_writes.count(decl)) {
+      value = range_join(value, read_scalar(decl));
+    }
+    write_scalar(decl, value);
+  }
+  for (const ast::VarDecl* g : s->may_write_scalars) {
+    if (g->is_array() || g->elem_type == ast::TypeKind::Int) continue;
+    // Only a definitely assigned double counts as assigned — a later read of
+    // a conditionally assigned one must still register its λ-dependence
+    // (mirrors the both-branches rule in exec's If merge).
+    if (s->definite_scalar_writes.count(g)) double_assigned_.insert(g);
+  }
+
+  // Array effects, instantiated for this call site.
+  auto instantiate = [this, s, &applier](const ArrayWriteEffect& e) {
+    ArrayWriteEffect out = e;
+    out.array = applier.remap_array(e.array);
+    out.index = applier.apply(e.index);
+    out.index_range = applier.apply(e.index_range);
+    out.value = applier.apply(e.value);
+    out.conditional = e.conditional || cond_depth_ > 0;
+    out.guards.clear();
+    for (const AccessGuard& g : e.guards) {
+      AccessGuard mapped{applier.remap_array(g.array), applier.apply(g.index), g.min};
+      if (mapped.array && mapped.index) out.guards.push_back(std::move(mapped));
+    }
+    for (const AccessGuard& g : guard_stack_) out.guards.push_back(g);
+    out.via_array = e.via_array ? applier.remap_array(e.via_array) : nullptr;
+    out.via_domain = applier.apply(e.via_domain);
+    if (e.post_inc_subscript && !analyzer_.is_global(e.post_inc_subscript)) {
+      out.post_inc_subscript = nullptr;
+    }
+    out.summary_origin = s->function;
+    return out;
+  };
+  for (const auto& w : s->writes) writes.push_back(instantiate(w));
+  for (const auto& r : s->reads) reads.push_back(instantiate(r));
+
+  // Exit facts: propagated only from unconditional straight-line call sites
+  // (the analyzer's flow applies them after the statement's kills). Facts
+  // from calls inside a loop iteration or branch are dropped, like
+  // inner-loop facts.
+  if (!index_ && cond_depth_ == 0) {
+    for (const auto& [array, facts] : s->end_facts.all()) {
+      const sym::SymbolId mapped = applier.remap_array_symbol(array);
+      auto push = [this, s](LoopEffect::ProducedFact fact) {
+        pending_facts.push_back(PendingFact{std::move(fact), s->function, writes.size()});
+      };
+      for (const auto& f : facts.identities) {
+        sym::ExprPtr lo = applier.apply(f.lo), hi = applier.apply(f.hi);
+        if (!lo || !hi) continue;
+        LoopEffect::ProducedFact fact;
+        fact.array = mapped;
+        fact.identity = IdentityFact{lo, hi};
+        push(std::move(fact));
+      }
+      for (const auto& f : facts.values) {
+        sym::ExprPtr lo = applier.apply(f.lo), hi = applier.apply(f.hi);
+        Range value = applier.apply(f.value);
+        if (!lo || !hi || value.is_bottom()) continue;
+        LoopEffect::ProducedFact fact;
+        fact.array = mapped;
+        fact.value = ValueFact{lo, hi, std::move(value)};
+        push(std::move(fact));
+      }
+      for (const auto& f : facts.steps) {
+        sym::ExprPtr lo = applier.apply(f.lo), hi = applier.apply(f.hi);
+        Range step = applier.apply(f.step);
+        if (!lo || !hi || step.is_bottom()) continue;
+        LoopEffect::ProducedFact fact;
+        fact.array = mapped;
+        fact.step = StepFact{lo, hi, std::move(step)};
+        push(std::move(fact));
+      }
+      for (const auto& f : facts.injectives) {
+        sym::ExprPtr lo = applier.apply(f.lo), hi = applier.apply(f.hi);
+        if (!lo || !hi) continue;
+        LoopEffect::ProducedFact fact;
+        fact.array = mapped;
+        fact.injective = InjectiveFact{lo, hi, f.min_value};
+        push(std::move(fact));
+      }
+    }
+  }
+
+  applied_summaries.insert(s->function);
+  analyzer_.summaries_->note_application();
+  return s->return_value ? applier.apply(*s->return_value) : Range::bottom();
 }
 
 void BodyInterp::merge_branches(const ScalarEnv& before, ScalarEnv then_env,
@@ -542,9 +740,18 @@ bool BodyInterp::exec(const ast::Stmt& stmt) {
       return true;
     }
     case ast::StmtNodeKind::While:
+      if (!failure) {
+        failure = Failure{support::DiagCode::AnalysisLoopWhile, stmt.location,
+                          "inner while loop", ""};
+      }
+      return false;
     case ast::StmtNodeKind::Break:
     case ast::StmtNodeKind::Continue:
     case ast::StmtNodeKind::Return:
+      if (!failure) {
+        failure = Failure{support::DiagCode::AnalysisLoopAbruptExit, stmt.location,
+                          "break/continue/return statement", ""};
+      }
       return false;
   }
   return false;

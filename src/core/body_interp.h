@@ -4,6 +4,11 @@
 #include <set>
 
 #include "core/analyzer.h"
+#include "support/diagnostics.h"
+
+namespace sspar::ipa {
+struct FunctionSummary;
+}
 
 namespace sspar::core {
 
@@ -15,13 +20,30 @@ class BodyInterp {
   BodyInterp(Analyzer& analyzer, const ast::Stmt& body, const ast::VarDecl* index,
              const ScalarEnv& entry_env, const FactDB& entry_facts);
 
-  // Interprets the body once. Returns false if it is not analyzable
-  // (calls, while loops, break/continue/return).
+  // Interprets the body once. Returns false if it is not analyzable: while
+  // loops, break/continue/return, and calls without an applicable function
+  // summary (with the analyzer's ipa::SummaryDB, calls to summarizable
+  // functions are interpreted through their summaries instead).
   bool run();
+
+  // Why run() returned false (unset for causes outside the W03xx catalogue,
+  // e.g. an unanalyzable nested for loop).
+  struct Failure {
+    support::DiagCode code = support::DiagCode::Unspecified;  // AnalysisLoop*
+    support::SourceLocation location;  // the blocking construct
+    std::string message;               // e.g. "call to 'g' is not summarizable (...)"
+    std::string callee;                // non-empty for AnalysisLoopCall
+  };
+  std::optional<Failure> failure;
 
   // Forces If statements to a fixed branch (true = then); used by the
   // parallelizer's first-iteration peeling. Must be set before run().
   void force_branches(const std::map<const ast::If*, bool>* forced) { forced_ = forced; }
+
+  // Evaluates one expression in the current state, recording its effects
+  // (used by the summarizer for trailing-return expressions, which sit
+  // outside any statement this interpreter executes).
+  sym::Range eval_expr(const ast::Expr& expr) { return eval(expr); }
 
   // --- Phase 1 results -------------------------------------------------------
   ScalarEnv env;                                   // end-of-body state
@@ -41,6 +63,22 @@ class BodyInterp {
   };
   std::vector<BranchWritePair> branch_pairs;
 
+  // Facts established by calls at unconditional straight-line points (the
+  // callee's exit facts, instantiated for this call site). The analyzer's
+  // flow applies them after the statement's kills; facts from calls inside a
+  // loop iteration are not propagated (like inner-loop facts).
+  struct PendingFact {
+    LoopEffect::ProducedFact fact;
+    const ast::FuncDecl* origin = nullptr;
+    // writes.size() when recorded: a later write to the same array within
+    // this statement invalidates the fact.
+    size_t writes_at_record = 0;
+  };
+  std::vector<PendingFact> pending_facts;
+
+  // Callees whose summaries were applied while interpreting this body.
+  std::set<const ast::FuncDecl*> applied_summaries;
+
  private:
   sym::Range eval(const ast::Expr& expr);
   sym::Range read_scalar(const ast::VarDecl* decl);
@@ -49,6 +87,19 @@ class BodyInterp {
                           bool also_read = false);
   bool exec(const ast::Stmt& stmt);  // false => unanalyzable
   void merge_branches(const ScalarEnv& before, ScalarEnv then_env, ScalarEnv else_env);
+
+  // Rejects the body up front if any call in it cannot be applied through a
+  // function summary; records `failure` with the callee name.
+  bool prescan_calls();
+  // Applies the callee's summary at one call site; returns the call's value.
+  sym::Range apply_call(const ast::Call& call);
+
+ public:
+  // Full call-site validation (callee bound, summary analyzable, arity and
+  // array-argument shapes). Nullopt when the call is applicable; otherwise
+  // the Failure to report. Shared by prescan_calls and the summarizer's
+  // trailing-return path.
+  static std::optional<Failure> vet_call(const Analyzer& analyzer, const ast::Call& call);
 
   // True if the array has an earlier write effect in this body (reads of it
   // must degrade to bottom to avoid stale-element values).

@@ -115,15 +115,67 @@ ExprPtr shift_index(const ExprPtr& e, sym::SymbolId index_sym, int64_t delta) {
   return sym::subst_sym(e, index_sym, sym::add(sym::make_sym(index_sym), sym::make_const(delta)));
 }
 
+// Blocker text for a body BodyInterp::run() rejected, specialized by cause.
+std::string unanalyzable_blocker(const BodyInterp& interp) {
+  if (interp.failure) {
+    switch (interp.failure->code) {
+      case support::DiagCode::AnalysisLoopCall:
+        return support::format("loop body is not analyzable (%s)",
+                               interp.failure->message.c_str());
+      case support::DiagCode::AnalysisLoopWhile:
+        return "loop body is not analyzable (inner while loop)";
+      case support::DiagCode::AnalysisLoopAbruptExit:
+        return "loop body is not analyzable (break/continue/return)";
+      default:
+        break;
+    }
+  }
+  return "loop body is not analyzable (call/while/branch-out)";
+}
+
 }  // namespace
 
 bool uses_subscripted_subscripts(const ast::For& loop) {
   bool found = false;
+  // An expression "reads an array" if it subscripts one directly, or calls a
+  // function whose body does, transitively (the helper-function form of the
+  // same indirection, e.g. id_to_mt[lookup(miel)] with lookup reading
+  // mt_to_id). Per-function answers are memoized; the visited set bounds
+  // recursion.
+  std::map<const ast::FuncDecl*, bool> function_reads_array;
+  auto expr_reads_array = [&function_reads_array](const ast::Expr* e) {
+    std::set<const ast::FuncDecl*> visiting;
+    std::function<bool(const ast::Expr*)> scan_expr;
+    std::function<bool(const ast::FuncDecl*)> scan_function =
+        [&](const ast::FuncDecl* f) -> bool {
+      auto memo = function_reads_array.find(f);
+      if (memo != function_reads_array.end()) return memo->second;
+      if (!f->body || !visiting.insert(f).second) return false;
+      bool reads = false;
+      ast::walk_exprs(f->body.get(), [&](const ast::Expr* inner) {
+        if (inner->kind == ast::ExprNodeKind::ArrayRef) reads = true;
+        if (const auto* call = inner->as<ast::Call>()) {
+          if (!reads && call->decl) reads = scan_function(call->decl);
+        }
+      });
+      visiting.erase(f);
+      function_reads_array[f] = reads;
+      return reads;
+    };
+    bool reads = false;
+    ast::walk_subexprs(e, [&](const ast::Expr* sub) {
+      if (sub->kind == ast::ExprNodeKind::ArrayRef) reads = true;
+      if (const auto* call = sub->as<ast::Call>()) {
+        if (!reads && call->decl) reads = scan_function(call->decl);
+      }
+    });
+    return reads;
+  };
   // Scalars assigned (anywhere in the loop) from an expression that reads an
   // array; a subscript through such a scalar is an indirection too
   // (Fig. 2: iel = mt_to_id[miel]; id_to_mt[iel] = miel).
   std::set<const ast::VarDecl*> indirection_scalars;
-  ast::walk_exprs(&loop, [&indirection_scalars](const ast::Expr* e) {
+  ast::walk_exprs(&loop, [&indirection_scalars, &expr_reads_array](const ast::Expr* e) {
     const ast::Expr* target = nullptr;
     const ast::Expr* value = nullptr;
     if (const auto* assign = e->as<ast::Assign>()) {
@@ -133,31 +185,22 @@ bool uses_subscripted_subscripts(const ast::For& loop) {
     if (!target || !value) return;
     const auto* var = target->as<ast::VarRef>();
     if (!var || !var->decl) return;
-    bool reads_array = false;
-    ast::walk_subexprs(value, [&reads_array](const ast::Expr* sub) {
-      if (sub->kind == ast::ExprNodeKind::ArrayRef) reads_array = true;
-    });
-    if (reads_array) indirection_scalars.insert(var->decl);
+    if (expr_reads_array(value)) indirection_scalars.insert(var->decl);
   });
   // DeclStmt initializers count as well (int iel = mt_to_id[miel]).
   ast::walk_stmts(static_cast<const ast::Stmt*>(&loop), [&](const ast::Stmt* s) {
     if (const auto* ds = s->as<ast::DeclStmt>()) {
       for (const auto& d : ds->decls) {
-        if (!d->init) continue;
-        bool reads_array = false;
-        ast::walk_subexprs(d->init.get(), [&reads_array](const ast::Expr* sub) {
-          if (sub->kind == ast::ExprNodeKind::ArrayRef) reads_array = true;
-        });
-        if (reads_array) indirection_scalars.insert(d.get());
+        if (d->init && expr_reads_array(d->init.get())) indirection_scalars.insert(d.get());
       }
     }
     return true;
   });
   // Direct nesting or indirection-scalar subscripts.
-  ast::walk_exprs(&loop, [&found, &indirection_scalars](const ast::Expr* e) {
+  ast::walk_exprs(&loop, [&](const ast::Expr* e) {
     if (const auto* arr = e->as<ast::ArrayRef>()) {
+      if (expr_reads_array(arr->index.get())) found = true;
       ast::walk_subexprs(arr->index.get(), [&](const ast::Expr* sub) {
-        if (sub->kind == ast::ExprNodeKind::ArrayRef) found = true;
         if (const auto* var = sub->as<ast::VarRef>()) {
           if (var->decl && indirection_scalars.count(var->decl)) found = true;
         }
@@ -216,7 +259,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
                      snap->facts_at_entry);
   if (!peel.empty()) general.force_branches(&peel.general);
   if (!general.run()) {
-    verdict.blockers.push_back("loop body is not analyzable (call/while/branch-out)");
+    verdict.blockers.push_back(unanalyzable_blocker(general));
     return verdict;
   }
   std::unique_ptr<BodyInterp> first;
@@ -289,10 +332,20 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
   bool used_injectivity = false;
   bool used_subset = false;
   bool used_peel = !peel.empty();
+  // Index arrays whose facts discharged a passing test (for provenance).
+  std::set<sym::SymbolId> fact_arrays_used;
 
   auto range_mentions_elem = [](const Range& r) {
     return (r.lo() && sym::contains_kind(r.lo(), sym::ExprKind::ArrayElem)) ||
            (r.hi() && sym::contains_kind(r.hi(), sym::ExprKind::ArrayElem));
+  };
+  auto note_fact_arrays = [&fact_arrays_used](const Range& r) {
+    for (const ExprPtr& bound : {r.lo(), r.hi()}) {
+      if (!bound) continue;
+      for (const ExprPtr& elem : sym::collect_array_elems(bound)) {
+        fact_arrays_used.insert(elem->symbol);
+      }
+    }
   };
 
   // The adjacent Range Test over a combined access range U(i).
@@ -304,13 +357,19 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     // Forward: ranges advance with i.
     if (prove_lt(hi_i, lo_next, ctx_facts) == Truth::True &&
         prove_ge(lo_next, lo_i, ctx_facts) == Truth::True) {
-      if (range_mentions_elem(u)) used_monotonic_facts = true;
+      if (range_mentions_elem(u)) {
+        used_monotonic_facts = true;
+        note_fact_arrays(u);
+      }
       return true;
     }
     // Backward: ranges retreat with i.
     if (prove_lt(hi_next, lo_i, ctx_facts) == Truth::True &&
         prove_le(lo_next, lo_i, ctx_facts) == Truth::True) {
-      if (range_mentions_elem(u)) used_monotonic_facts = true;
+      if (range_mentions_elem(u)) {
+        used_monotonic_facts = true;
+        note_fact_arrays(u);
+      }
       return true;
     }
     return false;
@@ -350,6 +409,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     }
     if (!range_test(domain)) return false;
     used_injectivity = true;
+    fact_arrays_used.insert(via->symbol);
     return true;
   };
 
@@ -383,6 +443,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     }
     if (!min_value) {
       used_injectivity = true;
+      fact_arrays_used.insert(b_sym);
       return true;
     }
     // Subset injectivity: every access must be guarded by b[t] >= min.
@@ -397,6 +458,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
       if (!guarded) return false;
     }
     used_subset = true;
+    fact_arrays_used.insert(b_sym);
     return true;
   };
 
@@ -464,6 +526,15 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
 
   verdict.parallel = verdict.blockers.empty();
   if (verdict.parallel) {
+    // Interprocedural provenance: map the index arrays whose facts fed the
+    // proof back to the summaries that produced those facts at loop entry.
+    std::set<std::string> via;
+    for (sym::SymbolId array : fact_arrays_used) {
+      auto it = snap->fact_provenance.find(array);
+      if (it == snap->fact_provenance.end()) continue;
+      via.insert(it->second.begin(), it->second.end());
+    }
+    verdict.summaries_used.assign(via.begin(), via.end());
     std::string reason;
     if (used_subset) {
       verdict.property = EnablingProperty::SubsetInjective;

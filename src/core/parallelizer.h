@@ -57,6 +57,11 @@ struct LoopVerdict {
   // Human-readable restatement of `property` (+ peeling); prefix matches
   // property_name(property) so legacy string consumers keep working.
   std::string reason;
+  // Interprocedural provenance: names of the functions whose summaries
+  // produced the index-array facts this proof consumed ("property proven via
+  // summary of f"). Empty for purely intraprocedural proofs, so reasons stay
+  // byte-identical with the hand-inlined equivalent. Sorted, unique.
+  std::vector<std::string> summaries_used;
   std::vector<std::string> blockers;
   // Scalars to privatize in the OpenMP clause (declared outside the loop).
   std::vector<const ast::VarDecl*> privates;

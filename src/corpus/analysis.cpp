@@ -67,7 +67,7 @@ void seed_interpreter_inputs(const Entry& entry, interp::Interpreter& interp) {
     for (size_t i = 0; i < count; ++i) data[i] = fn(i);
     interp.set_array_double(name, std::move(data));
   };
-  if (entry.name == "fig3" || entry.name == "CG") {
+  if (entry.name == "fig3" || entry.name == "CG" || entry.name == "ipa_cg") {
     fill_int("cols", 512, [](size_t i) { return static_cast<int64_t>(i % 3) - 1; });
   }
   if (entry.name == "fig4") {
@@ -79,7 +79,7 @@ void seed_interpreter_inputs(const Entry& entry, interp::Interpreter& interp) {
   if (entry.name == "fig8") {
     fill_int("ich", 2048, [](size_t i) { return static_cast<int64_t>(i % 5); });
   }
-  if (entry.name == "fig9") {
+  if (entry.name == "fig9" || entry.name == "ipa_csr") {
     fill_int("a", 128 * 128,
              [](size_t i) { return i % 3 == 0 ? static_cast<int64_t>(i % 7 + 1) : 0; });
     fill_double("vector", 16384, [](size_t i) { return 0.125 * static_cast<double>(i % 11); });

@@ -275,6 +275,117 @@ void f() {
       5, 1, 2, 1, true});
 
   // ==========================================================================
+  // Interprocedural variants: the index arrays are built inside helper
+  // functions, the way real NPB/SuiteSparse codes structure their setup
+  // (CG's makea/sparse). The analysis must prove the same properties through
+  // function summaries that the hand-inlined twins (fig3/fig9/fig2) prove
+  // directly; tests/ipa_test.cpp checks the verdicts are byte-identical.
+  // ==========================================================================
+
+  corpus.push_back(Entry{
+      "ipa_cg", Suite::Paper,
+      "CG setup in a helper: rowstr proven Monotonic_inc via its summary",
+      R"(int nrows;
+int firstcol;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+int colidx[8192];
+void build_rowstr() {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+}
+void f() {
+  build_rowstr();
+  for (int j = 0; j < nrows; j++) {
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+      colidx[k] = colidx[k] - firstcol;
+    }
+  }
+}
+)",
+      {{"nrows", 256, 1}, {"firstcol", 3, 0}},
+      4, 2, 3, 2, true});
+
+  corpus.push_back(Entry{
+      "ipa_csr", Suite::Paper,
+      "CSR row gathering in a per-row helper called inside the build loop (Fig. 9)",
+      R"(int ROWLEN;
+int COLUMNLEN;
+int ind;
+int index;
+int j1;
+int a[128][128];
+int column_number[16384];
+double value[16384];
+double vector[16384];
+double product_array[16384];
+int rowsize[128];
+int rowptr[129];
+void fill_row(int i) {
+  int count = 0;
+  for (int j = 0; j < COLUMNLEN; j++) {
+    if (a[i][j] != 0) {
+      count++;
+      column_number[index++] = j;
+      value[ind++] = a[i][j];
+    }
+  }
+  rowsize[i] = count;
+}
+void f() {
+  for (int i = 0; i < ROWLEN; i++) {
+    fill_row(i);
+  }
+  rowptr[0] = 0;
+  for (int i = 1; i < ROWLEN + 1; i++) {
+    rowptr[i] = rowptr[i-1] + rowsize[i-1];
+  }
+  for (int i = 0; i < ROWLEN + 1; i++) {
+    if (i == 0) {
+      j1 = i;
+    } else {
+      j1 = rowptr[i-1];
+    }
+    for (int j = j1; j < rowptr[i]; j++) {
+      product_array[j] = value[j] * vector[j];
+    }
+  }
+}
+)",
+      {{"ROWLEN", 96, 1}, {"COLUMNLEN", 96, 1}},
+      5, 1, 2, 1, true});
+
+  corpus.push_back(Entry{
+      "ipa_scatter", Suite::Paper,
+      "permutation scatter through an int-returning lookup helper (Fig. 2)",
+      R"(int nelt;
+int mt_to_id[4096];
+int id_to_mt[4096];
+int lookup(int m) {
+  return mt_to_id[m];
+}
+void fill_perm() {
+  for (int i = 0; i < nelt; i++) {
+    mt_to_id[i] = nelt - 1 - i;
+  }
+}
+void f() {
+  fill_perm();
+  for (int miel = 0; miel < nelt; miel++) {
+    id_to_mt[lookup(miel)] = miel;
+  }
+}
+)",
+      {{"nelt", 512, 1}},
+      2, 1, 2, 1, true});
+
+  // ==========================================================================
   // NAS Parallel Benchmarks v3.3.1 (6 of 10 programs exhibit the pattern)
   // ==========================================================================
 

@@ -15,10 +15,12 @@ namespace {
 
 unsigned clamp_threads(unsigned requested) {
   if (requested == 0) {
-    // Floor of 2 so batch analysis exercises the concurrent path even on
-    // single-core hosts (verdicts are deterministic either way).
+    // 0 means "use the hardware": one lane per logical core. The standard
+    // allows hardware_concurrency() to return 0 (unknown); fall back to 2 so
+    // the concurrent path is still exercised (verdicts are deterministic
+    // either way). See BatchOptions::threads for the full contract.
     unsigned hw = std::thread::hardware_concurrency();
-    return std::min(std::max(hw, 2u), 8u);
+    return hw == 0 ? 2u : hw;
   }
   return requested;
 }
@@ -37,6 +39,7 @@ ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions
     }
     report.result.diags = session.diagnostics().diagnostics();
     report.result.diagnostics = session.diagnostics().dump();
+    report.summary_cache = session.summaries().stats();
     report.result.parsed = session.take_parse();
     report.stages = session.stats();
   } catch (const std::exception& e) {
@@ -65,6 +68,9 @@ bool BatchStats::operator==(const BatchStats& other) const {
          subscripted == other.subscripted && parallel == other.parallel &&
          parallel_subscripted == other.parallel_subscripted && annotated == other.annotated &&
          programs_with_pattern == other.programs_with_pattern &&
+         summaries_computed == other.summaries_computed &&
+         summary_cache_hits == other.summary_cache_hits &&
+         summary_applications == other.summary_applications &&
          property_counts == other.property_counts;
 }
 
@@ -133,6 +139,9 @@ BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) 
     stats.parallel_subscripted += p.parallel_subscripted;
     stats.annotated += p.result.parallelized;
     if (p.parallel_subscripted > 0) ++stats.programs_with_pattern;
+    stats.summaries_computed += static_cast<int>(p.summary_cache.computed);
+    stats.summary_cache_hits += static_cast<int>(p.summary_cache.hits);
+    stats.summary_applications += static_cast<int>(p.summary_cache.applications);
     for (const auto& v : p.result.verdicts) {
       if (v.parallel && v.uses_subscripted_subscripts) {
         ++stats.property_counts[property_key(v)];

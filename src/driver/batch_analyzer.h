@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "ipa/summary.h"
 #include "pipeline/assumptions.h"
 #include "pipeline/session.h"
 #include "support/diagnostics.h"
@@ -47,6 +48,9 @@ struct ProgramReport {
   transform::TranslateResult result;
   // Per-stage wall-clock cost of this program's pipeline run.
   pipeline::SessionStats stages;
+  // Interprocedural summary-cache counters of this program's session
+  // (computed/hits/applications; all zero for single-function programs).
+  ipa::SummaryDB::Stats summary_cache;
 
   // Per-program counts over result.verdicts (all zero when !ok).
   int loops = 0;
@@ -66,6 +70,10 @@ struct BatchStats {
   int annotated = 0;
   // Programs containing >= 1 parallel loop with a subscripted subscript.
   int programs_with_pattern = 0;
+  // Interprocedural summary-cache totals across all program sessions.
+  int summaries_computed = 0;
+  int summary_cache_hits = 0;
+  int summary_applications = 0;
   // Enabling-property histogram over parallel subscripted-subscript loops,
   // keyed by core::property_name(verdict.property).
   std::map<std::string, int> property_counts;
@@ -79,10 +87,14 @@ struct BatchReport {
 };
 
 struct BatchOptions {
-  // Total degree of parallelism, including the calling thread:
-  //   0  -> pick from the hardware, clamped into [2, 8];
+  // Total degree of parallelism, including the calling thread. The contract:
+  //   0  -> std::thread::hardware_concurrency(), i.e. one lane per logical
+  //         core; when the hardware cannot be queried (the standard allows
+  //         hardware_concurrency() == 0) the analyzer falls back to 2 so the
+  //         concurrent path is still exercised;
   //   1  -> run serially on the calling thread (no pool, no extra threads);
-  //   N  -> a pool with N-1 workers plus the calling thread.
+  //   N  -> a pool with N-1 workers plus the calling thread (no clamping).
+  // Verdicts and aggregates are deterministic for every setting.
   unsigned threads = 0;
   core::AnalyzerOptions analyzer;
 };

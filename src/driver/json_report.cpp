@@ -50,6 +50,11 @@ Value verdict_to_json(const core::LoopVerdict& verdict) {
   o.emplace("property", core::property_name(verdict.property));
   o.emplace("peeled", verdict.peeled);
   o.emplace("reason", verdict.reason);
+  // Interprocedural provenance: the functions whose summaries proved the
+  // enabling property ("property proven via summary of f").
+  Array via_summaries;
+  for (const std::string& name : verdict.summaries_used) via_summaries.emplace_back(name);
+  o.emplace("via_summaries", std::move(via_summaries));
   Array blockers;
   for (const std::string& b : verdict.blockers) blockers.emplace_back(b);
   o.emplace("blockers", std::move(blockers));
@@ -119,6 +124,12 @@ Value program_report_to_json(const ProgramReport& report, bool include_output) {
   stages.emplace("annotate", stage_to_json(report.stages.annotate));
   stages.emplace("emit", stage_to_json(report.stages.emit));
   o.emplace("stages", std::move(stages));
+  Object summary_cache;
+  summary_cache.emplace("computed", static_cast<int64_t>(report.summary_cache.computed));
+  summary_cache.emplace("hits", static_cast<int64_t>(report.summary_cache.hits));
+  summary_cache.emplace("applications",
+                        static_cast<int64_t>(report.summary_cache.applications));
+  o.emplace("summary_cache", std::move(summary_cache));
   if (include_output && report.ok) o.emplace("output", report.result.output);
   return Value(std::move(o));
 }
@@ -133,6 +144,9 @@ Value stats_to_json(const BatchStats& stats) {
   o.emplace("parallel_subscripted", stats.parallel_subscripted);
   o.emplace("annotated", stats.annotated);
   o.emplace("programs_with_pattern", stats.programs_with_pattern);
+  o.emplace("summaries_computed", stats.summaries_computed);
+  o.emplace("summary_cache_hits", stats.summary_cache_hits);
+  o.emplace("summary_applications", stats.summary_applications);
   Object properties;
   for (const auto& [key, count] : stats.property_counts) properties.emplace(key, count);
   o.emplace("property_counts", std::move(properties));
@@ -149,6 +163,9 @@ BatchStats stats_from_json(const Value& value) {
   stats.parallel_subscripted = static_cast<int>(value.int_or("parallel_subscripted", 0));
   stats.annotated = static_cast<int>(value.int_or("annotated", 0));
   stats.programs_with_pattern = static_cast<int>(value.int_or("programs_with_pattern", 0));
+  stats.summaries_computed = static_cast<int>(value.int_or("summaries_computed", 0));
+  stats.summary_cache_hits = static_cast<int>(value.int_or("summary_cache_hits", 0));
+  stats.summary_applications = static_cast<int>(value.int_or("summary_applications", 0));
   if (const Value* properties = value.find("property_counts")) {
     if (properties->is_object()) {
       for (const auto& [key, count] : properties->as_object()) {

@@ -32,8 +32,8 @@ void print_usage(std::ostream& os) {
         "loops. With no files, runs over the built-in benchmark corpus.\n"
         "\n"
         "options:\n"
-        "  --threads=N      degree of parallelism (default: hardware, max 8;\n"
-        "                   1 = serial on the calling thread)\n"
+        "  --threads=N      degree of parallelism (default 0 = one lane per\n"
+        "                   logical core; 1 = serial on the calling thread)\n"
         "  --suite=NAME     corpus subset: paper | npb | suitesparse\n"
         "  --emit           also print the OpenMP-annotated source\n"
         "  --json           machine-readable JSON report on stdout (verdicts,\n"
@@ -98,6 +98,11 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
      << "  parallel+subscripted:   " << s.parallel_subscripted << "\n"
      << "  loops annotated (omp):  " << s.annotated << "\n"
      << "  programs with pattern:  " << s.programs_with_pattern << "\n";
+  if (s.summaries_computed > 0 || s.summary_applications > 0) {
+    os << "  function summaries:     " << s.summaries_computed << " computed, "
+       << s.summary_cache_hits << " cache hits, " << s.summary_applications
+       << " call-site applications\n";
+  }
   if (!s.property_counts.empty()) {
     os << "  enabling properties:\n";
     for (const auto& [key, count] : s.property_counts) {

@@ -22,6 +22,7 @@ namespace sspar::ast {
 class Expr;
 class Stmt;
 class VarDecl;
+class FuncDecl;
 using ExprPtr = std::unique_ptr<Expr>;
 using StmtPtr = std::unique_ptr<Stmt>;
 
@@ -160,6 +161,10 @@ class Call final : public Expr {
   static constexpr ExprNodeKind kClassKind = ExprNodeKind::Call;
   std::string callee;
   std::vector<ExprPtr> args;
+  // Bound by sema against the program's function list; stays null for calls
+  // to names with no definition in the translation unit (the analysis then
+  // treats the call as opaque).
+  const FuncDecl* decl = nullptr;
   Call(std::string c, std::vector<ExprPtr> a)
       : Expr(kClassKind), callee(std::move(c)), args(std::move(a)) {}
 };

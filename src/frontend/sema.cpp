@@ -15,6 +15,7 @@ class Resolver {
       : symbols_(symbols), diags_(diags) {}
 
   void run(Program& program) {
+    program_ = &program;
     push_scope();
     for (auto& g : program.globals) declare(*g);
     for (auto& g : program.globals) {
@@ -181,9 +182,15 @@ class Resolver {
         resolve_expr(*e->else_expr);
         break;
       }
-      case ExprNodeKind::Call:
-        for (auto& a : expr.as<Call>()->args) resolve_expr(*a);
+      case ExprNodeKind::Call: {
+        auto* e = expr.as<Call>();
+        // Functions are not block-scoped: resolve against the whole program
+        // so helpers may be defined after their callers. Unknown names stay
+        // unbound (opaque to the analysis) rather than erroring.
+        e->decl = program_ ? program_->find_function(e->callee) : nullptr;
+        for (auto& a : e->args) resolve_expr(*a);
         break;
+      }
       default:
         break;
     }
@@ -191,6 +198,7 @@ class Resolver {
 
   sym::SymbolTable& symbols_;
   support::DiagnosticEngine& diags_;
+  const Program* program_ = nullptr;
   std::vector<std::unordered_map<std::string, const VarDecl*>> scopes_;
   int next_loop_id_ = 0;
 };

@@ -113,6 +113,9 @@ class Interpreter::Impl {
   const ast::For* permute_loop_ = nullptr;
   uint64_t permute_seed_ = 0;
 
+  // Value carried by the innermost active Return up to its Call site.
+  Value return_value_ = Value::of_int(0);
+
   // ------------------------------------------------------------------------
   void init_decl(const ast::VarDecl& decl) {
     if (!decl.is_array()) {
@@ -290,11 +293,43 @@ class Interpreter::Impl {
         const auto* call = expr.as<ast::Call>();
         const ast::FuncDecl* callee = program_.find_function(call->callee);
         if (!callee) throw std::runtime_error("call to unknown function " + call->callee);
-        if (!callee->params.empty()) {
-          throw std::runtime_error("interpreter supports only zero-argument calls");
+        if (call->args.size() != callee->params.size()) {
+          throw std::runtime_error("wrong argument count for " + call->callee);
         }
-        exec(*callee->body);
-        return Value::of_int(0);
+        // Scalar parameters are passed by value; array parameters would need
+        // aliasing storage, which the mini-C corpus does not use.
+        std::vector<Value> args;
+        args.reserve(call->args.size());
+        for (size_t i = 0; i < call->args.size(); ++i) {
+          if (callee->params[i]->is_array()) {
+            throw std::runtime_error("interpreter does not support array arguments");
+          }
+          args.push_back(eval(*call->args[i]));
+        }
+        // Save and rebind the parameter slots (recursion reuses the decls).
+        std::vector<std::pair<const ast::VarDecl*, std::optional<Value>>> saved;
+        saved.reserve(args.size());
+        for (size_t i = 0; i < args.size(); ++i) {
+          const ast::VarDecl* param = callee->params[i].get();
+          auto it = scalars_.find(param);
+          saved.emplace_back(param, it == scalars_.end()
+                                        ? std::optional<Value>()
+                                        : std::optional<Value>(it->second));
+          record(param, 0, /*is_write=*/true);  // binding defines the slot
+          store_scalar(param, args[i]);
+        }
+        // Only an executed Return carries a value; falling off the end of the
+        // body yields 0 (return_value_ may hold a nested call's leftover).
+        Flow flow = exec(*callee->body);
+        Value result = flow == Flow::Returned ? return_value_ : Value::of_int(0);
+        for (auto& [param, old] : saved) {
+          if (old) {
+            scalars_[param] = *old;
+          } else {
+            scalars_.erase(param);
+          }
+        }
+        return result;
       }
     }
     throw std::logic_error("unknown expr kind");
@@ -348,7 +383,9 @@ class Interpreter::Impl {
       case ast::StmtNodeKind::Continue:
         return Flow::Continued;
       case ast::StmtNodeKind::Return:
-        if (stmt.as<ast::Return>()->value) eval(*stmt.as<ast::Return>()->value);
+        return_value_ = stmt.as<ast::Return>()->value
+                            ? eval(*stmt.as<ast::Return>()->value)
+                            : Value::of_int(0);
         return Flow::Returned;
     }
     throw std::logic_error("unknown stmt kind");

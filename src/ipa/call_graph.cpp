@@ -1,0 +1,134 @@
+#include "ipa/call_graph.h"
+
+#include <algorithm>
+
+namespace sspar::ipa {
+
+namespace {
+
+// Iterative Tarjan SCC state per node.
+struct TarjanState {
+  int index = -1;
+  int lowlink = -1;
+  bool on_stack = false;
+};
+
+}  // namespace
+
+CallGraph::CallGraph(const ast::Program& program) {
+  // --- Nodes and edges -------------------------------------------------------
+  for (const auto& function : program.functions) {
+    Node node;
+    node.function = function.get();
+    ast::walk_exprs(function->body.get(), [&](const ast::Expr* e) {
+      const auto* call = e->as<ast::Call>();
+      if (!call) return;
+      node.call_sites.push_back(call);
+      if (!call->decl) {
+        node.has_unknown_callee = true;
+        return;
+      }
+      if (std::find(node.callees.begin(), node.callees.end(), call->decl) ==
+          node.callees.end()) {
+        node.callees.push_back(call->decl);
+      }
+    });
+    nodes_.emplace(function.get(), std::move(node));
+  }
+  for (auto& [function, node] : nodes_) {
+    for (const ast::FuncDecl* callee : node.callees) {
+      auto it = nodes_.find(callee);
+      if (it != nodes_.end()) it->second.called = true;
+    }
+  }
+
+  // --- Tarjan SCC (iterative; roots in program order for determinism) --------
+  std::map<const ast::FuncDecl*, TarjanState> state;
+  for (auto& [function, node] : nodes_) state.emplace(function, TarjanState{});
+  int next_index = 0;
+  int next_scc = 0;
+  std::vector<const ast::FuncDecl*> stack;
+
+  struct Frame {
+    const ast::FuncDecl* function;
+    size_t next_callee = 0;
+  };
+
+  for (const auto& root : program.functions) {
+    if (state[root.get()].index != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{root.get()});
+    state[root.get()].index = state[root.get()].lowlink = next_index++;
+    state[root.get()].on_stack = true;
+    stack.push_back(root.get());
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      Node& node = nodes_.at(frame.function);
+      TarjanState& ts = state[frame.function];
+      if (frame.next_callee < node.callees.size()) {
+        const ast::FuncDecl* callee = node.callees[frame.next_callee++];
+        auto it = state.find(callee);
+        if (it == state.end()) continue;  // callee not defined in this program
+        if (it->second.index == -1) {
+          it->second.index = it->second.lowlink = next_index++;
+          it->second.on_stack = true;
+          stack.push_back(callee);
+          frames.push_back(Frame{callee});
+        } else if (it->second.on_stack) {
+          ts.lowlink = std::min(ts.lowlink, it->second.index);
+        }
+        continue;
+      }
+      // Frame finished: pop an SCC if this is its root.
+      if (ts.lowlink == ts.index) {
+        std::vector<const ast::FuncDecl*> members;
+        for (;;) {
+          const ast::FuncDecl* member = stack.back();
+          stack.pop_back();
+          state[member].on_stack = false;
+          members.push_back(member);
+          if (member == frame.function) break;
+        }
+        // Tarjan pops members root-last; reverse so intra-SCC order follows
+        // discovery order (deterministic, roughly program order).
+        std::reverse(members.begin(), members.end());
+        bool self_loop = false;
+        for (const ast::FuncDecl* member : members) {
+          const Node& m = nodes_.at(member);
+          if (std::find(m.callees.begin(), m.callees.end(), member) != m.callees.end()) {
+            self_loop = true;
+          }
+        }
+        for (const ast::FuncDecl* member : members) {
+          nodes_.at(member).scc = next_scc;
+          nodes_.at(member).recursive = members.size() > 1 || self_loop;
+          bottom_up_.push_back(member);
+        }
+        ++next_scc;
+      }
+      const ast::FuncDecl* finished = frame.function;
+      frames.pop_back();
+      if (!frames.empty()) {
+        TarjanState& parent = state[frames.back().function];
+        parent.lowlink = std::min(parent.lowlink, state[finished].lowlink);
+      }
+    }
+  }
+}
+
+const CallGraph::Node* CallGraph::node(const ast::FuncDecl* function) const {
+  auto it = nodes_.find(function);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+bool CallGraph::is_recursive(const ast::FuncDecl* function) const {
+  const Node* n = node(function);
+  return n && n->recursive;
+}
+
+bool CallGraph::has_unknown_callee(const ast::FuncDecl* function) const {
+  const Node* n = node(function);
+  return n && n->has_unknown_callee;
+}
+
+}  // namespace sspar::ipa

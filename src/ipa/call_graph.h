@@ -1,0 +1,55 @@
+// Static call graph over an ast::Program (interprocedural analysis, step 1).
+//
+// Nodes are the program's function definitions; an edge f -> g exists when
+// f's body contains a call expression bound (by sema) to g. Calls to names
+// with no definition in the translation unit are recorded as "unknown
+// callees" — the summary layer treats such callers as opaque (they may write
+// anything), which keeps the whole-program analysis sound.
+//
+// Strongly connected components are computed with Tarjan's algorithm; any
+// function in a non-trivial SCC (or with a direct self-call) is flagged
+// recursive, and the summary layer refuses to summarize it (recursion
+// widening is a ROADMAP follow-up). Tarjan completes an SCC only after every
+// SCC it reaches is complete, so the SCC completion order *is* a bottom-up
+// (reverse topological) order: every callee precedes its callers. That is
+// exactly the order in which function summaries must be computed.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace sspar::ipa {
+
+class CallGraph {
+ public:
+  struct Node {
+    const ast::FuncDecl* function = nullptr;
+    std::vector<const ast::FuncDecl*> callees;  // unique, in first-call-site order
+    std::vector<const ast::Call*> call_sites;   // every call expression in the body
+    bool has_unknown_callee = false;            // calls a name with no definition
+    bool called = false;                        // has at least one caller
+    int scc = -1;                               // SCC id in completion (bottom-up) order
+    bool recursive = false;                     // self-call or SCC of size >= 2
+  };
+
+  explicit CallGraph(const ast::Program& program);
+
+  // Null for functions not defined in `program`.
+  const Node* node(const ast::FuncDecl* function) const;
+
+  // All functions in bottom-up (reverse topological, SCC-collapsed) order:
+  // every callee precedes its callers; members of one SCC are adjacent.
+  const std::vector<const ast::FuncDecl*>& bottom_up() const { return bottom_up_; }
+
+  bool is_recursive(const ast::FuncDecl* function) const;
+  // Direct unknown callee only; transitive opacity is the summary layer's job.
+  bool has_unknown_callee(const ast::FuncDecl* function) const;
+
+ private:
+  std::map<const ast::FuncDecl*, Node> nodes_;
+  std::vector<const ast::FuncDecl*> bottom_up_;
+};
+
+}  // namespace sspar::ipa

@@ -1,0 +1,153 @@
+// Function effect summaries (interprocedural analysis, step 2).
+//
+// A FunctionSummary is the aggregate effect of calling a function once,
+// expressed in *function-entry terms*: formal integer parameters and the
+// global scalars the callee reads appear as their own sym atoms, so a call
+// site can instantiate the summary by substituting the actuals (and the
+// caller's current values of the globals) for those atoms via the arena's
+// memoized subst machinery. The summary carries:
+//
+//   * scalar_finals — end-of-call value of every global integer scalar the
+//     function may write (λ-style: entry-relative, so `head = head + d`
+//     summarizes as final(head) = sym(head) + ...),
+//   * writes/reads — the function's array access effects, aggregated across
+//     its loops exactly as core::Analyzer aggregates a loop body (a call
+//     site replays them as if the statements were inlined),
+//   * end_facts — the index-array property facts (Value/Step/Injective/
+//     Identity) provable at function exit from an EMPTY entry fact database.
+//     Summaries are context-insensitive: facts that would need caller
+//     context do not appear (sound — fewer facts, never wrong facts),
+//   * return_value — the returned range for int functions,
+//   * may_write sets — a conservative write set (transitive over callees)
+//     that stays valid even for unanalyzable functions; the analyzer's havoc
+//     paths use it so an opaque call degrades soundly instead of silently
+//     under-killing.
+//
+// Summaries are computed bottom-up over the CallGraph's reverse topological
+// order and cached in a SummaryDB keyed on (function, AnalyzerOptions).
+// The DB is owned by pipeline::Session, so re-analysis under options the
+// session has already run — the ablation loop, parallelize-after-analyze,
+// repeated stage calls — reuses summaries instead of recomputing them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "support/source_location.h"
+
+namespace sspar::ipa {
+
+struct FunctionSummary {
+  const ast::FuncDecl* function = nullptr;
+
+  // --- Conservative may-write sets: valid even when !analyzable -------------
+  std::set<const ast::VarDecl*> may_write_scalars;  // global scalars, any type
+  std::set<const ast::VarDecl*> may_write_arrays;   // global arrays
+  bool writes_array_params = false;  // stores through a formal array parameter
+  // Unknown callee somewhere in the transitive call tree: effects unbounded.
+  bool opaque = false;
+
+  // --- Analyzability ---------------------------------------------------------
+  bool analyzable = false;
+  std::string failure;  // why not (human-readable; used in W0301 and blockers)
+  support::SourceLocation failure_location;
+
+  // --- Effects, in function-entry terms (valid when analyzable) --------------
+  std::map<const ast::VarDecl*, sym::Range> scalar_finals;  // global int scalars
+  // Global scalars assigned on EVERY path through the function (syntactic,
+  // conservative). A call site must join the final of any scalar NOT in this
+  // set with the pre-call value — on skip paths the old value survives, which
+  // in a caller loop is a λ-dependence exactly like a conditionally assigned
+  // inlined scalar.
+  std::set<const ast::VarDecl*> definite_scalar_writes;
+  std::vector<core::ArrayWriteEffect> writes;
+  std::vector<core::ArrayWriteEffect> reads;
+  core::FactDB end_facts;
+  std::optional<sym::Range> return_value;  // int-returning functions only
+  // Global scalars the function may read before writing them (conservative
+  // superset); call sites read these for λ-tracking and value binding.
+  std::set<const ast::VarDecl*> exposed_scalar_reads;
+};
+
+// Per-session cache of function summaries keyed on (function, options).
+// Entries intern expressions in the session's arena, so they stay valid for
+// the session's lifetime and across re-analysis with different options.
+class SummaryDB {
+ public:
+  struct Stats {
+    size_t computed = 0;      // summaries built from scratch (cache misses)
+    size_t hits = 0;          // compute-time requests served from the cache
+    size_t applications = 0;  // call sites where a summary was applied
+    size_t requests() const { return computed + hits; }
+  };
+
+  // Plain lookup (no stats); null on miss. Pointers stay valid until clear().
+  const FunctionSummary* find(const ast::FuncDecl* function,
+                              const core::AnalyzerOptions& options) const;
+  // Compute-time lookup: counts a hit when present.
+  const FunctionSummary* lookup(const ast::FuncDecl* function,
+                                const core::AnalyzerOptions& options);
+  // Counts a miss; overwrites any existing entry.
+  const FunctionSummary& insert(const ast::FuncDecl* function,
+                                const core::AnalyzerOptions& options,
+                                FunctionSummary summary);
+
+  void note_application() { ++stats_.applications; }
+
+  const Stats& stats() const { return stats_; }
+  size_t size() const { return entries_.size(); }
+
+  // Drops every summary (they reference AST nodes and arena expressions the
+  // owner is about to release) and resets the stats.
+  void clear();
+
+ private:
+  // AnalyzerOptions is a struct of independent feature bits; encode them into
+  // an integer key. Every new option must be added here (a missed bit would
+  // alias two configurations onto one cache slot).
+  static uint32_t encode(const core::AnalyzerOptions& options);
+
+  using Key = std::pair<const ast::FuncDecl*, uint32_t>;
+  std::map<Key, FunctionSummary> entries_;
+  Stats stats_;
+};
+
+// Instantiates summary expressions at one call site: substitutes actuals for
+// formal scalar atoms, the caller's current values for the callee's exposed
+// global reads, and remaps formal array parameters onto the actual arrays.
+// Exact substitution only — apply() returns null whenever the result would
+// need a non-exact binding (the caller then degrades that bound to unbounded,
+// which is sound). Reads of arrays marked stale (already written by the
+// caller's current loop body) degrade the same way.
+class SummaryApplier {
+ public:
+  // Binds sym(id) (formal int param or exposed global) to the caller value.
+  void bind(sym::SymbolId id, sym::Range value);
+  // Maps a formal array parameter onto the actual array at the call site.
+  void bind_array(const ast::VarDecl* formal, const ast::VarDecl* actual);
+  // Marks an array (post-remap symbol) whose elements are stale in summary
+  // expressions because the caller's body already wrote it.
+  void mark_stale(sym::SymbolId array);
+
+  // Exact instantiation; null if any required binding is missing, non-exact,
+  // or reads a stale array element.
+  sym::ExprPtr apply(const sym::ExprPtr& e) const;
+  // Per-bound instantiation: a failed bound becomes unbounded (null).
+  sym::Range apply(const sym::Range& r) const;
+
+  const ast::VarDecl* remap_array(const ast::VarDecl* array) const;
+  sym::SymbolId remap_array_symbol(sym::SymbolId array) const;
+
+ private:
+  std::map<sym::SymbolId, sym::Range> bindings_;
+  std::map<const ast::VarDecl*, const ast::VarDecl*> array_map_;
+  std::map<sym::SymbolId, sym::SymbolId> array_symbol_map_;
+  std::set<sym::SymbolId> stale_arrays_;
+};
+
+}  // namespace sspar::ipa

@@ -33,12 +33,14 @@ class StageTimer {
 Session::Session(std::string source, Assumptions assumptions)
     : source_(std::move(source)),
       assumptions_(std::move(assumptions)),
-      arena_(std::make_unique<sym::ExprArena>()) {}
+      diags_(std::make_unique<support::DiagnosticEngine>()),
+      arena_(std::make_unique<sym::ExprArena>()),
+      summaries_(std::make_unique<ipa::SummaryDB>()) {}
 
 bool Session::parse() {
   if (parse_done_) return parsed_.ok;
   StageTimer timer(stats_.parse);
-  parsed_ = ast::parse_and_resolve(source_, diags_);
+  parsed_ = ast::parse_and_resolve(source_, *diags_);
   parse_done_ = true;
   return parsed_.ok;
 }
@@ -58,7 +60,13 @@ const AnalysisResult* Session::analyze(const core::AnalyzerOptions& options) {
   invalidate_analysis_downstream();
   StageTimer timer(stats_.analyze);
   sym::ArenaScope arena_scope(*arena_);
-  analyzer_ = std::make_unique<core::Analyzer>(*parsed_.program, *parsed_.symbols, options);
+  // Analysis warnings (W03xx) describe the program, not the options — every
+  // re-analysis would re-emit the identical set, so only the first analyzer
+  // gets the diagnostic engine.
+  support::DiagnosticEngine* diags = analysis_diags_emitted_ ? nullptr : diags_.get();
+  analysis_diags_emitted_ = true;
+  analyzer_ = std::make_unique<core::Analyzer>(*parsed_.program, *parsed_.symbols, options,
+                                               summaries_.get(), diags);
   assumptions_.apply(*analyzer_, *parsed_.program);
   analyzer_->run();
   analysis_ = AnalysisResult{analyzer_.get(), options};
@@ -107,12 +115,15 @@ ast::ParseResult Session::take_parse() {
   parse_done_ = false;
   // Drop every cache derived from the moved-out AST: a later analyze() must
   // not hand back an Analyzer referencing a Program this session no longer
-  // owns (the caller may have destroyed it).
+  // owns (the caller may have destroyed it). Function summaries reference
+  // that AST too.
   analyzer_.reset();
   analysis_.reset();
+  summaries_->clear();
   verdicts_.reset();
   annotated_ = 0;
   annotate_done_ = false;
+  analysis_diags_emitted_ = false;
   return out;
 }
 

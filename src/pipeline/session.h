@@ -43,6 +43,7 @@
 #include "core/analyzer.h"
 #include "core/parallelizer.h"
 #include "frontend/sema.h"
+#include "ipa/summary.h"
 #include "pipeline/assumptions.h"
 #include "support/diagnostics.h"
 #include "symbolic/arena.h"
@@ -114,7 +115,13 @@ class Session {
   bool parsed() const { return parse_done_; }
   const ast::Program* program() const { return parsed_.program.get(); }
   const sym::SymbolTable* symbols() const { return parsed_.symbols.get(); }
-  const support::DiagnosticEngine& diagnostics() const { return diags_; }
+  const support::DiagnosticEngine& diagnostics() const { return *diags_; }
+
+  // The session's interprocedural summary cache: function summaries computed
+  // by analyze()/parallelize() stay here across stages and across re-analysis
+  // under different AnalyzerOptions (the ablation loop re-hits them). Cleared
+  // by take_parse() (summaries point into the released AST).
+  const ipa::SummaryDB& summaries() const { return *summaries_; }
   const Assumptions& assumptions() const { return assumptions_; }
   const std::string& source() const { return source_; }
 
@@ -137,18 +144,26 @@ class Session {
 
   std::string source_;
   Assumptions assumptions_;
-  support::DiagnosticEngine diags_;
+  // unique_ptr: the Analyzer holds a pointer to the engine; Session moves
+  // must not relocate it.
+  std::unique_ptr<support::DiagnosticEngine> diags_;
 
   // Declared before the analysis caches: every sym::Expr they reference is
   // owned by this arena. unique_ptr keeps nodes' addresses stable across
   // Session moves.
   std::unique_ptr<sym::ExprArena> arena_;
+  // Interprocedural summary cache (address-stable for the same reason);
+  // declared right after the arena, which owns every expression it interns.
+  std::unique_ptr<ipa::SummaryDB> summaries_;
 
   ast::ParseResult parsed_;
   bool parse_done_ = false;
 
   std::unique_ptr<core::Analyzer> analyzer_;
   std::optional<AnalysisResult> analysis_;
+  // W03xx warnings are options-independent; emit them from the first
+  // analysis only (re-analysis would duplicate them in diags_).
+  bool analysis_diags_emitted_ = false;
 
   std::optional<std::vector<core::LoopVerdict>> verdicts_;
   int annotated_ = 0;

@@ -42,6 +42,8 @@
 #include "driver/json_report.h"   // IWYU pragma: export
 #include "frontend/frontend.h"    // IWYU pragma: export
 #include "interp/interpreter.h"   // IWYU pragma: export
+#include "ipa/call_graph.h"       // IWYU pragma: export
+#include "ipa/summary.h"          // IWYU pragma: export
 #include "kernels/csr.h"          // IWYU pragma: export
 #include "kernels/npb_cg.h"       // IWYU pragma: export
 #include "kernels/pattern_kernels.h"  // IWYU pragma: export

@@ -18,7 +18,9 @@ const char* severity_name(Severity sev) {
 
 std::string diag_code_name(DiagCode code) {
   if (code == DiagCode::Unspecified) return "";
-  return format("E%04d", static_cast<int>(code));
+  int value = static_cast<int>(code);
+  if (value >= kWarningBase) return format("W%04d", value - kWarningBase);
+  return format("E%04d", value);
 }
 
 std::string Diagnostic::to_string() const {

@@ -17,8 +17,12 @@ namespace sspar::support {
 enum class Severity { Note, Warning, Error };
 
 // Stable diagnostic codes. The numeric ranges are reserved per layer:
-//   E01xx lexer, E02xx parser, E03xx sema. Codes are part of the public
-// contract (the JSON report exposes them); never renumber an existing one.
+//   E01xx lexer, E02xx parser, E03xx sema. Warnings use a parallel W-space:
+// enum values >= kWarningBase render as W<code-1000> (W03xx analysis
+// warnings). Codes are part of the public contract (the JSON report exposes
+// them); never renumber an existing one.
+inline constexpr int kWarningBase = 1000;
+
 enum class DiagCode {
   Unspecified = 0,  // legacy call sites that have not been classified
 
@@ -40,6 +44,12 @@ enum class DiagCode {
   SemaSubscriptBase = 305,      // E0305: base is not a variable
   SemaBadAssignTarget = 306,    // E0306
   SemaBadIncrementTarget = 307, // E0307
+
+  // Analysis warnings (W03xx): a loop was abandoned as unanalyzable and the
+  // analyzer degraded to conservative havoc instead of failing.
+  AnalysisLoopCall = kWarningBase + 301,        // W0301: call without a usable summary
+  AnalysisLoopWhile = kWarningBase + 302,       // W0302: inner while loop
+  AnalysisLoopAbruptExit = kWarningBase + 303,  // W0303: break/continue/return
 };
 
 // "E0302"-style stable spelling (empty string for Unspecified).

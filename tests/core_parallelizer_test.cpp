@@ -2,6 +2,7 @@
 // with the right enabling property.
 #include <gtest/gtest.h>
 
+#include "core/body_interp.h"
 #include "core/parallelizer.h"
 #include "frontend/frontend.h"
 #include "support/diagnostics.h"
@@ -509,6 +510,106 @@ TEST(Parallelizer, Fig4MonotonicDifference) {
   auto v = p.verdict_of("f", 2);
   EXPECT_TRUE(v.parallel) << blockers(v);
   EXPECT_NE(v.reason.find("monotonic"), std::string::npos) << v.reason;
+}
+
+// --------------------------------------------------------------------------
+// BodyInterp::force_branches vs branch-write pairs
+// --------------------------------------------------------------------------
+
+TEST(BodyInterpForceBranches, ForcedIfDropsItsPairButKeepsTheOthers) {
+  // Two top-level if/else statements: the first is a peel candidate
+  // (i == 0), the second a branch-write pair (same array, same subscript).
+  auto p = build(R"(
+    int n; int flag[1024]; int a[1024]; int b[4096];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        if (i == 0) {
+          a[i] = 5;
+        } else {
+          a[i] = 7;
+        }
+        if (flag[i] > 0) {
+          b[i] = 2 * i;
+        } else {
+          b[i] = -1;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  const auto* f = p.parsed.program->find_function("f");
+  const ast::For* loop = ast::collect_loops(f->body.get())[0];
+  const LoopSnapshot* snap = p.analyzer->snapshot(loop);
+  ASSERT_NE(snap, nullptr);
+  ASSERT_TRUE(snap->info.has_value());
+  const auto* body = loop->body->as<ast::Compound>();
+  const auto* peel_if = body->body[0]->as<ast::If>();
+  ASSERT_NE(peel_if, nullptr);
+
+  // Unforced: both if/else statements contribute a branch-write pair.
+  BodyInterp unforced(*p.analyzer, *loop->body, snap->info->index,
+                      snap->scalars_at_entry, snap->facts_at_entry);
+  ASSERT_TRUE(unforced.run());
+  ASSERT_EQ(unforced.branch_pairs.size(), 2u);
+  EXPECT_EQ(unforced.branch_pairs[0].array->name, "a");
+  EXPECT_EQ(unforced.branch_pairs[1].array->name, "b");
+
+  // Forcing the peel candidate executes exactly one of its branches, so it
+  // cannot pair any more — the guarded pair must survive untouched.
+  std::map<const ast::If*, bool> forced{{peel_if, false}};
+  BodyInterp general(*p.analyzer, *loop->body, snap->info->index,
+                     snap->scalars_at_entry, snap->facts_at_entry);
+  general.force_branches(&forced);
+  ASSERT_TRUE(general.run());
+  ASSERT_EQ(general.branch_pairs.size(), 1u);
+  EXPECT_EQ(general.branch_pairs[0].array->name, "b");
+  // The forced branch's write is unconditional now (single path taken).
+  bool saw_a_write = false;
+  for (const auto& w : general.writes) {
+    if (w.array && w.array->name == "a") {
+      saw_a_write = true;
+      EXPECT_FALSE(w.conditional);
+    }
+  }
+  EXPECT_TRUE(saw_a_write);
+}
+
+TEST(BodyInterpForceBranches, PeeledFirstIterationCoexistsWithGuardedPairs) {
+  // One loop mixes the Fig. 9 peel idiom (if (i == 0)) with the Fig. 5
+  // guarded branch-write pair; the peel must not stop the subset-injective
+  // fact from reaching the scatter loop.
+  auto p = build(R"(
+    int n; int flag[2048]; int jm[2048]; int imatch[8192]; int first;
+    void f() {
+      for (int i = 0; i < n; i++) {
+        flag[i] = (i % 2 == 0) ? 1 : 0;
+      }
+      for (int i = 0; i < n; i++) {
+        if (i == 0) {
+          first = 1;
+        } else {
+          first = 0;
+        }
+        if (flag[i] > 0) {
+          jm[i] = 2 * i;
+        } else {
+          jm[i] = -1;
+        }
+      }
+      for (int i = 0; i < n; i++) {
+        if (jm[i] >= 0) {
+          imatch[jm[i]] = i;
+        }
+      }
+    }
+  )", {{"n", 1}});
+  auto producer = p.verdict_of("f", 1);
+  EXPECT_TRUE(producer.parallel) << blockers(producer);
+  EXPECT_TRUE(producer.peeled);
+  ASSERT_EQ(producer.privates.size(), 1u);
+  EXPECT_EQ(producer.privates[0]->name, "first");
+  auto scatter = p.verdict_of("f", 2);
+  EXPECT_TRUE(scatter.parallel) << blockers(scatter);
+  EXPECT_EQ(scatter.property, EnablingProperty::SubsetInjective);
 }
 
 }  // namespace

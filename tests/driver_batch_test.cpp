@@ -97,9 +97,10 @@ TEST(BatchAnalyzer, CorpusInputsCoverTheWholeCorpus) {
 }
 
 TEST(BatchAnalyzer, ThreadClamping) {
-  // 0 = "pick from the hardware", clamped into [2, 8].
-  EXPECT_GE(BatchAnalyzer(BatchOptions{0, {}}).threads(), 2u);
-  EXPECT_LE(BatchAnalyzer(BatchOptions{0, {}}).threads(), 8u);
+  // 0 = hardware_concurrency() (one lane per logical core), falling back to
+  // 2 when the hardware cannot be queried — the BatchOptions contract.
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(BatchAnalyzer(BatchOptions{0, {}}).threads(), hw == 0 ? 2u : hw);
   // Explicit requests are honored as-is; no clamp.
   EXPECT_EQ(BatchAnalyzer(BatchOptions{1, {}}).threads(), 1u);
   EXPECT_EQ(BatchAnalyzer(BatchOptions{3, {}}).threads(), 3u);

@@ -1,0 +1,718 @@
+// Interprocedural summary engine tests.
+//
+// The core contract is differential: a program whose index arrays are built
+// inside helper functions must get the SAME verdicts and OpenMP annotations
+// as its hand-inlined twin — the summary application is semantically
+// inlining. On top of that: call-graph structure, summary caching across
+// re-analysis, W03xx degradation diagnostics, conservative havoc for
+// unsummarizable calls (soundness), and batch determinism with the
+// session-owned SummaryDB.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corpus/analysis.h"
+#include "corpus/corpus.h"
+#include "driver/batch_analyzer.h"
+#include "driver/json_report.h"
+#include "interp/interpreter.h"
+#include "ipa/call_graph.h"
+#include "ipa/summary.h"
+#include "pipeline/session.h"
+#include "support/text.h"
+
+namespace sspar {
+namespace {
+
+// One comparable line per verdict, excluding loop ids and line numbers
+// (helper extraction moves loops between functions, renumbering them).
+std::string verdict_key(const core::LoopVerdict& v) {
+  std::string out;
+  out += v.canonical ? "canonical " : "non-canonical ";
+  out += v.parallel ? "parallel " : "serial ";
+  out += v.uses_subscripted_subscripts ? "subscripted " : "plain ";
+  out += core::property_name(v.property);
+  out += v.peeled ? " peeled" : "";
+  out += " reason='" + v.reason + "'";
+  out += " blockers=[";
+  for (const auto& b : v.blockers) out += b + ";";
+  out += "] privates=[";
+  for (const auto* p : v.privates) out += p->name + ";";
+  out += "]";
+  return out;
+}
+
+std::vector<std::string> verdict_keys(pipeline::Session& session) {
+  const auto* verdicts = session.parallelize();
+  std::vector<std::string> keys;
+  if (!verdicts) return keys;
+  for (const auto& v : *verdicts) keys.push_back(verdict_key(v));
+  return keys;
+}
+
+std::vector<std::string> pragma_lines(const std::string& source) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = source.find("#pragma", pos)) != std::string::npos) {
+    size_t end = source.find('\n', pos);
+    out.push_back(source.substr(pos, end - pos));
+    pos = end;
+  }
+  return out;
+}
+
+struct Twin {
+  const char* name;
+  std::string helper_source;
+  std::string inlined_source;
+  pipeline::Assumptions assumptions;
+};
+
+// The three interprocedural corpus entries and their hand-inlined twins.
+std::vector<Twin> twin_programs() {
+  std::vector<Twin> twins;
+  auto assume = [](const corpus::Entry& e) { return corpus::analyzer_assumptions(e); };
+  const corpus::Entry* cg = corpus::find_entry("ipa_cg");
+  const corpus::Entry* csr = corpus::find_entry("ipa_csr");
+  const corpus::Entry* scatter = corpus::find_entry("ipa_scatter");
+  EXPECT_NE(cg, nullptr);
+  EXPECT_NE(csr, nullptr);
+  EXPECT_NE(scatter, nullptr);
+
+  twins.push_back(Twin{"ipa_cg", cg->source,
+                       R"(int nrows;
+int firstcol;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+int colidx[8192];
+void f() {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+  for (int j = 0; j < nrows; j++) {
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+      colidx[k] = colidx[k] - firstcol;
+    }
+  }
+}
+)",
+                       assume(*cg)});
+
+  twins.push_back(Twin{"ipa_csr", csr->source,
+                       R"(int ROWLEN;
+int COLUMNLEN;
+int ind;
+int index;
+int j1;
+int a[128][128];
+int column_number[16384];
+double value[16384];
+double vector[16384];
+double product_array[16384];
+int rowsize[128];
+int rowptr[129];
+void f() {
+  for (int i = 0; i < ROWLEN; i++) {
+    int count = 0;
+    for (int j = 0; j < COLUMNLEN; j++) {
+      if (a[i][j] != 0) {
+        count++;
+        column_number[index++] = j;
+        value[ind++] = a[i][j];
+      }
+    }
+    rowsize[i] = count;
+  }
+  rowptr[0] = 0;
+  for (int i = 1; i < ROWLEN + 1; i++) {
+    rowptr[i] = rowptr[i-1] + rowsize[i-1];
+  }
+  for (int i = 0; i < ROWLEN + 1; i++) {
+    if (i == 0) {
+      j1 = i;
+    } else {
+      j1 = rowptr[i-1];
+    }
+    for (int j = j1; j < rowptr[i]; j++) {
+      product_array[j] = value[j] * vector[j];
+    }
+  }
+}
+)",
+                       assume(*csr)});
+
+  twins.push_back(Twin{"ipa_scatter", scatter->source,
+                       R"(int nelt;
+int mt_to_id[4096];
+int id_to_mt[4096];
+void f() {
+  for (int i = 0; i < nelt; i++) {
+    mt_to_id[i] = nelt - 1 - i;
+  }
+  for (int miel = 0; miel < nelt; miel++) {
+    id_to_mt[mt_to_id[miel]] = miel;
+  }
+}
+)",
+                       assume(*scatter)});
+  return twins;
+}
+
+// --------------------------------------------------------------------------
+// Differential: helper version == hand-inlined twin
+// --------------------------------------------------------------------------
+
+TEST(IpaDifferential, VerdictsAreByteIdenticalToHandInlinedTwin) {
+  for (const Twin& twin : twin_programs()) {
+    pipeline::Session helper(twin.helper_source, twin.assumptions);
+    pipeline::Session inlined(twin.inlined_source, twin.assumptions);
+    std::vector<std::string> helper_keys = verdict_keys(helper);
+    std::vector<std::string> inlined_keys = verdict_keys(inlined);
+    ASSERT_FALSE(helper_keys.empty()) << twin.name << helper.diagnostics().dump();
+    ASSERT_FALSE(inlined_keys.empty()) << twin.name << inlined.diagnostics().dump();
+    // Extracting a helper permutes loop order (function decls come first), so
+    // compare the verdict multisets: every loop must get the byte-identical
+    // verdict it gets in the inlined program.
+    std::sort(helper_keys.begin(), helper_keys.end());
+    std::sort(inlined_keys.begin(), inlined_keys.end());
+    EXPECT_EQ(helper_keys, inlined_keys) << twin.name;
+  }
+}
+
+TEST(IpaDifferential, EmittedAnnotationsAreByteIdenticalToHandInlinedTwin) {
+  for (const Twin& twin : twin_programs()) {
+    pipeline::Session helper(twin.helper_source, twin.assumptions);
+    pipeline::Session inlined(twin.inlined_source, twin.assumptions);
+    ASSERT_GT(helper.annotate(), 0) << twin.name;
+    ASSERT_GT(inlined.annotate(), 0) << twin.name;
+    EXPECT_EQ(pragma_lines(helper.emit().output), pragma_lines(inlined.emit().output))
+        << twin.name;
+  }
+}
+
+TEST(IpaDifferential, HelperBuiltRowstrProvesMonotonicAndParallelizesTheCgLoop) {
+  const corpus::Entry* cg = corpus::find_entry("ipa_cg");
+  ASSERT_NE(cg, nullptr);
+  pipeline::Session session(cg->source, corpus::analyzer_assumptions(*cg));
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  // The CG adjustment loop (over rowstr windows) must be proven parallel via
+  // the Monotonic property, with provenance naming the helper.
+  bool found = false;
+  for (const auto& v : *verdicts) {
+    if (v.property != core::EnablingProperty::Monotonic) continue;
+    found = true;
+    EXPECT_TRUE(v.parallel);
+    EXPECT_TRUE(v.uses_subscripted_subscripts);
+    EXPECT_EQ(v.summaries_used, std::vector<std::string>{"build_rowstr"});
+  }
+  EXPECT_TRUE(found) << "no Monotonic verdict in ipa_cg";
+  // And the summary derives a Monotonic_inc (non-negative step) fact for
+  // rowstr: inspect the cached summary directly.
+  const ast::FuncDecl* helper = session.program()->find_function("build_rowstr");
+  ASSERT_NE(helper, nullptr);
+  const ipa::FunctionSummary* summary =
+      session.summaries().find(helper, core::AnalyzerOptions{});
+  ASSERT_NE(summary, nullptr);
+  ASSERT_TRUE(summary->analyzable) << summary->failure;
+  const ast::VarDecl* rowstr = session.program()->find_global("rowstr");
+  ASSERT_NE(rowstr, nullptr);
+  const core::ArrayFacts* facts = summary->end_facts.find(rowstr->symbol);
+  ASSERT_NE(facts, nullptr);
+  ASSERT_FALSE(facts->steps.empty());
+  bool monotonic_inc = false;
+  for (const auto& step : facts->steps) {
+    auto lo = sym::const_value(step.step.lo());
+    if (lo && *lo >= 0) monotonic_inc = true;
+  }
+  EXPECT_TRUE(monotonic_inc) << "rowstr step fact is not Monotonic_inc";
+}
+
+// No false positives: every statically parallel loop of the interprocedural
+// corpus entries is dependence-free under the dynamic oracle.
+TEST(IpaDifferential, NoFalsePositivesAgainstTheDynamicOracle) {
+  for (const char* name : {"ipa_cg", "ipa_csr", "ipa_scatter"}) {
+    const corpus::Entry* entry = corpus::find_entry(name);
+    ASSERT_NE(entry, nullptr);
+    corpus::EntryAnalysis analysis = corpus::analyze_entry(*entry);
+    ASSERT_TRUE(analysis.ok) << analysis.diagnostics;
+    EXPECT_GT(analysis.parallel, 0) << name;
+    for (const auto& v : analysis.verdicts) {
+      if (!v.parallel) continue;
+      interp::Interpreter interp(*analysis.parsed.program);
+      corpus::seed_interpreter_inputs(*entry, interp);
+      auto oracle = interp.analyze_loop_dependences("f", v.loop);
+      EXPECT_TRUE(oracle.executed) << name << " loop " << v.loop_id;
+      EXPECT_TRUE(oracle.dependence_free)
+          << name << " loop " << v.loop_id << " FALSE POSITIVE: " << oracle.first_conflict;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Call graph
+// --------------------------------------------------------------------------
+
+TEST(CallGraph, BottomUpOrderPutsCalleesFirst) {
+  pipeline::Session session(R"(
+    int x;
+    void c() { x = x + 1; }
+    void b() { c(); }
+    void a() { b(); c(); }
+  )");
+  ASSERT_TRUE(session.parse());
+  ipa::CallGraph graph(*session.program());
+  const auto& order = graph.bottom_up();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const char* name) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i]->name == name) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(pos("c"), pos("b"));
+  EXPECT_LT(pos("b"), pos("a"));
+  EXPECT_FALSE(graph.is_recursive(session.program()->find_function("a")));
+  const auto* node_a = graph.node(session.program()->find_function("a"));
+  ASSERT_NE(node_a, nullptr);
+  EXPECT_EQ(node_a->callees.size(), 2u);
+  EXPECT_TRUE(node_a->called == false);
+  EXPECT_TRUE(graph.node(session.program()->find_function("c"))->called);
+}
+
+TEST(CallGraph, DetectsRecursionAndUnknownCallees) {
+  // Sema resolves calls against the whole program, so even/odd may call each
+  // other without prototypes (the grammar has none).
+  pipeline::Session s(R"(
+    int x;
+    void even(int n) { odd(n - 1); }
+    void odd(int n) { even(n - 1); }
+    void self() { self(); }
+    void unknown_caller() { mystery(); }
+  )");
+  ASSERT_TRUE(s.parse()) << s.diagnostics().dump();
+  ipa::CallGraph graph(*s.program());
+  EXPECT_TRUE(graph.is_recursive(s.program()->find_function("even")));
+  EXPECT_TRUE(graph.is_recursive(s.program()->find_function("odd")));
+  EXPECT_TRUE(graph.is_recursive(s.program()->find_function("self")));
+  EXPECT_FALSE(graph.is_recursive(s.program()->find_function("unknown_caller")));
+  EXPECT_TRUE(graph.has_unknown_callee(s.program()->find_function("unknown_caller")));
+}
+
+// --------------------------------------------------------------------------
+// Summary cache
+// --------------------------------------------------------------------------
+
+TEST(SummaryDB, ReanalysisUnderKnownOptionsHitsTheCache) {
+  const corpus::Entry* entry = corpus::find_entry("ipa_cg");
+  ASSERT_NE(entry, nullptr);
+  pipeline::Session session(entry->source, corpus::analyzer_assumptions(*entry));
+  core::AnalyzerOptions defaults;
+  core::AnalyzerOptions no_recurrence;
+  no_recurrence.enable_recurrence_rule = false;
+
+  ASSERT_NE(session.analyze(defaults), nullptr);
+  const auto after_first = session.summaries().stats();
+  EXPECT_EQ(after_first.computed, 1u);
+  EXPECT_EQ(after_first.hits, 0u);
+
+  // Different options: a fresh summary is computed under its own key.
+  ASSERT_NE(session.analyze(no_recurrence), nullptr);
+  const auto after_second = session.summaries().stats();
+  EXPECT_EQ(after_second.computed, 2u);
+  EXPECT_EQ(after_second.hits, 0u);
+
+  // Back to the first configuration: served from the cache.
+  ASSERT_NE(session.analyze(defaults), nullptr);
+  const auto after_third = session.summaries().stats();
+  EXPECT_EQ(after_third.computed, 2u);
+  EXPECT_EQ(after_third.hits, 1u);
+
+  // The ablated summary really is different: without the recurrence rule the
+  // helper cannot prove the rowstr step fact.
+  const ast::FuncDecl* helper = session.program()->find_function("build_rowstr");
+  const ipa::FunctionSummary* ablated = session.summaries().find(helper, no_recurrence);
+  ASSERT_NE(ablated, nullptr);
+  const ast::VarDecl* rowstr = session.program()->find_global("rowstr");
+  const core::ArrayFacts* facts = ablated->end_facts.find(rowstr->symbol);
+  EXPECT_TRUE(!facts || facts->steps.empty());
+}
+
+TEST(SummaryDB, TakeParseClearsSummaries) {
+  const corpus::Entry* entry = corpus::find_entry("ipa_cg");
+  pipeline::Session session(entry->source, corpus::analyzer_assumptions(*entry));
+  ASSERT_NE(session.analyze(), nullptr);
+  EXPECT_GT(session.summaries().size(), 0u);
+  auto parsed = session.take_parse();
+  EXPECT_EQ(session.summaries().size(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// W03xx degradation diagnostics
+// --------------------------------------------------------------------------
+
+bool has_diag(const pipeline::Session& session, support::DiagCode code,
+              const std::string& substring) {
+  for (const auto& d : session.diagnostics().diagnostics()) {
+    if (d.code == code && d.severity == support::Severity::Warning &&
+        d.message.find(substring) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Diagnostics, LoopWithRecursiveCallEmitsW0301WithCalleeName) {
+  pipeline::Session session(R"(
+    int n;
+    int acc;
+    int tri(int k) {
+      if (k > 0) {
+        acc = acc + k;
+        tri(k - 1);
+      }
+      return acc;
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        tri(i);
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  EXPECT_TRUE(has_diag(session, support::DiagCode::AnalysisLoopCall, "tri"))
+      << session.diagnostics().dump();
+  EXPECT_EQ(support::diag_code_name(support::DiagCode::AnalysisLoopCall), "W0301");
+  // The loop is degraded, not mis-analyzed.
+  for (const auto& v : *verdicts) EXPECT_FALSE(v.parallel);
+}
+
+TEST(Diagnostics, WhileAndBreakEmitW0302AndW0303) {
+  pipeline::Session session(R"(
+    int n;
+    int a[1024];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        int k = 0;
+        while (k < i) {
+          k = k + 1;
+        }
+        a[i] = k;
+      }
+      for (int i = 0; i < n; i++) {
+        if (a[i] > 100) {
+          break;
+        }
+        a[i] = a[i] + 1;
+      }
+    }
+  )",
+                            {{"n", 1}});
+  ASSERT_NE(session.parallelize(), nullptr);
+  EXPECT_TRUE(has_diag(session, support::DiagCode::AnalysisLoopWhile, "while"))
+      << session.diagnostics().dump();
+  EXPECT_TRUE(has_diag(session, support::DiagCode::AnalysisLoopAbruptExit, "break"))
+      << session.diagnostics().dump();
+  EXPECT_EQ(support::diag_code_name(support::DiagCode::AnalysisLoopWhile), "W0302");
+  EXPECT_EQ(support::diag_code_name(support::DiagCode::AnalysisLoopAbruptExit), "W0303");
+}
+
+TEST(Diagnostics, WarningsSurfaceInTheJsonReport) {
+  driver::BatchAnalyzer analyzer(driver::BatchOptions{1, {}});
+  driver::ProgramInput input;
+  input.name = "warny";
+  input.source = R"(
+    int n;
+    int total;
+    void f() {
+      for (int i = 0; i < n; i++) {
+        int k = 0;
+        while (k < i) { k = k + 1; }
+        total = total + k;
+      }
+    }
+  )";
+  input.assumptions = pipeline::Assumptions{{"n", 1}};
+  driver::BatchReport report = analyzer.run({input});
+  ASSERT_EQ(report.programs.size(), 1u);
+  support::json::Value doc = driver::program_report_to_json(report.programs[0], false);
+  std::string text = doc.dump();
+  EXPECT_NE(text.find("W0302"), std::string::npos) << text;
+}
+
+// --------------------------------------------------------------------------
+// Soundness: unsummarizable calls degrade conservatively
+// --------------------------------------------------------------------------
+
+TEST(IpaSoundness, OpaqueCallHavocsFactsAboutEveryGlobal) {
+  // g() is not summarizable (calls an unknown function) and writes perm; the
+  // facts proven about perm before the call must not survive it.
+  pipeline::Session session(R"(
+    int n;
+    int perm[2048];
+    int out[2048];
+    void g() {
+      mystery();
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        perm[i] = n - 1 - i;
+      }
+      g();
+      for (int i = 0; i < n; i++) {
+        out[perm[i]] = i;
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  // The scatter loop must NOT be proven parallel: g() may have scrambled perm.
+  bool scatter_seen = false;
+  for (const auto& v : *verdicts) {
+    if (!v.uses_subscripted_subscripts) continue;
+    scatter_seen = true;
+    EXPECT_FALSE(v.parallel) << v.reason;
+  }
+  EXPECT_TRUE(scatter_seen);
+}
+
+TEST(IpaSoundness, SummarizedCallKillsOverlappingCallerFacts) {
+  // reset() rewrites a prefix of perm with a non-injective constant; the
+  // injectivity proven by the fill loop must die at the call.
+  pipeline::Session session(R"(
+    int n;
+    int perm[2048];
+    int out[2048];
+    void reset() {
+      for (int i = 0; i < n; i++) {
+        perm[i] = 0;
+      }
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        perm[i] = n - 1 - i;
+      }
+      reset();
+      for (int i = 0; i < n; i++) {
+        out[perm[i]] = i;
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  bool scatter_seen = false;
+  for (const auto& v : *verdicts) {
+    if (!v.uses_subscripted_subscripts) continue;
+    scatter_seen = true;
+    EXPECT_FALSE(v.parallel) << v.reason;
+  }
+  EXPECT_TRUE(scatter_seen);
+}
+
+TEST(IpaSoundness, ConditionallyWrittenCalleeGlobalCarriesLambdaDependence) {
+  // mark() assigns the global s only on some paths; in a caller loop the
+  // skip-path keeps the previous iteration's value — a loop-carried scalar
+  // dependence, exactly as if the conditional assignment were inlined.
+  pipeline::Session session(R"(
+    int n;
+    int s;
+    int flag[1024];
+    int out[1024];
+    void mark(int i) {
+      if (flag[i] > 0) {
+        s = i;
+      }
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        mark(i);
+        out[i] = s;
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  ASSERT_EQ(verdicts->size(), 1u);
+  const auto& v = (*verdicts)[0];
+  EXPECT_FALSE(v.parallel);
+  bool lambda_blocker = false;
+  for (const auto& b : v.blockers) {
+    if (b.find("loop-carried scalar dependence on 's'") != std::string::npos) {
+      lambda_blocker = true;
+    }
+  }
+  EXPECT_TRUE(lambda_blocker) << support::join(v.blockers, "; ");
+}
+
+TEST(IpaSoundness, OpaqueCallKillsFactsAboutLocalArraysToo) {
+  // tmp is function-local; mystery(tmp) may rewrite it, so the identity fact
+  // from the fill loop must not survive into the scatter loop.
+  pipeline::Session session(R"(
+    int n;
+    int out[64];
+    void f() {
+      int tmp[64];
+      for (int i = 0; i < n; i++) {
+        tmp[i] = i;
+      }
+      mystery(tmp);
+      for (int i = 0; i < n; i++) {
+        out[tmp[i]] = i;
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  bool scatter_seen = false;
+  for (const auto& v : *verdicts) {
+    if (!v.uses_subscripted_subscripts) continue;
+    scatter_seen = true;
+    EXPECT_FALSE(v.parallel) << v.reason;
+  }
+  EXPECT_TRUE(scatter_seen);
+}
+
+TEST(IpaDifferential, NestedHelperIndirectionCountsAsSubscripted) {
+  // lookup2 forwards to lookup; the indirection is one call deeper but the
+  // subscripted-subscript classification must still see it.
+  pipeline::Session session(R"(
+    int nelt;
+    int mt_to_id[4096];
+    int id_to_mt[4096];
+    int lookup(int m) {
+      return mt_to_id[m];
+    }
+    int lookup2(int m) {
+      return lookup(m);
+    }
+    void f() {
+      for (int i = 0; i < nelt; i++) {
+        mt_to_id[i] = nelt - 1 - i;
+      }
+      for (int miel = 0; miel < nelt; miel++) {
+        id_to_mt[lookup2(miel)] = miel;
+      }
+    }
+  )",
+                            {{"nelt", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  bool scatter_seen = false;
+  for (const auto& v : *verdicts) {
+    if (!v.uses_subscripted_subscripts) continue;
+    scatter_seen = true;
+    EXPECT_TRUE(v.parallel) << support::join(v.blockers, "; ");
+  }
+  EXPECT_TRUE(scatter_seen);
+}
+
+TEST(IpaSoundness, ArityMismatchedCallInReturnExpressionIsNotSummarizable) {
+  // g2 writes out[0]; h calls it with the wrong arity from its return
+  // expression. The summary of h must be rejected (not silently analyzable
+  // with g2's write effects dropped).
+  pipeline::Session session(R"(
+    int n;
+    int out[64];
+    int g2(int a) {
+      out[0] = 1;
+      return a;
+    }
+    int h() {
+      return g2();
+    }
+    void f() {
+      out[0] = 7;
+      for (int i = 0; i < n; i++) {
+        out[i] = h();
+      }
+    }
+  )",
+                            {{"n", 1}});
+  ASSERT_TRUE(session.parse()) << session.diagnostics().dump();
+  ASSERT_NE(session.analyze(), nullptr);
+  const ast::FuncDecl* h = session.program()->find_function("h");
+  const ipa::FunctionSummary* summary = session.summaries().find(h, core::AnalyzerOptions{});
+  ASSERT_NE(summary, nullptr);
+  EXPECT_FALSE(summary->analyzable) << "arity mismatch must not summarize";
+  EXPECT_TRUE(has_diag(session, support::DiagCode::AnalysisLoopCall, "h"))
+      << session.diagnostics().dump();
+}
+
+TEST(IpaInterpreter, FallingOffTheEndReturnsZeroNotAStaleNestedValue) {
+  support::DiagnosticEngine diags;
+  auto parsed = ast::parse_and_resolve(R"(
+    int x;
+    int g() {
+      return 5;
+    }
+    int h() {
+      g();
+    }
+    void f() {
+      x = h();
+    }
+  )",
+                                       diags);
+  ASSERT_TRUE(parsed.ok) << diags.dump();
+  interp::Interpreter interp(*parsed.program);
+  interp.run("f");
+  EXPECT_EQ(interp.scalar_int("x"), 0);
+}
+
+TEST(Diagnostics, ReanalysisDoesNotDuplicateWarnings) {
+  pipeline::Session session(R"(
+    int n;
+    int total;
+    void f() {
+      for (int i = 0; i < n; i++) {
+        int k = 0;
+        while (k < i) { k = k + 1; }
+        total = total + k;
+      }
+    }
+  )",
+                            {{"n", 1}});
+  core::AnalyzerOptions ablated;
+  ablated.enable_recurrence_rule = false;
+  session.analyze(core::AnalyzerOptions{});
+  session.analyze(ablated);
+  session.analyze(core::AnalyzerOptions{});
+  int w0302 = 0;
+  for (const auto& d : session.diagnostics().diagnostics()) {
+    if (d.code == support::DiagCode::AnalysisLoopWhile) ++w0302;
+  }
+  EXPECT_EQ(w0302, 1) << session.diagnostics().dump();
+}
+
+// --------------------------------------------------------------------------
+// Batch determinism with the shared SummaryDB
+// --------------------------------------------------------------------------
+
+TEST(IpaBatch, OneVsEightThreadRunsAreIdenticalOverTheCorpus) {
+  auto inputs = driver::BatchAnalyzer::corpus_inputs();
+  driver::BatchReport serial = driver::BatchAnalyzer(driver::BatchOptions{1, {}}).run(inputs);
+  driver::BatchReport wide = driver::BatchAnalyzer(driver::BatchOptions{8, {}}).run(inputs);
+  EXPECT_EQ(serial.stats, wide.stats);
+  ASSERT_EQ(serial.programs.size(), wide.programs.size());
+  for (size_t i = 0; i < serial.programs.size(); ++i) {
+    EXPECT_EQ(serial.programs[i].result.output, wide.programs[i].result.output)
+        << serial.programs[i].name;
+  }
+  // The interprocedural entries actually exercised the summary machinery.
+  EXPECT_GE(serial.stats.summaries_computed, 4);
+  EXPECT_GE(serial.stats.summary_applications, 4);
+}
+
+}  // namespace
+}  // namespace sspar

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Runs the symbolic micro benches (google-benchmark JSON) plus the E6
-# analysis-time stage-split bench and merges both into one JSON document —
-# the perf trajectory snapshot checked in at the repo root (BENCH_pr3.json).
+# Runs the symbolic micro benches (google-benchmark JSON), the E6
+# analysis-time stage-split bench, and the fig10 interprocedural-analysis
+# preface (summary-cache hit rates), and merges them into one JSON document —
+# the perf trajectory snapshot checked in at the repo root (BENCH_pr4.json).
 #
 # usage: bench_report.sh <build-dir> <output.json> [min_time_seconds]
 set -eu
@@ -12,6 +13,7 @@ MIN_TIME=${3:-0.2}
 
 MICRO="$BUILD_DIR/bench_micro_symbolic"
 ANALYSIS="$BUILD_DIR/bench_analysis_time"
+FIG10="$BUILD_DIR/bench_fig10_cg_speedup"
 
 if [ ! -x "$MICRO" ]; then
   echo "bench_report.sh: $MICRO not built (google-benchmark missing?)" >&2
@@ -20,7 +22,8 @@ fi
 
 TMP_MICRO=$(mktemp)
 TMP_ANALYSIS=$(mktemp)
-trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS"' EXIT
+TMP_IPA=$(mktemp)
+trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA"' EXIT
 
 # Older google-benchmark rejects the "0.01s" suffix form; pass a plain double.
 "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP_MICRO"
@@ -29,12 +32,17 @@ if [ -x "$ANALYSIS" ]; then
 else
   : >"$TMP_ANALYSIS"
 fi
+if [ -x "$FIG10" ]; then
+  "$FIG10" --analysis-only >"$TMP_IPA"
+else
+  : >"$TMP_IPA"
+fi
 
-python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$OUT" <<'EOF'
+python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$OUT" <<'EOF'
 import json
 import sys
 
-micro_path, analysis_path, out_path = sys.argv[1:4]
+micro_path, analysis_path, ipa_path, out_path = sys.argv[1:5]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -56,11 +64,34 @@ for line in analysis_text.splitlines():
         rows.append({k: float(v) if "." in v else int(v)
                      for k, v in zip(header, cells)})
 
+# fig10 --analysis-only: the interprocedural CG variant. Parse the
+# "summary_cache <label> k=v ..." lines into per-model summary-cache stats.
+with open(ipa_path) as f:
+    ipa_text = f.read()
+
+ipa = {}
+for line in ipa_text.splitlines():
+    cells = line.split()
+    if not cells:
+        continue
+    if cells[0] == "analysis" and len(cells) >= 3:
+        entry = ipa.setdefault(cells[1], {})
+        for kv in cells[2:]:
+            k, _, v = kv.partition("=")
+            entry[k] = v
+    elif cells[0] == "summary_cache" and len(cells) >= 3:
+        entry = ipa.setdefault(cells[1], {})
+        for kv in cells[2:]:
+            k, _, v = kv.partition("=")
+            entry[k] = float(v) if "." in v else int(v)
+
 doc = {
     "context": micro.get("context", {}),
     "micro_symbolic": micro.get("benchmarks", []),
     "analysis_time": rows,
     "analysis_time_raw": analysis_text,
+    "interprocedural_cg": ipa,
+    "interprocedural_cg_raw": ipa_text,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
