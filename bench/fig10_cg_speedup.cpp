@@ -10,12 +10,13 @@
 // profiting from more threads.
 //
 // The run is prefaced by the static-analysis side of the experiment: the CG
-// model is analyzed twice, once hand-inlined and once with the rowstr index
-// array built in a helper function (the way NPB CG's makea/sparse actually
-// structure it). Both must statically parallelize the subscripted-subscript
-// loop — the helper form through the interprocedural summary engine — and
-// the summary-cache hit rates are printed for tools/bench_report.sh
-// (BENCH_pr4.json).
+// model is analyzed three ways — hand-inlined, with rowstr built in one
+// helper, and with the fact chain split across TWO helpers (fill_nzz +
+// build_rowstr, the way NPB CG's makea/sparse actually structure it; the
+// split form needs context-sensitive summaries). All must statically
+// parallelize the subscripted-subscript loop, and the summary-cache hit
+// rates — including the cross-program cache shared between sessions — are
+// printed for tools/bench_report.sh (BENCH_pr5.json).
 //
 // Usage: fig10_cg_speedup [--classes S,W,A] [--threads 2,4,6,8] [--full]
 //                         [--analysis-only]
@@ -32,6 +33,7 @@
 
 #include "corpus/analysis.h"
 #include "corpus/corpus.h"
+#include "ipa/cross_cache.h"
 #include "kernels/npb_cg.h"
 #include "pipeline/session.h"
 #include "support/text.h"
@@ -94,9 +96,52 @@ bool analyze_model(const char* label, const char* entry_name) {
       stats.requests() == 0 ? 0.0 : double(stats.hits) / double(stats.requests());
   std::printf("analysis %-9s spmv_parallel=%s via=%s\n", label,
               parallel_ss ? "yes" : "NO", via.empty() ? "-" : via.c_str());
-  std::printf("summary_cache %-9s computed=%zu hits=%zu applications=%zu hit_rate=%.2f\n",
-              label, stats.computed, stats.hits, stats.applications, hit_rate);
+  std::printf(
+      "summary_cache %-9s computed=%zu hits=%zu applications=%zu context=%zu "
+      "hit_rate=%.2f\n",
+      label, stats.computed, stats.hits, stats.applications, stats.context_computed,
+      hit_rate);
   return parallel_ss;
+}
+
+// Cross-program sharing: the chain entries (byte-identical helpers over
+// byte-identical globals) analyzed through ONE content-addressed cache —
+// the second program rehydrates the first program's helper summaries
+// instead of re-deriving them. Prints the cache-level hit rate for
+// tools/bench_report.sh (BENCH_pr5.json requires hit_rate > 0).
+bool analyze_shared_models() {
+  ipa::CrossProgramCache cache;
+  bool all_parallel = true;
+  size_t rehydrated = 0;
+  for (const char* name : {"ipa_cg_chain", "ipa_spmv_chain"}) {
+    const corpus::Entry* entry = corpus::find_entry(name);
+    if (!entry) {
+      std::printf("analysis shared    NO CORPUS ENTRY '%s'\n", name);
+      return false;
+    }
+    pipeline::Session session(entry->source, corpus::analyzer_assumptions(*entry));
+    session.share_summaries(&cache);
+    const auto* verdicts = session.parallelize();
+    if (!verdicts) {
+      std::printf("analysis shared    FRONTEND FAILURE (%s)\n%s", name,
+                  session.diagnostics().dump().c_str());
+      return false;
+    }
+    bool parallel_ss = false;
+    for (const auto& v : *verdicts) {
+      if (v.parallel && v.uses_subscripted_subscripts) parallel_ss = true;
+    }
+    all_parallel = all_parallel && parallel_ss;
+    rehydrated += session.summaries().stats().shared_hits;
+  }
+  auto stats = cache.stats();
+  double hit_rate =
+      stats.lookups == 0 ? 0.0 : double(stats.hits) / double(stats.lookups);
+  std::printf(
+      "summary_cache shared    lookups=%zu hits=%zu inserts=%zu entries=%zu "
+      "rehydrated=%zu hit_rate=%.2f\n",
+      stats.lookups, stats.hits, stats.inserts, stats.entries, rehydrated, hit_rate);
+  return all_parallel && stats.hits > 0;
 }
 
 }  // namespace
@@ -130,7 +175,9 @@ int main(int argc, char** argv) {
   // interprocedural variant).
   bool inlined_ok = analyze_model("inlined", "fig3");
   bool helper_ok = analyze_model("helper", "ipa_cg");
-  if (!inlined_ok || !helper_ok) {
+  bool chain_ok = analyze_model("chain", "ipa_cg_chain");
+  bool shared_ok = analyze_shared_models();
+  if (!inlined_ok || !helper_ok || !chain_ok || !shared_ok) {
     std::printf("static analysis FAILED to justify the parallelization\n");
     return 1;
   }

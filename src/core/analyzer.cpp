@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "core/body_interp.h"
+#include "frontend/printer.h"
 #include "ipa/call_graph.h"
+#include "ipa/cross_cache.h"
 #include "ipa/summary.h"
 #include "support/diagnostics.h"
 #include "support/text.h"
@@ -105,7 +107,10 @@ Analyzer::Analyzer(const ast::Program& program, sym::SymbolTable& symbols,
                    support::DiagnosticEngine* diags)
     : program_(program), symbols_(symbols), options_(options), summaries_(summaries),
       diags_(diags) {
-  for (const auto& g : program.globals) global_decls_.insert(g.get());
+  for (const auto& g : program.globals) {
+    global_decls_.insert(g.get());
+    global_by_symbol_[g->symbol] = g.get();
+  }
   for (const auto& function : program.functions) {
     if (program_has_calls_) break;
     ast::walk_exprs(function->body.get(), [this](const ast::Expr* e) {
@@ -309,12 +314,18 @@ const ipa::FunctionSummary* Analyzer::call_summary(const ast::Call& call) const 
 }
 
 void Analyzer::warn_unanalyzable(const ast::For& loop, const BodyInterp& body) {
-  if (!diags_ || !body.failure) return;
-  if (!warned_loops_.insert(&loop).second) return;
-  const BodyInterp::Failure& f = *body.failure;
-  diags_->report(support::Severity::Warning, f.code, f.location,
-                 support::format("loop at line %u abandoned as unanalyzable: %s",
-                                 loop.location.line, f.message.c_str()));
+  if (!diags_) return;
+  // Dedup on (loop, callee): a loop that abandons on calls to two different
+  // unsummarizable functions surfaces one W0301 per callee instead of
+  // collapsing them onto the first.
+  auto emit = [this, &loop](const BodyInterp::Failure& f) {
+    if (!warned_loops_.insert({&loop, f.callee}).second) return;
+    diags_->report(support::Severity::Warning, f.code, f.location,
+                   support::format("loop at line %u abandoned as unanalyzable: %s",
+                                   loop.location.line, f.message.c_str()));
+  };
+  for (const BodyInterp::Failure& f : body.failures) emit(f);
+  if (body.failures.empty() && body.failure) emit(*body.failure);
 }
 
 LoopEffect Analyzer::analyze_loop(const ast::For& loop, const ScalarEnv& entry_env,
@@ -485,9 +496,222 @@ void Analyzer::compute_summaries(const ipa::CallGraph& graph) {
   for (const ast::FuncDecl* function : graph.bottom_up()) {
     const ipa::CallGraph::Node* node = graph.node(function);
     if (!node || !node->called) continue;  // only functions something calls
-    if (summaries_->lookup(function, options_)) continue;
-    summaries_->insert(function, options_, summarize_function(*function, graph));
+    // Bottom-up order keys callees before their callers, which is exactly
+    // what the content address's transitive-closure composition needs.
+    if (summaries_->shared()) compute_content_key(*function, graph);
+    obtain_summary(function, /*entry_facts=*/nullptr, /*fingerprint=*/0, &graph);
   }
+}
+
+void Analyzer::compute_content_key(const ast::FuncDecl& function,
+                                   const ipa::CallGraph& graph) {
+  if (content_keys_.count(&function)) return;
+  ipa::ContentHasher h;
+  h.mix("sspar-summary-v1");
+  // Signature + printed body: textual identity of the function itself.
+  h.mix(function.name);
+  h.mix(static_cast<uint64_t>(function.return_type));
+  auto mix_decl_shape = [&h](const ast::VarDecl& decl) {
+    h.mix(decl.name);
+    h.mix(static_cast<uint64_t>(decl.elem_type));
+    h.mix(static_cast<uint64_t>(decl.dims.size()));
+    for (const auto& dim : decl.dims) {
+      h.mix(dim ? ast::print_expr(*dim) : std::string("[]"));
+    }
+  };
+  for (const auto& p : function.params) mix_decl_shape(*p);
+  h.mix(ast::print_stmt(*function.body));
+  // Declaration shape + analysis assumptions of every referenced global: two
+  // textually identical helpers over differently-sized (or differently
+  // assumed) globals must not share a summary.
+  std::map<std::string, const ast::VarDecl*> referenced;
+  ast::walk_exprs(function.body.get(), [&](const ast::Expr* e) {
+    const auto* var = e->as<ast::VarRef>();
+    if (var && var->decl && is_global(var->decl)) referenced[var->decl->name] = var->decl;
+  });
+  for (const auto& [name, decl] : referenced) {
+    mix_decl_shape(*decl);
+    const sym::Range* bound = base_ctx_.bound(decl->symbol);
+    h.mix(bound ? bound->to_string(symbols_) : std::string("-"));
+  }
+  // Callee content keys: the summary folds callee effects in, so the address
+  // must cover the transitive closure. Recursive SCC siblings have no key
+  // yet; they produce unanalyzable summaries that are never shared, so a
+  // name marker suffices.
+  if (const ipa::CallGraph::Node* node = graph.node(&function)) {
+    for (const ast::FuncDecl* callee : node->callees) {
+      auto it = content_keys_.find(callee);
+      if (it != content_keys_.end()) {
+        h.mix(it->second.first);
+        h.mix(it->second.second);
+      } else {
+        h.mix("unkeyed-callee");
+        h.mix(callee->name);
+      }
+    }
+    if (node->has_unknown_callee) h.mix("unknown-callee");
+  }
+  ipa::CacheKey key = h.key();
+  content_keys_[&function] = {key.hi, key.lo};
+}
+
+const ipa::FunctionSummary* Analyzer::obtain_summary(const ast::FuncDecl* function,
+                                                     const FactDB* entry_facts,
+                                                     uint64_t fingerprint,
+                                                     const ipa::CallGraph* graph) {
+  if (const ipa::FunctionSummary* cached =
+          summaries_->lookup(function, options_, fingerprint)) {
+    return cached;
+  }
+  // Session miss: consult the cross-program cache before computing.
+  ipa::CrossProgramCache* shared = summaries_->shared();
+  ipa::CacheKey key;
+  if (shared) {
+    auto it = content_keys_.find(function);
+    if (it != content_keys_.end()) {
+      ipa::ContentHasher h;
+      h.mix(it->second.first);
+      h.mix(it->second.second);
+      h.mix(static_cast<uint64_t>(ipa::SummaryDB::encode(options_)));
+      h.mix(fingerprint);
+      if (entry_facts) {
+        // The fingerprint covers the facts' text; proofs made under them may
+        // additionally depend on assumptions about scalars those facts
+        // mention (e.g. a size symbol bounding another helper's values), so
+        // fold those bounds into the address too.
+        std::set<sym::SymbolId> mentioned = ipa::collect_fact_scalar_symbols(*entry_facts);
+        std::vector<std::string> names;
+        names.reserve(mentioned.size());
+        for (sym::SymbolId id : mentioned) names.push_back(symbols_.name(id));
+        std::sort(names.begin(), names.end());
+        for (const std::string& name : names) {
+          h.mix(name);
+          const Range* bound = base_ctx_.bound(symbols_.lookup(name));
+          h.mix(bound ? bound->to_string(symbols_) : std::string("-"));
+        }
+      }
+      key = h.key();
+      if (auto portable = shared->find(key)) {
+        if (auto summary = ipa::rehydrate(*portable, program_, symbols_)) {
+          return &summaries_->insert(function, options_, fingerprint,
+                                     std::move(*summary), /*from_shared=*/true);
+        }
+      }
+      summaries_->note_shared_miss();
+    }
+  }
+  ipa::FunctionSummary computed;
+  if (fingerprint == 0) {
+    computed = summarize_function(*function, *graph);
+  } else {
+    // context_summary guarantees an analyzable base exists.
+    const ipa::FunctionSummary* base = summaries_->find(function, options_);
+    computed = resummarize_with_context(*base, *entry_facts);
+  }
+  const ipa::FunctionSummary& stored =
+      summaries_->insert(function, options_, fingerprint, std::move(computed));
+  if (shared && key && stored.analyzable) {
+    if (auto portable = ipa::to_portable(stored, program_, symbols_)) {
+      shared->insert(key, std::move(*portable));
+    }
+  }
+  return &stored;
+}
+
+const ipa::FunctionSummary* Analyzer::context_summary(
+    const ast::Call& call, const FactDB& caller_facts,
+    const std::set<sym::SymbolId>& stale_arrays,
+    const std::function<bool(sym::SymbolId)>& scalar_unchanged) {
+  const ipa::FunctionSummary* base = call_summary(call);
+  if (!base || !base->analyzable || caller_facts.all().empty()) return base;
+  FactDB projected =
+      project_entry_facts(*base, caller_facts, stale_arrays, scalar_unchanged);
+  if (projected.all().empty()) return base;
+  uint64_t fingerprint = ipa::fingerprint_facts(projected, symbols_);
+  const ipa::FunctionSummary* specialized =
+      obtain_summary(call.decl, &projected, fingerprint, /*graph=*/nullptr);
+  // Facts never make a body unanalyzable, but degrade soundly regardless.
+  return (specialized && specialized->analyzable) ? specialized : base;
+}
+
+FactDB Analyzer::project_entry_facts(
+    const ipa::FunctionSummary& base, const FactDB& caller_facts,
+    const std::set<sym::SymbolId>& stale_arrays,
+    const std::function<bool(sym::SymbolId)>& scalar_unchanged) const {
+  // Arrays whose entry content the callee observes (transitively: reads of
+  // analyzable callees are folded into `base.reads`).
+  std::set<sym::SymbolId> read_arrays;
+  for (const ArrayWriteEffect& r : base.reads) {
+    if (r.array && is_global(r.array)) read_arrays.insert(r.array->symbol);
+  }
+  FactDB projected;
+  if (read_arrays.empty()) return projected;
+  auto visible = [&](const sym::ExprPtr& e) { return entry_visible(e, scalar_unchanged); };
+  auto visible_range = [&](const sym::Range& r) {
+    return (!r.lo() || visible(r.lo())) && (!r.hi() || visible(r.hi()));
+  };
+  for (const auto& [array, facts] : caller_facts.all()) {
+    if (!read_arrays.count(array) || stale_arrays.count(array)) continue;
+    ArrayFacts kept;
+    for (const ValueFact& f : facts.values) {
+      if (visible(f.lo) && visible(f.hi) && visible_range(f.value)) {
+        kept.values.push_back(f);
+      }
+    }
+    for (const StepFact& f : facts.steps) {
+      if (visible(f.lo) && visible(f.hi) && visible_range(f.step)) {
+        kept.steps.push_back(f);
+      }
+    }
+    for (const InjectiveFact& f : facts.injectives) {
+      if (visible(f.lo) && visible(f.hi)) kept.injectives.push_back(f);
+    }
+    for (const IdentityFact& f : facts.identities) {
+      if (visible(f.lo) && visible(f.hi)) kept.identities.push_back(f);
+    }
+    if (!kept.empty()) projected.restore(array, std::move(kept));
+  }
+  return projected;
+}
+
+bool Analyzer::entry_visible(
+    const sym::ExprPtr& e,
+    const std::function<bool(sym::SymbolId)>& scalar_unchanged) const {
+  if (!e) return false;
+  return !sym::any_of(e, [&](const sym::Expr& n) {
+    switch (n.kind) {
+      case sym::ExprKind::IterStart:
+      case sym::ExprKind::LoopStart:
+      case sym::ExprKind::Bottom:
+        return true;  // caller-flow state: meaningless at the callee's entry
+      case sym::ExprKind::Sym:
+        // Facts are in caller-entry terms; the callee reads the same symbol
+        // as its call-time value. Only scalars provably unmodified since
+        // caller entry mean the same thing in both frames.
+        return global_by_symbol_.count(n.symbol) == 0 || !scalar_unchanged(n.symbol);
+      case sym::ExprKind::ArrayElem:
+        // Array contents may have changed between the fact's derivation and
+        // the call; without element versioning (ROADMAP) the two frames
+        // cannot be reconciled.
+        return true;
+      default:
+        return false;
+    }
+  });
+}
+
+ipa::FunctionSummary Analyzer::resummarize_with_context(const ipa::FunctionSummary& base,
+                                                        const FactDB& entry_facts) {
+  ipa::FunctionSummary summary = base;  // gates + conservative sets carry over
+  summary.scalar_finals.clear();
+  summary.writes.clear();
+  summary.reads.clear();
+  summary.end_facts = FactDB{};
+  summary.return_value.reset();
+  summary.analyzable = false;
+  summary.failure.clear();
+  summarize_effects(*base.function, summary, &entry_facts);
+  return summary;
 }
 
 ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
@@ -578,10 +802,31 @@ ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
     return summary;
   }
 
+  summarize_effects(function, summary, /*entry_facts=*/nullptr);
+  return summary;
+}
+
+void Analyzer::summarize_effects(const ast::FuncDecl& function,
+                                 ipa::FunctionSummary& summary,
+                                 const FactDB* entry_facts) {
+  auto fail = [&summary](support::SourceLocation loc, std::string why) {
+    if (summary.analyzable || summary.failure.empty()) {
+      summary.failure = std::move(why);
+      summary.failure_location = loc;
+    }
+    summary.analyzable = false;
+  };
+
   // --- Effect computation: flow the body in function-entry terms -------------
+  // Nested context-sensitive re-summaries re-enter this function mid-walk;
+  // save/restore instead of toggling.
+  const bool saved_mode = summary_mode_;
   summary_mode_ = true;
-  ScalarEnv env;   // empty: every scalar reads as its own symbol
-  FactDB facts;    // context-insensitive: no caller facts
+  ScalarEnv env;  // empty: every scalar reads as its own symbol
+  // Base summaries flow from an empty fact database (context-insensitive);
+  // context-sensitive re-summaries seed it with the caller's projected facts.
+  FactDB facts;
+  if (entry_facts) facts = *entry_facts;
   std::set<sym::SymbolId> local_arrays;
   bool ok = true;
 
@@ -673,9 +918,9 @@ ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
     }
   }
   for (size_t i = 0; i < count && ok; ++i) walk(*body[i]);
-  summary_mode_ = false;
+  summary_mode_ = saved_mode;
 
-  if (!ok) return summary;
+  if (!ok) return;
 
   // --- Trailing return (before finals: it may carry side effects) ------------
   if (trailing_return && trailing_return->value) {
@@ -694,7 +939,7 @@ ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
     });
     if (!calls_ok) {
       summary.analyzable = false;
-      return summary;
+      return;
     }
     ast::Empty return_site;
     BodyInterp interp(*this, return_site, /*index=*/nullptr, env, facts);
@@ -729,7 +974,6 @@ ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
   summary.end_facts = std::move(facts);
   summary.analyzable = true;
   summary.failure.clear();
-  return summary;
 }
 
 const LoopSnapshot* Analyzer::snapshot(const ast::For* loop) const {

@@ -26,6 +26,7 @@
 // traversal falls out of the recursion).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -188,6 +189,60 @@ class Analyzer {
   void compute_summaries(const ipa::CallGraph& graph);
   ipa::FunctionSummary summarize_function(const ast::FuncDecl& function,
                                           const ipa::CallGraph& graph);
+  // The effect-computation half of summarization: flows the body in
+  // function-entry terms, seeded with `entry_facts` when given (context-
+  // sensitive re-summaries) or an empty database (base summaries).
+  void summarize_effects(const ast::FuncDecl& function, ipa::FunctionSummary& summary,
+                         const FactDB* entry_facts);
+  // Context-sensitive re-summary: re-runs the effect computation of an
+  // analyzable base summary under the given entry facts (the gates and
+  // conservative may-write sets carry over unchanged).
+  ipa::FunctionSummary resummarize_with_context(const ipa::FunctionSummary& base,
+                                                const FactDB& entry_facts);
+  // Cache-through summary acquisition: session SummaryDB first, then the
+  // attached cross-program cache (rehydrating on a content hit), computing
+  // and publishing on miss. `graph` is required for base summaries
+  // (fingerprint 0); `entry_facts` for context-sensitive ones.
+  const ipa::FunctionSummary* obtain_summary(const ast::FuncDecl* function,
+                                             const FactDB* entry_facts,
+                                             uint64_t fingerprint,
+                                             const ipa::CallGraph* graph);
+  // Call-site summary selection: when the caller's fact database holds
+  // entry-visible facts about arrays the callee reads, returns (computing if
+  // needed) the summary specialized to the projection of those facts;
+  // otherwise the base summary. `stale_arrays` excludes arrays already
+  // written earlier in the interpreted body (their caller facts no longer
+  // describe the state the callee observes); `scalar_unchanged` must return
+  // true only for global scalars whose call-site value provably still equals
+  // their caller-entry symbol (facts are expressed in caller-entry terms,
+  // but the callee reinterprets the same symbols as call-time values — a
+  // scalar modified in between would silently rescale every fact section).
+  const ipa::FunctionSummary* context_summary(
+      const ast::Call& call, const FactDB& caller_facts,
+      const std::set<sym::SymbolId>& stale_arrays,
+      const std::function<bool(sym::SymbolId)>& scalar_unchanged);
+  // The caller-fact projection context_summary keys its cache on: facts
+  // about global arrays the callee reads, restricted to expressions whose
+  // meaning is frame-independent — global scalars unchanged since caller
+  // entry, no array-element atoms (contents may have changed since the fact
+  // was recorded), no λ/Λ/⊥, nothing caller-local.
+  FactDB project_entry_facts(
+      const ipa::FunctionSummary& base, const FactDB& caller_facts,
+      const std::set<sym::SymbolId>& stale_arrays,
+      const std::function<bool(sym::SymbolId)>& scalar_unchanged) const;
+  // True if `e` keeps its meaning across the call boundary (see above).
+  bool entry_visible(const sym::ExprPtr& e,
+                     const std::function<bool(sym::SymbolId)>& scalar_unchanged) const;
+  // The global declaration behind a symbol (null for non-globals).
+  const ast::VarDecl* global_by_symbol(sym::SymbolId id) const {
+    auto it = global_by_symbol_.find(id);
+    return it == global_by_symbol_.end() ? nullptr : it->second;
+  }
+  // Content address for the cross-program cache: printed function source,
+  // referenced-global declarations + assumptions, callee keys (transitive
+  // closure). Stored in content_keys_; requires callees to be keyed first
+  // (bottom-up order).
+  void compute_content_key(const ast::FuncDecl& function, const ipa::CallGraph& graph);
   // The cached summary for a call site's callee (null without a DB, for
   // unknown callees, or before compute_summaries ran).
   const ipa::FunctionSummary* call_summary(const ast::Call& call) const;
@@ -231,8 +286,14 @@ class Analyzer {
   // One-time scan: call-free programs (the common case) skip every
   // interprocedural code path, including the per-body call prescans.
   bool program_has_calls_ = false;
-  std::set<const ast::For*> warned_loops_;  // one W03xx per loop
+  // One W03xx per (loop, callee): two different abandoned calls in one loop
+  // each get their own W0301; non-call failures use an empty callee key.
+  std::set<std::pair<const ast::For*, std::string>> warned_loops_;
   std::set<const ast::VarDecl*> global_decls_;
+  std::map<sym::SymbolId, const ast::VarDecl*> global_by_symbol_;
+  // Cross-program content addresses ((hi, lo) halves of ipa::CacheKey),
+  // computed bottom-up when a shared cache is attached.
+  std::map<const ast::FuncDecl*, std::pair<uint64_t, uint64_t>> content_keys_;
   // Flow state of the function being analyzed: which summaries produced the
   // facts currently held for each array (cleared when locally re-derived).
   std::map<sym::SymbolId, std::set<std::string>> fact_provenance_;

@@ -229,17 +229,18 @@ std::optional<BodyInterp::Failure> BodyInterp::vet_call(const Analyzer& analyzer
 
 bool BodyInterp::prescan_calls() {
   if (!analyzer_.program_has_calls_) return true;
-  bool ok = true;
-  ast::walk_exprs(&body_, [this, &ok](const ast::Expr* e) {
-    if (!ok) return;
+  // Collect every distinct failing callee (not just the first): the W0301
+  // report names each one, keyed per callee.
+  std::set<std::string> seen;
+  ast::walk_exprs(&body_, [this, &seen](const ast::Expr* e) {
     const auto* call = e->as<ast::Call>();
     if (!call) return;
     if (auto vetoed = vet_call(analyzer_, *call)) {
-      failure = std::move(vetoed);
-      ok = false;
+      if (seen.insert(vetoed->callee).second) failures.push_back(*vetoed);
+      if (!failure) failure = std::move(vetoed);
     }
   });
-  return ok;
+  return failures.empty();
 }
 
 bool BodyInterp::array_written(const ast::VarDecl* array) const {
@@ -474,6 +475,32 @@ Range BodyInterp::apply_call(const ast::Call& call) {
   if (!s || !s->analyzable || !call.decl ||
       call.args.size() != call.decl->params.size()) {
     return Range::bottom();  // prescan rejected the body already
+  }
+
+  // Context sensitivity (straight-line mode only, matching exit-fact
+  // propagation): when the caller's facts describe arrays the callee reads,
+  // apply the summary specialized to those entry facts — that is how a
+  // helper that only finishes a fact chain (build_rowstr over an nzz filled
+  // by a different helper) keeps the enabling property. Arrays this body
+  // already wrote are stale: their statement-entry facts no longer describe
+  // what the callee observes.
+  if (!index_) {
+    std::set<sym::SymbolId> stale;
+    for (const auto& w : writes) {
+      if (w.array) stale.insert(w.array->symbol);
+    }
+    // A global scalar mentioned by a projected fact must still hold its
+    // caller-entry value at the call: its current state (this statement's
+    // env over the flow entry env) must read as exactly its own symbol.
+    auto scalar_unchanged = [this](sym::SymbolId id) {
+      const ast::VarDecl* decl = analyzer_.global_by_symbol(id);
+      if (!decl || !decl->is_integer_scalar()) return false;
+      const Range* r = env.find(decl);
+      if (!r) r = entry_env_.find(decl);
+      if (!r) return true;  // never touched: still its entry symbol
+      return r->is_exact() && sym::equal(r->exact_value(), sym::make_sym(id));
+    };
+    s = analyzer_.context_summary(call, entry_facts_, stale, scalar_unchanged);
   }
 
   ipa::SummaryApplier applier;

@@ -35,6 +35,11 @@ class BodyInterp {
     std::string callee;                // non-empty for AnalysisLoopCall
   };
   std::optional<Failure> failure;
+  // Every distinct abandoned callee found by the call prescan (one entry per
+  // callee name, in source order); `failure` is the first of these. The
+  // analyzer emits one W0301 per entry, so two different broken calls in one
+  // loop both surface. Empty for non-call failures.
+  std::vector<Failure> failures;
 
   // Forces If statements to a fixed branch (true = then); used by the
   // parallelizer's first-iteration peeling. Must be set before run().

@@ -30,27 +30,57 @@ bool provably_disjoint(const ExprPtr& alo, const ExprPtr& ahi, const ExprPtr& bl
 
 void FactDB::add_value(sym::SymbolId array, ValueFact fact) {
   if (!fact.lo || !fact.hi || fact.value.is_bottom()) return;
+  // Exact duplicates arise when a callee's exit facts re-state entry facts
+  // the caller still holds; admitting them would bloat the database and
+  // perturb entry-fact fingerprints.
+  for (const ValueFact& f : facts_[array].values) {
+    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) && f.value == fact.value) {
+      return;
+    }
+  }
   facts_[array].values.push_back(std::move(fact));
 }
 
 void FactDB::add_step(sym::SymbolId array, StepFact fact) {
   if (!fact.lo || !fact.hi || fact.step.is_bottom()) return;
+  for (const StepFact& f : facts_[array].steps) {
+    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) && f.step == fact.step) {
+      return;
+    }
+  }
   facts_[array].steps.push_back(std::move(fact));
 }
 
 void FactDB::add_injective(sym::SymbolId array, InjectiveFact fact) {
   if (!fact.lo || !fact.hi) return;
+  for (const InjectiveFact& f : facts_[array].injectives) {
+    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) &&
+        f.min_value == fact.min_value) {
+      return;
+    }
+  }
   facts_[array].injectives.push_back(std::move(fact));
 }
 
 void FactDB::add_identity(sym::SymbolId array, IdentityFact fact) {
   if (!fact.lo || !fact.hi) return;
+  for (const IdentityFact& f : facts_[array].identities) {
+    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi)) return;
+  }
   // Identity implies value == index, unit step, and injectivity.
   add_value(array, ValueFact{fact.lo, fact.hi, Range::of(fact.lo, fact.hi)});
   add_step(array, StepFact{sym::add(fact.lo, sym::make_const(1)), fact.hi,
                            Range::of_consts(1, 1)});
   add_injective(array, InjectiveFact{fact.lo, fact.hi, std::nullopt});
   facts_[array].identities.push_back(std::move(fact));
+}
+
+void FactDB::restore(sym::SymbolId array, ArrayFacts facts) {
+  if (facts.empty()) {
+    facts_.erase(array);
+    return;
+  }
+  facts_[array] = std::move(facts);
 }
 
 const ArrayFacts* FactDB::find(sym::SymbolId array) const {

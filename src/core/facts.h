@@ -72,6 +72,13 @@ class FactDB {
 
   const ArrayFacts* find(sym::SymbolId array) const;
 
+  // Installs an already-derived fact set for `array` verbatim, replacing any
+  // existing facts. Used by the entry-fact projection and by cross-program
+  // cache rehydration, which transfer complete fact vectors: replaying them
+  // through add_identity would re-derive (and duplicate) the implied
+  // Value/Step/Injective facts.
+  void restore(sym::SymbolId array, ArrayFacts facts);
+
   // Invalidates facts of `array` that may overlap the written index section
   // [lo:hi] (null bounds = unbounded). Facts provably disjoint from the write
   // survive. `ctx` supplies symbol bounds for the disjointness proofs.

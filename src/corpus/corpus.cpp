@@ -386,6 +386,142 @@ void f() {
       2, 1, 2, 1, true});
 
   // ==========================================================================
+  // Context-sensitive chains: the fact chain is SPLIT across two helpers the
+  // way NPB CG's makea/sparse actually split it — helper A fills the count
+  // array, helper B builds the CSR row pointer from it. B's base summary
+  // (empty entry facts) cannot bound nzz[i-1], so proving rowstr
+  // Monotonic_inc requires re-summarizing B under the caller facts A's
+  // summary established (entry-fact projection; see ipa/summary.h).
+  // ipa_cg_chain and ipa_spmv_chain share byte-identical helpers over
+  // byte-identical globals on purpose: in a batch run the cross-program
+  // summary cache hands one entry's helper summaries to the other.
+  // ==========================================================================
+
+  corpus.push_back(Entry{
+      "ipa_cg_chain", Suite::Paper,
+      "CG setup split across two helpers: rowstr Monotonic_inc needs B's "
+      "summary specialized to the nzz facts A established",
+      R"(int nrows;
+int firstcol;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+int colidx[8192];
+void fill_nzz() {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+}
+void build_rowstr() {
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+}
+void f() {
+  fill_nzz();
+  build_rowstr();
+  for (int j = 0; j < nrows; j++) {
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+      colidx[k] = colidx[k] - firstcol;
+    }
+  }
+}
+)",
+      {{"nrows", 256, 1}, {"firstcol", 3, 0}},
+      4, 2, 3, 2, true});
+
+  corpus.push_back(Entry{
+      "ipa_spmv_chain", Suite::Paper,
+      "SpMV consumer over the same two-helper rowstr chain (helpers "
+      "byte-identical to ipa_cg_chain: shared across programs in a batch)",
+      R"(int nrows;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+double aval[8192];
+double p[513];
+double q[513];
+void fill_nzz() {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+}
+void build_rowstr() {
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+}
+void f() {
+  fill_nzz();
+  build_rowstr();
+  for (int j = 0; j < nrows; j++) {
+    double sum = 0.0;
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+      sum = sum + aval[k];
+    }
+    q[j] = sum * p[j];
+  }
+}
+)",
+      {{"nrows", 256, 1}},
+      4, 2, 2, 1, true});
+
+  corpus.push_back(Entry{
+      "ipa_csr_chain", Suite::Paper,
+      "CSR build (Fig. 9) split across two helpers: rowptr Monotonic_inc "
+      "needs build_rowptr specialized to fill_rows' rowsize facts",
+      R"(int ROWLEN;
+int COLUMNLEN;
+int ind;
+int index;
+int j1;
+int a[128][128];
+int column_number[16384];
+double value[16384];
+double vector[16384];
+double product_array[16384];
+int rowsize[128];
+int rowptr[129];
+void fill_rows() {
+  for (int i = 0; i < ROWLEN; i++) {
+    int count = 0;
+    for (int j = 0; j < COLUMNLEN; j++) {
+      if (a[i][j] != 0) {
+        count++;
+        column_number[index++] = j;
+        value[ind++] = a[i][j];
+      }
+    }
+    rowsize[i] = count;
+  }
+}
+void build_rowptr() {
+  rowptr[0] = 0;
+  for (int i = 1; i < ROWLEN + 1; i++) {
+    rowptr[i] = rowptr[i-1] + rowsize[i-1];
+  }
+}
+void f() {
+  fill_rows();
+  build_rowptr();
+  for (int i = 0; i < ROWLEN + 1; i++) {
+    if (i == 0) {
+      j1 = i;
+    } else {
+      j1 = rowptr[i-1];
+    }
+    for (int j = j1; j < rowptr[i]; j++) {
+      product_array[j] = value[j] * vector[j];
+    }
+  }
+}
+)",
+      {{"ROWLEN", 96, 1}, {"COLUMNLEN", 96, 1}},
+      5, 1, 2, 1, true});
+
+  // ==========================================================================
   // NAS Parallel Benchmarks v3.3.1 (6 of 10 programs exhibit the pattern)
   // ==========================================================================
 

@@ -25,11 +25,13 @@ unsigned clamp_threads(unsigned requested) {
   return requested;
 }
 
-ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions& options) {
+ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions& options,
+                          ipa::CrossProgramCache* shared) {
   ProgramReport report;
   report.name = input.name;
   try {
     pipeline::Session session(input.source, input.assumptions);
+    if (shared) session.share_summaries(shared);
     if (session.parse()) {
       session.analyze(options);
       if (const auto* verdicts = session.parallelize()) report.result.verdicts = *verdicts;
@@ -71,6 +73,9 @@ bool BatchStats::operator==(const BatchStats& other) const {
          summaries_computed == other.summaries_computed &&
          summary_cache_hits == other.summary_cache_hits &&
          summary_applications == other.summary_applications &&
+         summary_context_computed == other.summary_context_computed &&
+         cross_summary_requests == other.cross_summary_requests &&
+         cross_summary_entries == other.cross_summary_entries &&
          property_counts == other.property_counts;
 }
 
@@ -93,12 +98,17 @@ BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs,
                                const ReportCallback& on_report) const {
   BatchReport report;
   report.programs.resize(inputs.size());
+  // One content-addressed summary cache for the whole batch: sessions
+  // rehydrate byte-identical helper summaries other entries already
+  // computed. Thread-safe; verdicts are identical with or without it.
+  ipa::CrossProgramCache shared_cache;
+  ipa::CrossProgramCache* shared = options_.shared_summaries ? &shared_cache : nullptr;
   if (!inputs.empty()) {
     if (threads_ == 1) {
       // threads == 1 means "serial on the calling thread": no pool, and the
       // streaming callback fires in input order.
       for (size_t i = 0; i < inputs.size(); ++i) {
-        report.programs[i] = analyze_one(inputs[i], options_.analyzer);
+        report.programs[i] = analyze_one(inputs[i], options_.analyzer, shared);
         if (on_report) on_report(report.programs[i]);
       }
     } else {
@@ -112,7 +122,7 @@ BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs,
                           for (int64_t i = begin; i < end; ++i) {
                             ProgramReport& slot = report.programs[static_cast<size_t>(i)];
                             slot = analyze_one(inputs[static_cast<size_t>(i)],
-                                               options_.analyzer);
+                                               options_.analyzer, shared);
                             if (on_report) {
                               std::lock_guard<std::mutex> lock(callback_mutex);
                               on_report(slot);
@@ -122,6 +132,12 @@ BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs,
     }
   }
   report.stats = aggregate(report.programs);
+  if (shared) {
+    report.shared_cache = shared->stats();
+    // The set of unique content keys is scheduling-independent (every
+    // requested-and-missed key gets inserted), so this stays deterministic.
+    report.stats.cross_summary_entries = static_cast<int>(shared->size());
+  }
   return report;
 }
 
@@ -139,9 +155,14 @@ BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) 
     stats.parallel_subscripted += p.parallel_subscripted;
     stats.annotated += p.result.parallelized;
     if (p.parallel_subscripted > 0) ++stats.programs_with_pattern;
-    stats.summaries_computed += static_cast<int>(p.summary_cache.computed);
+    // Materialized (computed + rehydrated) rather than raw computes: whether
+    // a racing session computed or rehydrated a summary depends on
+    // scheduling, the number of summaries it entered into its DB does not.
+    stats.summaries_computed += static_cast<int>(p.summary_cache.materialized());
     stats.summary_cache_hits += static_cast<int>(p.summary_cache.hits);
     stats.summary_applications += static_cast<int>(p.summary_cache.applications);
+    stats.summary_context_computed += static_cast<int>(p.summary_cache.context_computed);
+    stats.cross_summary_requests += static_cast<int>(p.summary_cache.shared_requests());
     for (const auto& v : p.result.verdicts) {
       if (v.parallel && v.uses_subscripted_subscripts) {
         ++stats.property_counts[property_key(v)];

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/analyzer.h"
+#include "ipa/cross_cache.h"
 #include "ipa/summary.h"
 #include "pipeline/assumptions.h"
 #include "pipeline/session.h"
@@ -49,7 +50,10 @@ struct ProgramReport {
   // Per-stage wall-clock cost of this program's pipeline run.
   pipeline::SessionStats stages;
   // Interprocedural summary-cache counters of this program's session
-  // (computed/hits/applications; all zero for single-function programs).
+  // (computed/hits/context_computed/applications plus this session's
+  // cross-program shared_hits/shared_misses; all zero for single-function
+  // programs). The shared hit/miss split can depend on scheduling with
+  // threads > 1 — everything else is deterministic.
   ipa::SummaryDB::Stats summary_cache;
 
   // Per-program counts over result.verdicts (all zero when !ok).
@@ -74,6 +78,16 @@ struct BatchStats {
   int summaries_computed = 0;
   int summary_cache_hits = 0;
   int summary_applications = 0;
+  // Context-sensitive re-summaries (entry-fact fingerprint != 0).
+  int summary_context_computed = 0;
+  // Cross-program shared-cache totals. Both are deterministic for a fixed
+  // input set at ANY thread count: each session performs a fixed number of
+  // shared lookups, and the set of unique content keys does not depend on
+  // scheduling (only the hit/miss split does — that split lives in
+  // BatchReport::shared_cache and per-program summary_cache, outside this
+  // equality).
+  int cross_summary_requests = 0;  // shared lookups across all sessions
+  int cross_summary_entries = 0;   // unique content keys cached at end of run
   // Enabling-property histogram over parallel subscripted-subscript loops,
   // keyed by core::property_name(verdict.property).
   std::map<std::string, int> property_counts;
@@ -84,6 +98,11 @@ struct BatchStats {
 struct BatchReport {
   std::vector<ProgramReport> programs;  // in input order
   BatchStats stats;
+  // Raw counters of the run's cross-program summary cache (all zero when
+  // sharing is disabled). lookups/entries are deterministic; the hit/miss
+  // split can vary with scheduling when sessions race on one key — never the
+  // verdicts, which are identical either way.
+  ipa::CrossProgramCache::Stats shared_cache;
 };
 
 struct BatchOptions {
@@ -97,6 +116,11 @@ struct BatchOptions {
   // Verdicts and aggregates are deterministic for every setting.
   unsigned threads = 0;
   core::AnalyzerOptions analyzer;
+  // Share one content-addressed summary cache across all program sessions
+  // (ipa::CrossProgramCache): corpus entries containing byte-identical
+  // helper functions reuse each other's summaries instead of re-deriving
+  // them. Verdicts are identical with or without sharing.
+  bool shared_summaries = true;
 };
 
 class BatchAnalyzer {

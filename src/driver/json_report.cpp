@@ -129,6 +129,12 @@ Value program_report_to_json(const ProgramReport& report, bool include_output) {
   summary_cache.emplace("hits", static_cast<int64_t>(report.summary_cache.hits));
   summary_cache.emplace("applications",
                         static_cast<int64_t>(report.summary_cache.applications));
+  summary_cache.emplace("context_computed",
+                        static_cast<int64_t>(report.summary_cache.context_computed));
+  summary_cache.emplace("shared_hits",
+                        static_cast<int64_t>(report.summary_cache.shared_hits));
+  summary_cache.emplace("shared_misses",
+                        static_cast<int64_t>(report.summary_cache.shared_misses));
   o.emplace("summary_cache", std::move(summary_cache));
   if (include_output && report.ok) o.emplace("output", report.result.output);
   return Value(std::move(o));
@@ -147,6 +153,9 @@ Value stats_to_json(const BatchStats& stats) {
   o.emplace("summaries_computed", stats.summaries_computed);
   o.emplace("summary_cache_hits", stats.summary_cache_hits);
   o.emplace("summary_applications", stats.summary_applications);
+  o.emplace("summary_context_computed", stats.summary_context_computed);
+  o.emplace("cross_summary_requests", stats.cross_summary_requests);
+  o.emplace("cross_summary_entries", stats.cross_summary_entries);
   Object properties;
   for (const auto& [key, count] : stats.property_counts) properties.emplace(key, count);
   o.emplace("property_counts", std::move(properties));
@@ -166,6 +175,11 @@ BatchStats stats_from_json(const Value& value) {
   stats.summaries_computed = static_cast<int>(value.int_or("summaries_computed", 0));
   stats.summary_cache_hits = static_cast<int>(value.int_or("summary_cache_hits", 0));
   stats.summary_applications = static_cast<int>(value.int_or("summary_applications", 0));
+  stats.summary_context_computed =
+      static_cast<int>(value.int_or("summary_context_computed", 0));
+  stats.cross_summary_requests =
+      static_cast<int>(value.int_or("cross_summary_requests", 0));
+  stats.cross_summary_entries = static_cast<int>(value.int_or("cross_summary_entries", 0));
   if (const Value* properties = value.find("property_counts")) {
     if (properties->is_object()) {
       for (const auto& [key, count] : properties->as_object()) {
@@ -185,6 +199,15 @@ Value batch_report_to_json(const BatchReport& report, unsigned threads, bool inc
   }
   o.emplace("programs", std::move(programs));
   o.emplace("stats", stats_to_json(report.stats));
+  // Raw cross-program cache counters (lookups/entries deterministic; the
+  // hit/miss split may vary with scheduling — see CrossProgramCache::Stats).
+  Object shared;
+  shared.emplace("lookups", static_cast<int64_t>(report.shared_cache.lookups));
+  shared.emplace("hits", static_cast<int64_t>(report.shared_cache.hits));
+  shared.emplace("misses", static_cast<int64_t>(report.shared_cache.misses));
+  shared.emplace("inserts", static_cast<int64_t>(report.shared_cache.inserts));
+  shared.emplace("entries", static_cast<int64_t>(report.shared_cache.entries));
+  o.emplace("cross_program_cache", std::move(shared));
   return Value(std::move(o));
 }
 

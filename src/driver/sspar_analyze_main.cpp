@@ -36,6 +36,9 @@ void print_usage(std::ostream& os) {
         "                   logical core; 1 = serial on the calling thread)\n"
         "  --suite=NAME     corpus subset: paper | npb | suitesparse\n"
         "  --emit           also print the OpenMP-annotated source\n"
+        "  --no-shared-cache disable the cross-program summary cache (entries\n"
+        "                   with identical helper functions then re-derive\n"
+        "                   their summaries; verdicts are unaffected)\n"
         "  --json           machine-readable JSON report on stdout (verdicts,\n"
         "                   structured diagnostics, per-stage timings, stats)\n"
         "  --quiet          aggregate statistics only\n"
@@ -99,9 +102,14 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
      << "  loops annotated (omp):  " << s.annotated << "\n"
      << "  programs with pattern:  " << s.programs_with_pattern << "\n";
   if (s.summaries_computed > 0 || s.summary_applications > 0) {
-    os << "  function summaries:     " << s.summaries_computed << " computed, "
-       << s.summary_cache_hits << " cache hits, " << s.summary_applications
-       << " call-site applications\n";
+    os << "  function summaries:     " << s.summaries_computed << " materialized ("
+       << s.summary_context_computed << " context-sensitive), " << s.summary_cache_hits
+       << " cache hits, " << s.summary_applications << " call-site applications\n";
+  }
+  if (report.shared_cache.lookups > 0) {
+    os << "  cross-program cache:    " << report.shared_cache.entries << " entries, "
+       << report.shared_cache.hits << "/" << report.shared_cache.lookups
+       << " lookups rehydrated\n";
   }
   if (!s.property_counts.empty()) {
     os << "  enabling properties:\n";
@@ -144,6 +152,8 @@ int main(int argc, char** argv) {
       have_suite = true;
     } else if (arg == "--emit") {
       emit = true;
+    } else if (arg == "--no-shared-cache") {
+      options.shared_summaries = false;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--json") {

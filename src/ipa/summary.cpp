@@ -21,23 +21,34 @@ uint32_t SummaryDB::encode(const core::AnalyzerOptions& o) {
 }
 
 const FunctionSummary* SummaryDB::find(const ast::FuncDecl* function,
-                                       const core::AnalyzerOptions& options) const {
-  auto it = entries_.find(Key{function, encode(options)});
+                                       const core::AnalyzerOptions& options,
+                                       uint64_t fingerprint) const {
+  auto it = entries_.find(Key{function, encode(options), fingerprint});
   return it == entries_.end() ? nullptr : &it->second;
 }
 
 const FunctionSummary* SummaryDB::lookup(const ast::FuncDecl* function,
-                                         const core::AnalyzerOptions& options) {
-  const FunctionSummary* found = find(function, options);
+                                         const core::AnalyzerOptions& options,
+                                         uint64_t fingerprint) {
+  const FunctionSummary* found = find(function, options, fingerprint);
   if (found) ++stats_.hits;
   return found;
 }
 
 const FunctionSummary& SummaryDB::insert(const ast::FuncDecl* function,
                                          const core::AnalyzerOptions& options,
-                                         FunctionSummary summary) {
-  ++stats_.computed;
-  auto [it, inserted] = entries_.insert_or_assign(Key{function, encode(options)},
+                                         uint64_t fingerprint, FunctionSummary summary,
+                                         bool from_shared) {
+  if (from_shared) {
+    ++stats_.shared_hits;
+  } else {
+    ++stats_.computed;
+  }
+  // Counted whether computed or rehydrated: "context summaries materialized"
+  // stays deterministic when batch scheduling decides who computes first.
+  if (fingerprint != 0) ++stats_.context_computed;
+  summary.entry_fingerprint = fingerprint;
+  auto [it, inserted] = entries_.insert_or_assign(Key{function, encode(options), fingerprint},
                                                   std::move(summary));
   (void)inserted;
   return it->second;

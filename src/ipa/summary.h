@@ -14,9 +14,15 @@
 //     its loops exactly as core::Analyzer aggregates a loop body (a call
 //     site replays them as if the statements were inlined),
 //   * end_facts — the index-array property facts (Value/Step/Injective/
-//     Identity) provable at function exit from an EMPTY entry fact database.
-//     Summaries are context-insensitive: facts that would need caller
-//     context do not appear (sound — fewer facts, never wrong facts),
+//     Identity) provable at function exit. The BASE summary (entry-fact
+//     fingerprint 0) is computed from an EMPTY entry fact database: facts
+//     that would need caller context do not appear (sound — fewer facts,
+//     never wrong facts). When a call site's caller holds facts about
+//     arrays the callee reads, the analyzer re-summarizes the callee under
+//     a projection of those facts (context sensitivity); such summaries
+//     carry the projection's fingerprint and their end_facts may include
+//     properties only provable in that context (e.g. Monotonic_inc of
+//     rowstr when a different helper established nzz >= 0),
 //   * return_value — the returned range for int functions,
 //   * may_write sets — a conservative write set (transitive over callees)
 //     that stays valid even for unanalyzable functions; the analyzer's havoc
@@ -24,10 +30,15 @@
 //     under-killing.
 //
 // Summaries are computed bottom-up over the CallGraph's reverse topological
-// order and cached in a SummaryDB keyed on (function, AnalyzerOptions).
-// The DB is owned by pipeline::Session, so re-analysis under options the
-// session has already run — the ablation loop, parallelize-after-analyze,
-// repeated stage calls — reuses summaries instead of recomputing them.
+// order and cached in a SummaryDB keyed on (function, AnalyzerOptions,
+// entry-fact fingerprint). The DB is owned by pipeline::Session, so
+// re-analysis under options the session has already run — the ablation
+// loop, parallelize-after-analyze, repeated stage calls, repeated call
+// sites under the same caller facts — reuses summaries instead of
+// recomputing them. A SummaryDB may additionally be attached to a
+// CrossProgramCache (ipa/cross_cache.h): per-session misses then consult
+// the content-addressed shared cache before computing, which lets the batch
+// driver reuse summaries of byte-identical helpers across corpus entries.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +46,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/analyzer.h"
@@ -72,49 +84,84 @@ struct FunctionSummary {
   // Global scalars the function may read before writing them (conservative
   // superset); call sites read these for λ-tracking and value binding.
   std::set<const ast::VarDecl*> exposed_scalar_reads;
+  // Fingerprint of the entry-fact projection this summary was computed
+  // under; 0 = base (empty entry fact database). See cross_cache.h's
+  // fingerprint_facts for the encoding.
+  uint64_t entry_fingerprint = 0;
 };
 
-// Per-session cache of function summaries keyed on (function, options).
-// Entries intern expressions in the session's arena, so they stay valid for
-// the session's lifetime and across re-analysis with different options.
+class CrossProgramCache;
+
+// Per-session cache of function summaries keyed on (function, options,
+// entry-fact fingerprint). Entries intern expressions in the session's
+// arena, so they stay valid for the session's lifetime and across
+// re-analysis with different options.
 class SummaryDB {
  public:
   struct Stats {
-    size_t computed = 0;      // summaries built from scratch (cache misses)
-    size_t hits = 0;          // compute-time requests served from the cache
+    size_t computed = 0;      // summaries built from scratch in this session
+    size_t hits = 0;          // compute-time requests served from this cache
     size_t applications = 0;  // call sites where a summary was applied
-    size_t requests() const { return computed + hits; }
+    // Context-sensitive summaries (entry-fact fingerprint != 0) entered into
+    // this session's DB, whether computed locally or rehydrated from the
+    // shared cache (so the count is scheduling-independent).
+    size_t context_computed = 0;
+    // Interactions with an attached CrossProgramCache: summaries rehydrated
+    // from it vs. shared lookups that had to compute locally. hits + misses
+    // is deterministic per program; the split can depend on batch
+    // scheduling (see CrossProgramCache::Stats).
+    size_t shared_hits = 0;
+    size_t shared_misses = 0;
+    size_t requests() const { return computed + hits + shared_hits; }
+    size_t shared_requests() const { return shared_hits + shared_misses; }
+    // Summaries entered into this session's DB (locally computed plus
+    // rehydrated); deterministic regardless of batch scheduling.
+    size_t materialized() const { return computed + shared_hits; }
   };
 
-  // Plain lookup (no stats); null on miss. Pointers stay valid until clear().
+  // Plain lookup (no stats); null on miss. Pointers stay valid until
+  // clear(). The two-argument form is the base summary (fingerprint 0).
   const FunctionSummary* find(const ast::FuncDecl* function,
-                              const core::AnalyzerOptions& options) const;
+                              const core::AnalyzerOptions& options,
+                              uint64_t fingerprint = 0) const;
   // Compute-time lookup: counts a hit when present.
   const FunctionSummary* lookup(const ast::FuncDecl* function,
-                                const core::AnalyzerOptions& options);
-  // Counts a miss; overwrites any existing entry.
+                                const core::AnalyzerOptions& options,
+                                uint64_t fingerprint = 0);
+  // Counts a local compute (or a shared-cache rehydration when
+  // `from_shared`); overwrites any existing entry.
   const FunctionSummary& insert(const ast::FuncDecl* function,
                                 const core::AnalyzerOptions& options,
-                                FunctionSummary summary);
+                                uint64_t fingerprint, FunctionSummary summary,
+                                bool from_shared = false);
 
   void note_application() { ++stats_.applications; }
+  void note_shared_miss() { ++stats_.shared_misses; }
+
+  // Optional content-addressed cache shared across sessions (programs).
+  // Attach before any analysis; the owner must outlive this DB's use.
+  void attach_shared(CrossProgramCache* shared) { shared_ = shared; }
+  CrossProgramCache* shared() const { return shared_; }
 
   const Stats& stats() const { return stats_; }
   size_t size() const { return entries_.size(); }
 
+  // AnalyzerOptions is a struct of independent feature bits; encode them into
+  // an integer key. Every new option must be added here (a missed bit would
+  // alias two configurations onto one cache slot). Public: the analyzer also
+  // folds these bits into cross-program content addresses.
+  static uint32_t encode(const core::AnalyzerOptions& options);
+
   // Drops every summary (they reference AST nodes and arena expressions the
-  // owner is about to release) and resets the stats.
+  // owner is about to release) and resets the stats. The attached shared
+  // cache (if any) is left untouched: its entries are session-independent.
   void clear();
 
  private:
-  // AnalyzerOptions is a struct of independent feature bits; encode them into
-  // an integer key. Every new option must be added here (a missed bit would
-  // alias two configurations onto one cache slot).
-  static uint32_t encode(const core::AnalyzerOptions& options);
-
-  using Key = std::pair<const ast::FuncDecl*, uint32_t>;
+  using Key = std::tuple<const ast::FuncDecl*, uint32_t, uint64_t>;
   std::map<Key, FunctionSummary> entries_;
   Stats stats_;
+  CrossProgramCache* shared_ = nullptr;
 };
 
 // Instantiates summary expressions at one call site: substitutes actuals for

@@ -122,6 +122,14 @@ class Session {
   // under different AnalyzerOptions (the ablation loop re-hits them). Cleared
   // by take_parse() (summaries point into the released AST).
   const ipa::SummaryDB& summaries() const { return *summaries_; }
+
+  // Attaches a content-addressed cross-program summary cache (thread-safe;
+  // see ipa/cross_cache.h): this session's summary misses then rehydrate
+  // byte-identical helper summaries computed by OTHER sessions, and publish
+  // their own. Call before the first analyze(); `cache` must outlive the
+  // session's analysis stages. The batch driver shares one cache across all
+  // corpus entries.
+  void share_summaries(ipa::CrossProgramCache* cache) { summaries_->attach_shared(cache); }
   const Assumptions& assumptions() const { return assumptions_; }
   const std::string& source() const { return source_; }
 

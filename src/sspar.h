@@ -43,6 +43,7 @@
 #include "frontend/frontend.h"    // IWYU pragma: export
 #include "interp/interpreter.h"   // IWYU pragma: export
 #include "ipa/call_graph.h"       // IWYU pragma: export
+#include "ipa/cross_cache.h"      // IWYU pragma: export
 #include "ipa/summary.h"          // IWYU pragma: export
 #include "kernels/csr.h"          // IWYU pragma: export
 #include "kernels/npb_cg.h"       // IWYU pragma: export

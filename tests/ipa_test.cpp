@@ -68,16 +68,22 @@ struct Twin {
   pipeline::Assumptions assumptions;
 };
 
-// The three interprocedural corpus entries and their hand-inlined twins.
+// The interprocedural corpus entries and their hand-inlined twins.
 std::vector<Twin> twin_programs() {
   std::vector<Twin> twins;
   auto assume = [](const corpus::Entry& e) { return corpus::analyzer_assumptions(e); };
   const corpus::Entry* cg = corpus::find_entry("ipa_cg");
   const corpus::Entry* csr = corpus::find_entry("ipa_csr");
   const corpus::Entry* scatter = corpus::find_entry("ipa_scatter");
+  const corpus::Entry* cg_chain = corpus::find_entry("ipa_cg_chain");
+  const corpus::Entry* spmv_chain = corpus::find_entry("ipa_spmv_chain");
+  const corpus::Entry* csr_chain = corpus::find_entry("ipa_csr_chain");
   EXPECT_NE(cg, nullptr);
   EXPECT_NE(csr, nullptr);
   EXPECT_NE(scatter, nullptr);
+  EXPECT_NE(cg_chain, nullptr);
+  EXPECT_NE(spmv_chain, nullptr);
+  EXPECT_NE(csr_chain, nullptr);
 
   twins.push_back(Twin{"ipa_cg", cg->source,
                        R"(int nrows;
@@ -160,6 +166,104 @@ void f() {
 }
 )",
                        assume(*scatter)});
+
+  // The context-sensitive chains: the fact chain (nzz filled by helper A,
+  // rowstr built from it by helper B) only survives helper extraction when
+  // B is re-summarized under the caller facts A established. Their inlined
+  // twins are the same programs with both helpers hand-inlined into f().
+  twins.push_back(Twin{"ipa_cg_chain", cg_chain->source,
+                       R"(int nrows;
+int firstcol;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+int colidx[8192];
+void f() {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+  for (int j = 0; j < nrows; j++) {
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+      colidx[k] = colidx[k] - firstcol;
+    }
+  }
+}
+)",
+                       assume(*cg_chain)});
+
+  twins.push_back(Twin{"ipa_spmv_chain", spmv_chain->source,
+                       R"(int nrows;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+double aval[8192];
+double p[513];
+double q[513];
+void f() {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+  for (int j = 0; j < nrows; j++) {
+    double sum = 0.0;
+    for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+      sum = sum + aval[k];
+    }
+    q[j] = sum * p[j];
+  }
+}
+)",
+                       assume(*spmv_chain)});
+
+  twins.push_back(Twin{"ipa_csr_chain", csr_chain->source,
+                       R"(int ROWLEN;
+int COLUMNLEN;
+int ind;
+int index;
+int j1;
+int a[128][128];
+int column_number[16384];
+double value[16384];
+double vector[16384];
+double product_array[16384];
+int rowsize[128];
+int rowptr[129];
+void f() {
+  for (int i = 0; i < ROWLEN; i++) {
+    int count = 0;
+    for (int j = 0; j < COLUMNLEN; j++) {
+      if (a[i][j] != 0) {
+        count++;
+        column_number[index++] = j;
+        value[ind++] = a[i][j];
+      }
+    }
+    rowsize[i] = count;
+  }
+  rowptr[0] = 0;
+  for (int i = 1; i < ROWLEN + 1; i++) {
+    rowptr[i] = rowptr[i-1] + rowsize[i-1];
+  }
+  for (int i = 0; i < ROWLEN + 1; i++) {
+    if (i == 0) {
+      j1 = i;
+    } else {
+      j1 = rowptr[i-1];
+    }
+    for (int j = j1; j < rowptr[i]; j++) {
+      product_array[j] = value[j] * vector[j];
+    }
+  }
+}
+)",
+                       assume(*csr_chain)});
   return twins;
 }
 
@@ -236,7 +340,8 @@ TEST(IpaDifferential, HelperBuiltRowstrProvesMonotonicAndParallelizesTheCgLoop) 
 // No false positives: every statically parallel loop of the interprocedural
 // corpus entries is dependence-free under the dynamic oracle.
 TEST(IpaDifferential, NoFalsePositivesAgainstTheDynamicOracle) {
-  for (const char* name : {"ipa_cg", "ipa_csr", "ipa_scatter"}) {
+  for (const char* name : {"ipa_cg", "ipa_csr", "ipa_scatter", "ipa_cg_chain",
+                           "ipa_spmv_chain", "ipa_csr_chain"}) {
     const corpus::Entry* entry = corpus::find_entry(name);
     ASSERT_NE(entry, nullptr);
     corpus::EntryAnalysis analysis = corpus::analyze_entry(*entry);
@@ -696,6 +801,325 @@ TEST(Diagnostics, ReanalysisDoesNotDuplicateWarnings) {
 }
 
 // --------------------------------------------------------------------------
+// Context sensitivity: summaries specialized to caller entry facts
+// --------------------------------------------------------------------------
+
+TEST(ContextSensitivity, BaseSummaryLosesTheChainButContextSummaryKeepsIt) {
+  const corpus::Entry* entry = corpus::find_entry("ipa_cg_chain");
+  ASSERT_NE(entry, nullptr);
+  pipeline::Session session(entry->source, corpus::analyzer_assumptions(*entry));
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+
+  // The CG adjustment loop is proven Monotonic, with provenance naming the
+  // helper that finished the chain.
+  bool monotonic = false;
+  for (const auto& v : *verdicts) {
+    if (v.property != core::EnablingProperty::Monotonic) continue;
+    monotonic = true;
+    EXPECT_TRUE(v.parallel);
+    EXPECT_EQ(v.summaries_used, std::vector<std::string>{"build_rowstr"});
+  }
+  EXPECT_TRUE(monotonic) << "no Monotonic verdict in ipa_cg_chain";
+
+  // The BASE summary of build_rowstr (empty entry facts) cannot bound
+  // nzz[i-1], so it has no rowstr step fact — the property exists only in
+  // the context-sensitive re-summary.
+  const ast::FuncDecl* helper = session.program()->find_function("build_rowstr");
+  ASSERT_NE(helper, nullptr);
+  const ipa::FunctionSummary* base =
+      session.summaries().find(helper, core::AnalyzerOptions{});
+  ASSERT_NE(base, nullptr);
+  ASSERT_TRUE(base->analyzable) << base->failure;
+  EXPECT_EQ(base->entry_fingerprint, 0u);
+  const ast::VarDecl* rowstr = session.program()->find_global("rowstr");
+  ASSERT_NE(rowstr, nullptr);
+  const core::ArrayFacts* base_facts = base->end_facts.find(rowstr->symbol);
+  bool base_monotonic = false;
+  if (base_facts) {
+    for (const auto& step : base_facts->steps) {
+      auto lo = sym::const_value(step.step.lo());
+      if (lo && *lo >= 0) base_monotonic = true;
+    }
+  }
+  EXPECT_FALSE(base_monotonic) << "base summary should not know nzz >= 0";
+  EXPECT_GE(session.summaries().stats().context_computed, 1u);
+}
+
+TEST(ContextSensitivity, RepeatedCallSitesHitTheFingerprintedCacheSlot) {
+  // f and g run the identical chain, so g's build_rowstr call site projects
+  // the same entry facts as f's: its context summary is served from the
+  // fingerprinted cache slot, not recomputed.
+  pipeline::Session session(R"(
+    int nrows;
+    int cols[512];
+    int nzz[512];
+    int rowstr[513];
+    void fill_nzz() {
+      for (int i = 0; i < nrows; i++) {
+        nzz[i] = cols[i] > 0 ? 1 : 0;
+      }
+    }
+    void build_rowstr() {
+      rowstr[0] = 0;
+      for (int i = 1; i < nrows + 1; i++) {
+        rowstr[i] = rowstr[i-1] + nzz[i-1];
+      }
+    }
+    void f() {
+      fill_nzz();
+      build_rowstr();
+    }
+    void g() {
+      fill_nzz();
+      build_rowstr();
+    }
+  )",
+                            {{"nrows", 1}});
+  ASSERT_NE(session.analyze(), nullptr) << session.diagnostics().dump();
+  const auto stats = session.summaries().stats();
+  EXPECT_EQ(stats.context_computed, 1u) << "g's call site must reuse f's entry";
+  EXPECT_GE(stats.hits, 1u);
+}
+
+TEST(ContextSensitivity, StaleCallerFactsAreNotProjected) {
+  // The caller scrambles nzz between fill_nzz() and build_rowstr(): the
+  // nzz facts at statement entry no longer hold at the call, so the context
+  // summary must not claim Monotonic_inc for rowstr (soundness).
+  pipeline::Session session(R"(
+    int nrows;
+    int cols[512];
+    int nzz[512];
+    int rowstr[513];
+    int out[8192];
+    void fill_nzz() {
+      for (int i = 0; i < nrows; i++) {
+        nzz[i] = cols[i] > 0 ? 1 : 0;
+      }
+    }
+    void build_rowstr() {
+      rowstr[0] = 0;
+      for (int i = 1; i < nrows + 1; i++) {
+        rowstr[i] = rowstr[i-1] + nzz[i-1];
+      }
+    }
+    void f() {
+      fill_nzz();
+      nzz[0] = 0 - 5;
+      build_rowstr();
+      for (int j = 0; j < nrows; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          out[k] = out[k] + 1;
+        }
+      }
+    }
+  )",
+                            {{"nrows", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  for (const auto& v : *verdicts) {
+    EXPECT_NE(v.property, core::EnablingProperty::Monotonic)
+        << "scrambled nzz must not yield a Monotonic rowstr";
+  }
+}
+
+TEST(ContextSensitivity, ScalarModifiedBetweenCallsInvalidatesTheProjection) {
+  // n grows between fill_nzz() and build_rowstr(): the nzz fact, expressed
+  // in caller-entry terms over [0 : n-1], would be reinterpreted over the
+  // grown range inside the callee — the tail of nzz is unconstrained, so
+  // Monotonic must NOT be proven (soundness).
+  pipeline::Session session(R"(
+    int n;
+    int cols[512];
+    int nzz[512];
+    int rowstr[513];
+    int colidx[8192];
+    void fill_nzz() {
+      for (int i = 0; i < n; i++) {
+        nzz[i] = cols[i] > 0 ? 1 : 0;
+      }
+    }
+    void build_rowstr() {
+      rowstr[0] = 0;
+      for (int i = 1; i < n + 1; i++) {
+        rowstr[i] = rowstr[i-1] + nzz[i-1];
+      }
+    }
+    void f() {
+      fill_nzz();
+      n = n + 50;
+      build_rowstr();
+      for (int j = 0; j < n; j++) {
+        for (int k = rowstr[j]; k < rowstr[j+1]; k++) {
+          colidx[k] = colidx[k] + 1;
+        }
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  for (const auto& v : *verdicts) {
+    EXPECT_NE(v.property, core::EnablingProperty::Monotonic)
+        << "nzz facts over the old n must not survive the n = n + 50";
+  }
+}
+
+TEST(ContextSensitivity, NegativeInjectiveThresholdGetsItsOwnFingerprint) {
+  // min_value == -1 must not alias the "no threshold" encoding: the two
+  // projections would otherwise share a SummaryDB slot and a cross-program
+  // cache key, serving a summary proven under the stronger fact.
+  sym::SymbolTable symbols;
+  sym::SymbolId array = symbols.intern("perm");
+  core::FactDB with_threshold;
+  core::FactDB without_threshold;
+  core::InjectiveFact fact;
+  fact.lo = sym::make_const(0);
+  fact.hi = sym::make_const(7);
+  fact.min_value = -1;
+  with_threshold.add_injective(array, fact);
+  fact.min_value.reset();
+  without_threshold.add_injective(array, fact);
+  EXPECT_NE(ipa::fingerprint_facts(with_threshold, symbols),
+            ipa::fingerprint_facts(without_threshold, symbols));
+}
+
+// --------------------------------------------------------------------------
+// Cross-program summary cache
+// --------------------------------------------------------------------------
+
+TEST(CrossCache, SecondSessionRehydratesEverySummaryByteIdentically) {
+  const corpus::Entry* entry = corpus::find_entry("ipa_cg_chain");
+  ASSERT_NE(entry, nullptr);
+  ipa::CrossProgramCache cache;
+
+  pipeline::Session cold(entry->source, corpus::analyzer_assumptions(*entry));
+  cold.share_summaries(&cache);
+  std::vector<std::string> cold_keys = verdict_keys(cold);
+  ASSERT_FALSE(cold_keys.empty()) << cold.diagnostics().dump();
+  const auto cold_stats = cold.summaries().stats();
+  EXPECT_GT(cold_stats.computed, 0u);
+  EXPECT_EQ(cold_stats.shared_hits, 0u);
+  EXPECT_GT(cache.size(), 0u);
+
+  pipeline::Session warm(entry->source, corpus::analyzer_assumptions(*entry));
+  warm.share_summaries(&cache);
+  std::vector<std::string> warm_keys = verdict_keys(warm);
+  const auto warm_stats = warm.summaries().stats();
+  EXPECT_EQ(warm_stats.computed, 0u) << "every summary should rehydrate";
+  EXPECT_EQ(warm_stats.shared_hits, cold_stats.computed);
+  EXPECT_EQ(warm_keys, cold_keys);
+
+  // And against a session that never saw the cache: byte-identical verdicts.
+  pipeline::Session solo(entry->source, corpus::analyzer_assumptions(*entry));
+  EXPECT_EQ(verdict_keys(solo), cold_keys);
+  EXPECT_EQ(solo.emit().output, warm.emit().output);
+}
+
+TEST(CrossCache, ByteIdenticalHelpersShareAcrossDifferentPrograms) {
+  // ipa_cg_chain and ipa_spmv_chain carry byte-identical helpers over
+  // byte-identical globals; analyzing them through one cache rehydrates the
+  // second program's helper summaries from the first's.
+  const corpus::Entry* a = corpus::find_entry("ipa_cg_chain");
+  const corpus::Entry* b = corpus::find_entry("ipa_spmv_chain");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ipa::CrossProgramCache cache;
+  pipeline::Session first(a->source, corpus::analyzer_assumptions(*a));
+  first.share_summaries(&cache);
+  ASSERT_NE(first.parallelize(), nullptr);
+  pipeline::Session second(b->source, corpus::analyzer_assumptions(*b));
+  second.share_summaries(&cache);
+  ASSERT_NE(second.parallelize(), nullptr);
+  EXPECT_GT(second.summaries().stats().shared_hits, 0u)
+      << "identical helpers in a different program must rehydrate";
+  // Sharing never changes verdicts.
+  pipeline::Session solo(b->source, corpus::analyzer_assumptions(*b));
+  EXPECT_EQ(verdict_keys(solo), verdict_keys(second));
+}
+
+TEST(CrossCache, DifferentAssumptionsDoNotShare) {
+  // Same source, different analyzer assumptions about a referenced global:
+  // the content address must differ (the summary's trip-count proofs depend
+  // on the assumption).
+  const corpus::Entry* entry = corpus::find_entry("ipa_cg_chain");
+  ASSERT_NE(entry, nullptr);
+  ipa::CrossProgramCache cache;
+  pipeline::Session low(entry->source, pipeline::Assumptions{{"nrows", 1}});
+  low.share_summaries(&cache);
+  ASSERT_NE(low.analyze(), nullptr);
+  pipeline::Session high(entry->source, pipeline::Assumptions{{"nrows", 64}});
+  high.share_summaries(&cache);
+  ASSERT_NE(high.analyze(), nullptr);
+  EXPECT_EQ(high.summaries().stats().shared_hits, 0u)
+      << "nrows >= 1 and nrows >= 64 must not share summaries";
+}
+
+TEST(CrossCache, BatchWithAndWithoutSharingAgreeEverywhere) {
+  auto inputs = driver::BatchAnalyzer::corpus_inputs();
+  driver::BatchOptions with;
+  with.threads = 1;
+  driver::BatchOptions without;
+  without.threads = 1;
+  without.shared_summaries = false;
+  driver::BatchReport shared = driver::BatchAnalyzer(with).run(inputs);
+  driver::BatchReport isolated = driver::BatchAnalyzer(without).run(inputs);
+  ASSERT_EQ(shared.programs.size(), isolated.programs.size());
+  for (size_t i = 0; i < shared.programs.size(); ++i) {
+    EXPECT_EQ(shared.programs[i].result.output, isolated.programs[i].result.output)
+        << shared.programs[i].name;
+  }
+  EXPECT_EQ(shared.stats.loops, isolated.stats.loops);
+  EXPECT_EQ(shared.stats.parallel, isolated.stats.parallel);
+  EXPECT_EQ(shared.stats.parallel_subscripted, isolated.stats.parallel_subscripted);
+  EXPECT_EQ(shared.stats.property_counts, isolated.stats.property_counts);
+  EXPECT_EQ(shared.stats.summaries_computed, isolated.stats.summaries_computed);
+  // The shared run actually shared something...
+  EXPECT_GT(shared.shared_cache.hits, 0u);
+  EXPECT_GT(shared.stats.cross_summary_requests, 0);
+  EXPECT_GT(shared.stats.cross_summary_entries, 0);
+  // ...and the isolated run had no cache at all.
+  EXPECT_EQ(isolated.shared_cache.lookups, 0u);
+  EXPECT_EQ(isolated.stats.cross_summary_requests, 0);
+  EXPECT_EQ(isolated.stats.cross_summary_entries, 0);
+}
+
+// --------------------------------------------------------------------------
+// W0301 per-callee dedup
+// --------------------------------------------------------------------------
+
+TEST(Diagnostics, TwoDifferentAbandonedCallsInOneLoopBothSurface) {
+  // Both helpers are unsummarizable (recursive / undefined); the loop must
+  // emit one W0301 naming each callee instead of collapsing onto the first.
+  pipeline::Session session(R"(
+    int n;
+    int acc;
+    int rec(int k) {
+      if (k > 0) {
+        acc = acc + rec(k - 1);
+      }
+      return acc;
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        rec(i);
+        mystery(i);
+      }
+    }
+  )",
+                            {{"n", 1}});
+  ASSERT_NE(session.parallelize(), nullptr);
+  int w0301_rec = 0, w0301_mystery = 0;
+  for (const auto& d : session.diagnostics().diagnostics()) {
+    if (d.code != support::DiagCode::AnalysisLoopCall) continue;
+    if (d.message.find("'rec'") != std::string::npos) ++w0301_rec;
+    if (d.message.find("'mystery'") != std::string::npos) ++w0301_mystery;
+  }
+  EXPECT_EQ(w0301_rec, 1) << session.diagnostics().dump();
+  EXPECT_EQ(w0301_mystery, 1) << session.diagnostics().dump();
+}
+
+// --------------------------------------------------------------------------
 // Batch determinism with the shared SummaryDB
 // --------------------------------------------------------------------------
 
@@ -712,6 +1136,16 @@ TEST(IpaBatch, OneVsEightThreadRunsAreIdenticalOverTheCorpus) {
   // The interprocedural entries actually exercised the summary machinery.
   EXPECT_GE(serial.stats.summaries_computed, 4);
   EXPECT_GE(serial.stats.summary_applications, 4);
+  // The cross-program cache is on by default, and its deterministic
+  // counters (lookups performed, unique content keys, context summaries
+  // materialized) must not depend on the thread count — only the hit/miss
+  // split may (it lives outside BatchStats equality).
+  EXPECT_GT(serial.stats.cross_summary_requests, 0);
+  EXPECT_GT(serial.stats.cross_summary_entries, 0);
+  EXPECT_GT(serial.stats.summary_context_computed, 0);
+  EXPECT_EQ(serial.stats.cross_summary_requests, wide.stats.cross_summary_requests);
+  EXPECT_EQ(serial.stats.cross_summary_entries, wide.stats.cross_summary_entries);
+  EXPECT_EQ(serial.stats.summary_context_computed, wide.stats.summary_context_computed);
 }
 
 }  // namespace
