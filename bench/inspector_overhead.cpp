@@ -9,6 +9,7 @@
 //   serial    — no parallelization at all (what current compilers do)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "kernels/pattern_kernels.h"
 #include "runtime/inspector.h"
@@ -16,8 +17,15 @@
 
 using namespace sspar;
 
-int main() {
-  constexpr int kInvocations = 50;
+int main(int argc, char** argv) {
+  // Optional override so smoke runs (CI, bench_report.sh with a tiny
+  // min-time) don't pay the full 50-invocation solver simulation.
+  int invocations = 50;
+  if (argc > 1) {
+    int parsed = std::atoi(argv[1]);
+    if (parsed > 0) invocations = parsed;
+  }
+  const int kInvocations = invocations;
   constexpr unsigned kThreads = 8;
 
   std::printf("Inspector/executor overhead vs compile-time proof (%d invocations, %u threads)\n\n",

@@ -397,98 +397,235 @@ void Analyzer::apply_effect(const ast::For& loop, const LoopEffect& effect, Scal
 
 namespace {
 
-// Global scalars read anywhere in `stmt`. A VarRef that is the target of a
+// Global scalars read anywhere in `e`. A VarRef that is the target of a
 // plain assignment is a write, not a read; compound assignments and
-// increments read first. Conservative superset of the exposed
-// (read-before-write) set a call site must λ-track.
-void collect_scalar_reads(const ast::Stmt* stmt,
-                          const std::function<bool(const ast::VarDecl*)>& is_global,
-                          std::set<const ast::VarDecl*>& out) {
-  std::function<void(const ast::Expr*)> scan = [&](const ast::Expr* e) {
-    if (!e) return;
-    switch (e->kind) {
-      case ast::ExprNodeKind::VarRef: {
-        const auto* var = e->as<ast::VarRef>();
-        if (var->decl && !var->decl->is_array() && is_global(var->decl)) {
-          out.insert(var->decl);
-        }
-        return;
+// increments read first.
+void collect_expr_scalar_reads(const ast::Expr* e,
+                               const std::function<bool(const ast::VarDecl*)>& is_global,
+                               std::set<const ast::VarDecl*>& out) {
+  if (!e) return;
+  auto scan = [&](const ast::Expr* child) { collect_expr_scalar_reads(child, is_global, out); };
+  switch (e->kind) {
+    case ast::ExprNodeKind::VarRef: {
+      const auto* var = e->as<ast::VarRef>();
+      if (var->decl && !var->decl->is_array() && is_global(var->decl)) {
+        out.insert(var->decl);
       }
-      case ast::ExprNodeKind::Assign: {
-        const auto* a = e->as<ast::Assign>();
-        // Plain assignment: the target VarRef is not a read. Compound
-        // assignment reads the target. Array targets: subscripts are reads.
-        if (a->op == ast::AssignOp::Assign &&
-            a->target->kind == ast::ExprNodeKind::VarRef) {
-          // skip target
-        } else {
-          scan(a->target.get());
-        }
-        scan(a->value.get());
-        return;
-      }
-      case ast::ExprNodeKind::ArrayRef: {
-        const auto* ar = e->as<ast::ArrayRef>();
-        scan(ar->base.get());
-        scan(ar->index.get());
-        return;
-      }
-      case ast::ExprNodeKind::Binary: {
-        const auto* b = e->as<ast::Binary>();
-        scan(b->lhs.get());
-        scan(b->rhs.get());
-        return;
-      }
-      case ast::ExprNodeKind::Unary:
-        scan(e->as<ast::Unary>()->operand.get());
-        return;
-      case ast::ExprNodeKind::IncDec:
-        scan(e->as<ast::IncDec>()->target.get());
-        return;
-      case ast::ExprNodeKind::Conditional: {
-        const auto* c = e->as<ast::Conditional>();
-        scan(c->cond.get());
-        scan(c->then_expr.get());
-        scan(c->else_expr.get());
-        return;
-      }
-      case ast::ExprNodeKind::Call:
-        for (const auto& a : e->as<ast::Call>()->args) scan(a.get());
-        return;
-      default:
-        return;
+      return;
     }
-  };
-  ast::walk_stmts(stmt, [&](const ast::Stmt* s) {
-    switch (s->kind) {
-      case ast::StmtNodeKind::ExprStmt:
-        scan(s->as<ast::ExprStmt>()->expr.get());
-        break;
-      case ast::StmtNodeKind::DeclStmt:
-        for (const auto& d : s->as<ast::DeclStmt>()->decls) {
-          if (d->init) scan(d->init.get());
-          for (const auto& dim : d->dims) scan(dim.get());
-        }
-        break;
-      case ast::StmtNodeKind::If:
-        scan(s->as<ast::If>()->cond.get());
-        break;
-      case ast::StmtNodeKind::For:
-        scan(s->as<ast::For>()->cond.get());
-        scan(s->as<ast::For>()->step.get());
-        break;
-      case ast::StmtNodeKind::While:
-        scan(s->as<ast::While>()->cond.get());
-        break;
-      case ast::StmtNodeKind::Return:
-        scan(s->as<ast::Return>()->value.get());
-        break;
-      default:
-        break;
+    case ast::ExprNodeKind::Assign: {
+      const auto* a = e->as<ast::Assign>();
+      // Plain assignment: the target VarRef is not a read. Compound
+      // assignment reads the target. Array targets: subscripts are reads.
+      if (a->op == ast::AssignOp::Assign &&
+          a->target->kind == ast::ExprNodeKind::VarRef) {
+        // skip target
+      } else {
+        scan(a->target.get());
+      }
+      scan(a->value.get());
+      return;
     }
-    return true;
-  });
+    case ast::ExprNodeKind::ArrayRef: {
+      const auto* ar = e->as<ast::ArrayRef>();
+      scan(ar->base.get());
+      scan(ar->index.get());
+      return;
+    }
+    case ast::ExprNodeKind::Binary: {
+      const auto* b = e->as<ast::Binary>();
+      scan(b->lhs.get());
+      scan(b->rhs.get());
+      return;
+    }
+    case ast::ExprNodeKind::Unary:
+      scan(e->as<ast::Unary>()->operand.get());
+      return;
+    case ast::ExprNodeKind::IncDec:
+      scan(e->as<ast::IncDec>()->target.get());
+      return;
+    case ast::ExprNodeKind::Conditional: {
+      const auto* c = e->as<ast::Conditional>();
+      scan(c->cond.get());
+      scan(c->then_expr.get());
+      scan(c->else_expr.get());
+      return;
+    }
+    case ast::ExprNodeKind::Call:
+      for (const auto& a : e->as<ast::Call>()->args) scan(a.get());
+      return;
+    default:
+      return;
+  }
 }
+
+// Every Call node inside `e`, including nested ones in arguments.
+void collect_calls(const ast::Expr* e, std::vector<const ast::Call*>& out) {
+  if (!e) return;
+  switch (e->kind) {
+    case ast::ExprNodeKind::Call:
+      out.push_back(e->as<ast::Call>());
+      for (const auto& a : e->as<ast::Call>()->args) collect_calls(a.get(), out);
+      return;
+    case ast::ExprNodeKind::Assign:
+      collect_calls(e->as<ast::Assign>()->target.get(), out);
+      collect_calls(e->as<ast::Assign>()->value.get(), out);
+      return;
+    case ast::ExprNodeKind::ArrayRef:
+      collect_calls(e->as<ast::ArrayRef>()->base.get(), out);
+      collect_calls(e->as<ast::ArrayRef>()->index.get(), out);
+      return;
+    case ast::ExprNodeKind::Binary:
+      collect_calls(e->as<ast::Binary>()->lhs.get(), out);
+      collect_calls(e->as<ast::Binary>()->rhs.get(), out);
+      return;
+    case ast::ExprNodeKind::Unary:
+      collect_calls(e->as<ast::Unary>()->operand.get(), out);
+      return;
+    case ast::ExprNodeKind::IncDec:
+      collect_calls(e->as<ast::IncDec>()->target.get(), out);
+      return;
+    case ast::ExprNodeKind::Conditional:
+      collect_calls(e->as<ast::Conditional>()->cond.get(), out);
+      collect_calls(e->as<ast::Conditional>()->then_expr.get(), out);
+      collect_calls(e->as<ast::Conditional>()->else_expr.get(), out);
+      return;
+    default:
+      return;
+  }
+}
+
+// Position-sensitive exposed (read-before-definite-write) global scalar set.
+// Walks the body in execution order tracking which globals are DEFINITELY
+// assigned on every path reaching the current statement; a read — from the
+// statement's own expressions or a callee's exposed set — only counts when
+// it can still observe the caller-entry value. Plain call statements credit
+// the callee's definite scalar writes, so a helper temporary pattern like
+// { t = b[i]*2; a[i] = t; } never leaks t to its call sites. Anything this
+// pass cannot order (loop bodies that may run zero times, one-armed ifs) is
+// treated as conditional, which only widens the exposed set — the result is
+// always a subset of the whole-body read set and a superset of the true
+// exposed set.
+class ExposedScalarReads {
+ public:
+  ExposedScalarReads(
+      const std::function<bool(const ast::VarDecl*)>& is_global,
+      const std::function<const ipa::FunctionSummary*(const ast::Call&)>& summary_of)
+      : is_global_(is_global), summary_of_(summary_of) {}
+
+  std::set<const ast::VarDecl*> run(const ast::FuncDecl& function) {
+    for (const ast::VarDecl* decl : written_scalars(*function.body)) {
+      if (!decl->is_array() && is_global_(decl)) candidates_.insert(decl);
+    }
+    std::set<const ast::VarDecl*> assigned;
+    visit(function.body.get(), assigned);
+    return std::move(exposed_);
+  }
+
+ private:
+  using DeclSet = std::set<const ast::VarDecl*>;
+
+  void note_expr(const ast::Expr* e, const DeclSet& assigned) {
+    if (!e) return;
+    DeclSet reads;
+    collect_expr_scalar_reads(e, is_global_, reads);
+    for (const ast::VarDecl* d : reads) {
+      if (!assigned.count(d)) exposed_.insert(d);
+    }
+    // Call sites surface their callee's exposed reads at call position.
+    std::vector<const ast::Call*> calls;
+    collect_calls(e, calls);
+    for (const ast::Call* call : calls) {
+      if (const ipa::FunctionSummary* cs = summary_of_(*call)) {
+        for (const ast::VarDecl* d : cs->exposed_scalar_reads) {
+          if (!assigned.count(d)) exposed_.insert(d);
+        }
+      }
+    }
+  }
+
+  void mark_assigned(const ast::Stmt& s, DeclSet& assigned) {
+    for (const ast::VarDecl* d : candidates_) {
+      if (!assigned.count(d) && definitely_assigns(s, d)) assigned.insert(d);
+    }
+  }
+
+  void visit(const ast::Stmt* s, DeclSet& assigned) {
+    if (!s) return;
+    switch (s->kind) {
+      case ast::StmtNodeKind::Compound:
+        for (const auto& child : s->as<ast::Compound>()->body) {
+          visit(child.get(), assigned);
+        }
+        return;
+      case ast::StmtNodeKind::ExprStmt: {
+        const ast::Expr* e = s->as<ast::ExprStmt>()->expr.get();
+        note_expr(e, assigned);
+        mark_assigned(*s, assigned);
+        // A plain call statement runs unconditionally: the callee's definite
+        // scalar writes are definite here too.
+        if (e && e->kind == ast::ExprNodeKind::Call) {
+          if (const ipa::FunctionSummary* cs = summary_of_(*e->as<ast::Call>())) {
+            assigned.insert(cs->definite_scalar_writes.begin(),
+                            cs->definite_scalar_writes.end());
+          }
+        }
+        return;
+      }
+      case ast::StmtNodeKind::DeclStmt:
+        // Declares locals only; the initializers read against current state.
+        for (const auto& d : s->as<ast::DeclStmt>()->decls) {
+          if (d->init) note_expr(d->init.get(), assigned);
+          for (const auto& dim : d->dims) note_expr(dim.get(), assigned);
+        }
+        return;
+      case ast::StmtNodeKind::If: {
+        const auto* i = s->as<ast::If>();
+        note_expr(i->cond.get(), assigned);
+        DeclSet then_assigned = assigned;
+        visit(i->then_branch.get(), then_assigned);
+        if (i->else_branch) {
+          DeclSet else_assigned = assigned;
+          visit(i->else_branch.get(), else_assigned);
+          // Only assignments made on BOTH paths survive the join.
+          for (const ast::VarDecl* d : then_assigned) {
+            if (else_assigned.count(d)) assigned.insert(d);
+          }
+        }
+        mark_assigned(*s, assigned);  // assignments inside the condition
+        return;
+      }
+      case ast::StmtNodeKind::For: {
+        const auto* f = s->as<ast::For>();
+        visit(f->init.get(), assigned);  // only the init runs unconditionally
+        note_expr(f->cond.get(), assigned);
+        // Body and step may run zero times: reads inside still respect the
+        // in-body order, but nothing they assign is definite afterwards.
+        DeclSet body_assigned = assigned;
+        visit(f->body.get(), body_assigned);
+        note_expr(f->step.get(), body_assigned);
+        return;
+      }
+      case ast::StmtNodeKind::While: {
+        const auto* w = s->as<ast::While>();
+        note_expr(w->cond.get(), assigned);
+        DeclSet body_assigned = assigned;
+        visit(w->body.get(), body_assigned);
+        return;
+      }
+      case ast::StmtNodeKind::Return:
+        note_expr(s->as<ast::Return>()->value.get(), assigned);
+        return;
+      default:
+        return;  // Break / Continue / Empty
+    }
+  }
+
+  const std::function<bool(const ast::VarDecl*)>& is_global_;
+  const std::function<const ipa::FunctionSummary*(const ast::Call&)>& summary_of_;
+  DeclSet candidates_;
+  DeclSet exposed_;
+};
 
 }  // namespace
 
@@ -750,8 +887,6 @@ ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
                                        cs->may_write_scalars.end());
       summary.may_write_arrays.insert(cs->may_write_arrays.begin(),
                                       cs->may_write_arrays.end());
-      summary.exposed_scalar_reads.insert(cs->exposed_scalar_reads.begin(),
-                                          cs->exposed_scalar_reads.end());
     }
     // Arrays we pass to callees that store through their array parameters.
     for (const ast::Call* call : node->call_sites) {
@@ -773,10 +908,19 @@ ipa::FunctionSummary Analyzer::summarize_function(const ast::FuncDecl& function,
       }
     }
   }
-  std::set<const ast::VarDecl*> own_reads;
-  collect_scalar_reads(function.body.get(),
-                       [this](const ast::VarDecl* d) { return is_global(d); }, own_reads);
-  summary.exposed_scalar_reads.insert(own_reads.begin(), own_reads.end());
+  // Exposed global scalar reads, position-sensitive across statements and
+  // call sites (reads of callees surface at their call position, definite
+  // callee writes count as assignments): see ExposedScalarReads above.
+  std::function<bool(const ast::VarDecl*)> global_scalar = [this](const ast::VarDecl* d) {
+    return is_global(d);
+  };
+  std::function<const ipa::FunctionSummary*(const ast::Call&)> summary_of =
+      [&](const ast::Call& call) -> const ipa::FunctionSummary* {
+    if (!call.decl || call.decl == &function) return nullptr;
+    return summaries_->find(call.decl, options_);
+  };
+  summary.exposed_scalar_reads =
+      ExposedScalarReads(global_scalar, summary_of).run(function);
 
   // --- Analyzability gates ---------------------------------------------------
   auto fail = [&summary](support::SourceLocation loc, std::string why) {

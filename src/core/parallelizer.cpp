@@ -135,6 +135,27 @@ std::string unanalyzable_blocker(const BodyInterp& interp) {
 
 }  // namespace
 
+// A hypothesized (statically unproven) enabling property of one index array,
+// granted to the dependence tests to decide whether it alone unlocks the
+// loop. If it does, the loop is a hybrid inspector–executor candidate and the
+// property is verified at run time instead.
+struct Parallelizer::Hypothesis {
+  sym::SymbolId array = sym::kInvalidSymbol;
+  EnablingProperty property = EnablingProperty::None;
+  std::optional<int64_t> min_value;  // SubsetInjective participation threshold
+};
+
+// Candidate index arrays collected while the base analysis fails the
+// independence test: every array subscripting the failing group's access
+// ranges, with the joined subscript domain (the section the runtime check
+// must cover) and the smallest guard threshold seen (for SubsetInjective
+// trials). std::map keyed by symbol id keeps enumeration deterministic.
+struct Parallelizer::HybridScan {
+  int independence_blockers = 0;
+  std::map<sym::SymbolId, Range> candidate_domain;
+  std::map<sym::SymbolId, int64_t> guard_min;
+};
+
 bool uses_subscripted_subscripts(const ast::For& loop) {
   bool found = false;
   // An expression "reads an array" if it subscripts one directly, or calls a
@@ -227,7 +248,8 @@ bool uses_subscripted_subscripts(const ast::For& loop) {
   return found;
 }
 
-LoopVerdict Parallelizer::analyze(const ast::For& loop) {
+LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* hypothesis,
+                                       HybridScan* scan) {
   LoopVerdict verdict;
   verdict.loop = &loop;
   verdict.loop_id = loop.loop_id;
@@ -328,6 +350,44 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
                     Range::of(sym::add(lb, sym::make_const(1)), sym::sub(ub, sym::make_const(1))));
   sym::AssumptionContext ctx_facts_steady = snap->facts_at_entry.with_facts(ctx_steady);
 
+  // Under a Monotonic hypothesis the hypothesized array behaves as if a
+  // nondecreasing step fact covered its whole extent: constant index
+  // distances give signed element-difference ranges. Real facts are
+  // consulted first so they keep their (possibly tighter) precision.
+  if (hypothesis && hypothesis->property == EnablingProperty::Monotonic) {
+    auto grant = [hyp_array = hypothesis->array](sym::AssumptionContext& ctx) {
+      sym::AssumptionContext::ElemDiffFn prev = ctx.elem_diff();
+      ctx.set_elem_diff([prev, hyp_array](sym::SymbolId array, const ExprPtr& hi_idx,
+                                          const ExprPtr& lo_idx) -> std::optional<Range> {
+        if (prev) {
+          if (auto r = prev(array, hi_idx, lo_idx)) return r;
+        }
+        if (array != hyp_array) return std::nullopt;
+        auto d = sym::const_value(sym::sub(hi_idx, lo_idx));
+        if (!d) return std::nullopt;
+        if (*d >= 0) return Range::of(sym::make_const(0), nullptr);
+        return Range::of(nullptr, sym::make_const(0));
+      });
+    };
+    grant(ctx_facts);
+    grant(ctx_facts_any);
+    grant(ctx_facts_steady);
+  }
+
+  // Injectivity queries go through this wrapper so an Injective /
+  // SubsetInjective hypothesis can vouch for the hypothesized array.
+  auto injective_over = [&](sym::SymbolId array, const ExprPtr& qlo, const ExprPtr& qhi,
+                            const sym::AssumptionContext& ctx,
+                            std::optional<int64_t>* min_value) -> bool {
+    if (hypothesis && array == hypothesis->array &&
+        (hypothesis->property == EnablingProperty::Injective ||
+         hypothesis->property == EnablingProperty::SubsetInjective)) {
+      if (min_value) *min_value = hypothesis->min_value;
+      return true;
+    }
+    return snap->facts_at_entry.injective_over(array, qlo, qhi, ctx, min_value);
+  };
+
   bool used_monotonic_facts = false;
   bool used_injectivity = false;
   bool used_subset = false;
@@ -401,8 +461,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     ExprPtr span_hi = domain.hi() ? sym::bound_range(domain.hi(), ctx_facts_any).hi() : nullptr;
     if (!span_lo || !span_hi) return false;
     std::optional<int64_t> min_value;
-    if (!snap->facts_at_entry.injective_over(via->symbol, span_lo, span_hi, ctx_facts_any,
-                                             &min_value) ||
+    if (!injective_over(via->symbol, span_lo, span_hi, ctx_facts_any, &min_value) ||
         min_value) {
       // Subset injectivity needs guard matching; handled by injectivity_test.
       return false;
@@ -437,8 +496,7 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     Range domain = eval_range(s->operands[0], env);
     if (!domain.lo_bounded() || !domain.hi_bounded()) return false;
     std::optional<int64_t> min_value;
-    if (!snap->facts_at_entry.injective_over(b_sym, domain.lo(), domain.hi(), ctx_facts_any,
-                                             &min_value)) {
+    if (!injective_over(b_sym, domain.lo(), domain.hi(), ctx_facts_any, &min_value)) {
       return false;
     }
     if (!min_value) {
@@ -480,6 +538,37 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     }
     if (via_test(set)) continue;
     if (injectivity_test(set)) continue;
+    if (scan) {
+      // Collect hybrid candidates: the arrays subscripting this group's
+      // access ranges, each with the subscript domain a runtime check would
+      // have to cover, and guard thresholds for SubsetInjective trials.
+      ++scan->independence_blockers;
+      sym::RangeEnv env;
+      env.entries.emplace_back(index_sym, Range::of(lb, sym::sub(ub, sym::make_const(1))));
+      auto note = [&](const ExprPtr& bound) {
+        if (!bound) return;
+        for (const ExprPtr& elem : sym::collect_array_elems(bound)) {
+          Range d = eval_range(elem->operands[0], env);
+          if (!d.lo_bounded() || !d.hi_bounded()) continue;
+          auto [it, inserted] = scan->candidate_domain.emplace(elem->symbol, d);
+          if (!inserted) it->second = range_join(it->second, d);
+        }
+      };
+      note(u.lo());
+      note(u.hi());
+      auto note_access = [&](const ArrayWriteEffect* e) {
+        note(e->index);
+        note(e->via_domain.lo());
+        note(e->via_domain.hi());
+        for (const auto& g : e->guards) {
+          if (!g.array) continue;
+          auto [it, inserted] = scan->guard_min.emplace(g.array->symbol, g.min);
+          if (!inserted) it->second = std::min(it->second, g.min);
+        }
+      };
+      for (const auto* w : set.writes) note_access(w);
+      for (const auto* r : set.reads) note_access(r);
+    }
     verdict.blockers.push_back(support::format(
         "cannot prove independence of accesses to '%s'", array->name.c_str()));
   }
@@ -552,6 +641,63 @@ LoopVerdict Parallelizer::analyze(const ast::For& loop) {
     verdict.peeled = used_peel;
     if (used_peel) reason += " + peeled first iteration";
     verdict.reason = reason;
+  }
+  return verdict;
+}
+
+LoopVerdict Parallelizer::analyze(const ast::For& loop) {
+  HybridScan scan;
+  LoopVerdict verdict = analyze_impl(loop, nullptr, &scan);
+  if (verdict.parallel || !verdict.canonical || !verdict.uses_subscripted_subscripts) {
+    return verdict;
+  }
+  // Hybrid candidacy (paper Section 4's inspector–executor alternative):
+  // exactly one blocker, and it is the array-independence one. Re-run the
+  // dependence tests granting one unproven property of one index array at a
+  // time; the first hypothesis that clears every blocker is checkable at run
+  // time, so the emitter can dispatch between a parallel and a serial version.
+  if (verdict.blockers.size() != 1 || scan.independence_blockers != 1) return verdict;
+
+  const sym::SymbolTable& syms = analyzer_.symbols();
+  auto renderable = [](const std::string& s) {
+    // The check domain is spliced into emitted C source; reject bounds whose
+    // rendering uses non-C constructs (div/mod/min/max nodes, λ markers,
+    // nested array elements, bottom).
+    for (const char* bad : {"div(", "mod(", "min(", "max(", "lam.", "LAM.", "_|_", "["}) {
+      if (s.find(bad) != std::string::npos) return false;
+    }
+    return true;
+  };
+  for (const auto& [array, domain] : scan.candidate_domain) {
+    std::string lo = sym::to_string(domain.lo(), syms);
+    std::string hi = sym::to_string(domain.hi(), syms);
+    if (!renderable(lo) || !renderable(hi)) continue;
+    // Monotonic is the cheapest check, so try it first; SubsetInjective
+    // before Injective so guarded scatters get a check their sentinel-laden
+    // data can actually satisfy.
+    std::vector<Hypothesis> trials;
+    trials.push_back({array, EnablingProperty::Monotonic, std::nullopt});
+    auto gm = scan.guard_min.find(array);
+    if (gm != scan.guard_min.end()) {
+      trials.push_back({array, EnablingProperty::SubsetInjective, gm->second});
+    }
+    trials.push_back({array, EnablingProperty::Injective, std::nullopt});
+    for (const Hypothesis& hyp : trials) {
+      LoopVerdict trial = analyze_impl(loop, &hyp, nullptr);
+      if (!trial.parallel) continue;
+      verdict.hybrid = true;
+      verdict.hybrid_property = hyp.property;
+      verdict.hybrid_index_array = syms.name(array);
+      verdict.hybrid_min_value = hyp.min_value.value_or(0);
+      verdict.hybrid_check_lo = lo;
+      verdict.hybrid_check_hi = hi;
+      // The parallel version of the dual loop needs the hypothetical run's
+      // privatization (and peel) decisions; the serial version ignores them.
+      verdict.privates = trial.privates;
+      verdict.peeled = trial.peeled;
+      verdict.summaries_used = trial.summaries_used;
+      return verdict;
+    }
   }
   return verdict;
 }

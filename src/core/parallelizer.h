@@ -65,6 +65,19 @@ struct LoopVerdict {
   std::vector<std::string> blockers;
   // Scalars to privatize in the OpenMP clause (declared outside the loop).
   std::vector<const ast::VarDecl*> privates;
+  // Hybrid inspector–executor candidate: the loop stays serial only because a
+  // single enabling property of a single index array is statically unproven —
+  // re-running the dependence tests under the hypothesis that the property
+  // holds clears every blocker. The emitter turns such verdicts into a
+  // dual-version loop guarded by the matching sspar::rt runtime check.
+  bool hybrid = false;
+  EnablingProperty hybrid_property = EnablingProperty::None;
+  std::string hybrid_index_array;  // source name of the index array
+  int64_t hybrid_min_value = 0;    // participation threshold (SubsetInjective)
+  // Inclusive index range of the array section the runtime check must cover,
+  // rendered as C expressions over the program's globals.
+  std::string hybrid_check_lo;
+  std::string hybrid_check_hi;
 };
 
 class Parallelizer {
@@ -77,6 +90,11 @@ class Parallelizer {
   std::vector<LoopVerdict> analyze_all(const ast::FuncDecl& function);
 
  private:
+  struct Hypothesis;
+  struct HybridScan;
+  LoopVerdict analyze_impl(const ast::For& loop, const Hypothesis* hypothesis,
+                           HybridScan* scan);
+
   Analyzer& analyzer_;
 };
 

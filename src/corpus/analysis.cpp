@@ -88,6 +88,22 @@ void seed_interpreter_inputs(const Entry& entry, interp::Interpreter& interp) {
     fill_double("aval", 8192, [](size_t i) { return 0.5 * static_cast<double>(i % 13); });
     fill_double("p", 513, [](size_t i) { return 1.0 + 0.01 * static_cast<double>(i % 7); });
   }
+  if (entry.name == "hybrid_perm") {
+    // A genuine permutation of [0, 2048): the runtime injectivity check holds.
+    fill_int("perm", 2048, [](size_t i) { return static_cast<int64_t>((i * 7) % 2048); });
+  }
+  if (entry.name == "hybrid_scatter") {
+    // Sparse matches, all distinct where non-negative: subset-injective.
+    fill_int("match", 2048, [](size_t i) {
+      return i % 3 == 0 ? static_cast<int64_t>(2 * i) : int64_t{-1};
+    });
+  }
+  if (entry.name == "hybrid_csr") {
+    fill_int("rowcnt", 128, [](size_t i) { return static_cast<int64_t>(i % 4); });
+    fill_double("value", 16384, [](size_t i) { return 0.5 * static_cast<double>(i % 17); });
+    fill_double("vector", 16384,
+                [](size_t i) { return 1.0 + static_cast<double>(i % 5); });
+  }
   if (entry.name == "MG" || entry.name == "KLU") {
     fill_double(entry.name == "MG" ? "u" : "x", 8192,
                 [](size_t i) { return 0.1 * static_cast<double>(i % 23); });

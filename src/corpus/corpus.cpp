@@ -522,6 +522,75 @@ void f() {
       5, 1, 2, 1, true});
 
   // ==========================================================================
+  // Hybrid inspector–executor entries: the enabling property is data-dependent
+  // (the index array is an INPUT, not produced by fill code), so it is out of
+  // static reach by construction. The analyzer classifies these loops hybrid
+  // and the emitter wraps them in a dual-version loop guarded by the matching
+  // sspar::rt runtime check (Section 4's fallback when compile-time
+  // propagation cannot close the proof).
+  // ==========================================================================
+
+  corpus.push_back(Entry{
+      "hybrid_perm", Suite::Paper,
+      "permutation scatter over an input array: injectivity checked at runtime",
+      R"(int n;
+int perm[2048];
+int inv[2048];
+void f(void) {
+  for (int i = 0; i < n; i++) {
+    inv[perm[i]] = i;
+  }
+}
+)",
+      {{"n", 512, 1}},
+      1, 1, 0, 0, false});
+
+  corpus.push_back(Entry{
+      "hybrid_scatter", Suite::Paper,
+      "guarded scatter over an input match array: subset-injectivity checked at runtime",
+      R"(int n;
+int match[2048];
+int out[8192];
+void f(void) {
+  for (int i = 0; i < n; i++) {
+    if (match[i] >= 0) {
+      out[match[i]] = i;
+    }
+  }
+}
+)",
+      {{"n", 512, 1}},
+      1, 1, 0, 0, false});
+
+  corpus.push_back(Entry{
+      "hybrid_csr", Suite::Paper,
+      "CSR product loop over a row pointer built from input counts: monotonicity "
+      "checked at runtime",
+      R"(int n;
+int rowcnt[128];
+int rowptr[129];
+double value[16384];
+double vector[16384];
+double product_array[16384];
+void build_rowptr(void) {
+  rowptr[0] = 0;
+  for (int i = 1; i < n + 1; i++) {
+    rowptr[i] = rowptr[i-1] + rowcnt[i-1];
+  }
+}
+void f(void) {
+  build_rowptr();
+  for (int i = 0; i < n; i++) {
+    for (int j = rowptr[i]; j < rowptr[i+1]; j++) {
+      product_array[j] = value[j] * vector[j];
+    }
+  }
+}
+)",
+      {{"n", 96, 1}},
+      3, 2, 1, 1, true});
+
+  // ==========================================================================
   // NAS Parallel Benchmarks v3.3.1 (6 of 10 programs exhibit the pattern)
   // ==========================================================================
 

@@ -58,6 +58,13 @@ ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions
     if (v.uses_subscripted_subscripts) ++report.subscripted;
     if (v.parallel) ++report.parallel;
     if (v.parallel && v.uses_subscripted_subscripts) ++report.parallel_subscripted;
+    if (v.parallel) {
+      ++report.static_parallel;
+    } else if (v.hybrid) {
+      ++report.hybrid_parallel;
+    } else {
+      ++report.serial;
+    }
   }
   report.ok = true;
   return report;
@@ -69,6 +76,8 @@ bool BatchStats::operator==(const BatchStats& other) const {
   return programs == other.programs && failed == other.failed && loops == other.loops &&
          subscripted == other.subscripted && parallel == other.parallel &&
          parallel_subscripted == other.parallel_subscripted && annotated == other.annotated &&
+         static_parallel == other.static_parallel &&
+         hybrid_parallel == other.hybrid_parallel && serial == other.serial &&
          programs_with_pattern == other.programs_with_pattern &&
          summaries_computed == other.summaries_computed &&
          summary_cache_hits == other.summary_cache_hits &&
@@ -154,6 +163,9 @@ BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) 
     stats.parallel += p.parallel;
     stats.parallel_subscripted += p.parallel_subscripted;
     stats.annotated += p.result.parallelized;
+    stats.static_parallel += p.static_parallel;
+    stats.hybrid_parallel += p.hybrid_parallel;
+    stats.serial += p.serial;
     if (p.parallel_subscripted > 0) ++stats.programs_with_pattern;
     // Materialized (computed + rehydrated) rather than raw computes: whether
     // a racing session computed or rehydrated a summary depends on

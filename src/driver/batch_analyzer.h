@@ -61,6 +61,12 @@ struct ProgramReport {
   int subscripted = 0;
   int parallel = 0;
   int parallel_subscripted = 0;
+  // Coverage classification of every loop: statically parallel, hybrid
+  // (dual-version with a runtime inspector check), or serial. The three
+  // counters partition `loops`.
+  int static_parallel = 0;
+  int hybrid_parallel = 0;
+  int serial = 0;
 };
 
 // Corpus-wide aggregates (the Fig. 1 survey as numbers).
@@ -72,6 +78,12 @@ struct BatchStats {
   int parallel = 0;
   int parallel_subscripted = 0;
   int annotated = 0;
+  // Coverage partition of `loops` across the whole corpus: statically
+  // parallel / hybrid inspector–executor dual-version / serial. Deterministic
+  // at any thread count, like every other aggregate.
+  int static_parallel = 0;
+  int hybrid_parallel = 0;
+  int serial = 0;
   // Programs containing >= 1 parallel loop with a subscripted subscript.
   int programs_with_pattern = 0;
   // Interprocedural summary-cache totals across all program sessions.

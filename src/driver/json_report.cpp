@@ -50,6 +50,19 @@ Value verdict_to_json(const core::LoopVerdict& verdict) {
   o.emplace("property", core::property_name(verdict.property));
   o.emplace("peeled", verdict.peeled);
   o.emplace("reason", verdict.reason);
+  o.emplace("hybrid", verdict.hybrid);
+  if (verdict.hybrid) {
+    // Inspector–executor dual-version metadata: the property the emitted
+    // runtime check verifies, the index array it inspects, and the inclusive
+    // section bounds of the check.
+    o.emplace("hybrid_property", core::property_name(verdict.hybrid_property));
+    o.emplace("hybrid_index_array", verdict.hybrid_index_array);
+    o.emplace("hybrid_check_lo", verdict.hybrid_check_lo);
+    o.emplace("hybrid_check_hi", verdict.hybrid_check_hi);
+    if (verdict.hybrid_property == core::EnablingProperty::SubsetInjective) {
+      o.emplace("hybrid_min_value", verdict.hybrid_min_value);
+    }
+  }
   // Interprocedural provenance: the functions whose summaries proved the
   // enabling property ("property proven via summary of f").
   Array via_summaries;
@@ -114,6 +127,11 @@ Value program_report_to_json(const ProgramReport& report, bool include_output) {
   o.emplace("parallel", report.parallel);
   o.emplace("parallel_subscripted", report.parallel_subscripted);
   o.emplace("annotated", report.result.parallelized);
+  Object coverage;
+  coverage.emplace("static_parallel", report.static_parallel);
+  coverage.emplace("hybrid_parallel", report.hybrid_parallel);
+  coverage.emplace("serial", report.serial);
+  o.emplace("coverage", std::move(coverage));
   Array verdicts;
   for (const auto& v : report.result.verdicts) verdicts.push_back(verdict_to_json(v));
   o.emplace("verdicts", std::move(verdicts));
@@ -149,6 +167,11 @@ Value stats_to_json(const BatchStats& stats) {
   o.emplace("parallel", stats.parallel);
   o.emplace("parallel_subscripted", stats.parallel_subscripted);
   o.emplace("annotated", stats.annotated);
+  Object coverage;
+  coverage.emplace("static_parallel", stats.static_parallel);
+  coverage.emplace("hybrid_parallel", stats.hybrid_parallel);
+  coverage.emplace("serial", stats.serial);
+  o.emplace("coverage", std::move(coverage));
   o.emplace("programs_with_pattern", stats.programs_with_pattern);
   o.emplace("summaries_computed", stats.summaries_computed);
   o.emplace("summary_cache_hits", stats.summary_cache_hits);
@@ -171,6 +194,11 @@ BatchStats stats_from_json(const Value& value) {
   stats.parallel = static_cast<int>(value.int_or("parallel", 0));
   stats.parallel_subscripted = static_cast<int>(value.int_or("parallel_subscripted", 0));
   stats.annotated = static_cast<int>(value.int_or("annotated", 0));
+  if (const Value* coverage = value.find("coverage")) {
+    stats.static_parallel = static_cast<int>(coverage->int_or("static_parallel", 0));
+    stats.hybrid_parallel = static_cast<int>(coverage->int_or("hybrid_parallel", 0));
+    stats.serial = static_cast<int>(coverage->int_or("serial", 0));
+  }
   stats.programs_with_pattern = static_cast<int>(value.int_or("programs_with_pattern", 0));
   stats.summaries_computed = static_cast<int>(value.int_or("summaries_computed", 0));
   stats.summary_cache_hits = static_cast<int>(value.int_or("summary_cache_hits", 0));

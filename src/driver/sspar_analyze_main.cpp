@@ -81,10 +81,15 @@ void print_program(const ProgramReport& report, bool emit, std::ostream& os) {
   for (const auto& v : report.result.verdicts) {
     os << "  L" << v.loop_id;
     if (v.loop && v.loop->location.valid()) os << " @" << v.loop->location.to_string();
-    os << (v.parallel ? "  parallel" : "  serial  ");
+    os << (v.parallel ? "  parallel" : (v.hybrid ? "  hybrid  " : "  serial  "));
     if (v.uses_subscripted_subscripts) os << "  [subscripted]";
     if (v.parallel && !v.reason.empty()) os << "  " << v.reason;
-    if (!v.parallel && !v.blockers.empty()) os << "  blockers: " << v.blockers.front();
+    if (v.hybrid) {
+      os << "  runtime check: " << sspar::core::property_name(v.hybrid_property) << " of '"
+         << v.hybrid_index_array << "'";
+    }
+    if (!v.parallel && !v.hybrid && !v.blockers.empty())
+      os << "  blockers: " << v.blockers.front();
     os << "\n";
   }
   if (emit) os << "---- annotated source ----\n" << report.result.output << "\n";
@@ -100,6 +105,8 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
      << "  parallel loops:         " << s.parallel << "\n"
      << "  parallel+subscripted:   " << s.parallel_subscripted << "\n"
      << "  loops annotated (omp):  " << s.annotated << "\n"
+     << "  coverage:               " << s.static_parallel << " static-parallel, "
+     << s.hybrid_parallel << " hybrid, " << s.serial << " serial\n"
      << "  programs with pattern:  " << s.programs_with_pattern << "\n";
   if (s.summaries_computed > 0 || s.summary_applications > 0) {
     os << "  function summaries:     " << s.summaries_computed << " materialized ("

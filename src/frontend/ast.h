@@ -267,6 +267,12 @@ class For final : public Stmt {
   // Filled by the transform layer; the printer emits these verbatim above the
   // loop (e.g. "#pragma omp parallel for private(j, j1)").
   std::vector<std::string> annotations;
+  // Hybrid inspector–executor dispatch, filled by the transform layer: when
+  // `hybrid_check` is non-empty the printer emits the loop twice inside
+  //   if (<hybrid_check>) { <hybrid_pragma> <loop> } else { <loop> }
+  // so the parallel version runs only when the runtime check holds.
+  std::string hybrid_check;
+  std::string hybrid_pragma;
   // Stable id assigned by sema (pre-order); used to key analysis results.
   int loop_id = -1;
   For(StmtPtr i, ExprPtr c, ExprPtr s, StmtPtr b)

@@ -145,6 +145,38 @@ void print_var_decl(const VarDecl& d, std::string& out) {
   }
 }
 
+void print_stmt_impl(const Stmt& stmt, std::string& out, int indent);
+
+// The for-header + body, without annotations or hybrid dispatch (those are
+// handled by the For case of print_stmt_impl, which may print the same loop
+// node twice for a hybrid dual-version emission).
+void print_for_loop(const For& s, std::string& out, int indent) {
+  indent_to(out, indent);
+  out += "for (";
+  if (const auto* es = s.init->as<ExprStmt>()) {
+    print_expr_impl(*es->expr, out, 0);
+  } else if (const auto* ds = s.init->as<DeclStmt>()) {
+    for (size_t i = 0; i < ds->decls.size(); ++i) {
+      if (i) out += ", ";
+      if (i == 0) {
+        print_var_decl(*ds->decls[i], out);
+      } else {
+        out += ds->decls[i]->name;
+        if (ds->decls[i]->init) {
+          out += " = ";
+          print_expr_impl(*ds->decls[i]->init, out, 0);
+        }
+      }
+    }
+  }
+  out += "; ";
+  if (s.cond) print_expr_impl(*s.cond, out, 0);
+  out += "; ";
+  if (s.step) print_expr_impl(*s.step, out, 0);
+  out += ")\n";
+  print_stmt_impl(*s.body, out, s.body->kind == StmtNodeKind::Compound ? indent : indent + 1);
+}
+
 void print_stmt_impl(const Stmt& stmt, std::string& out, int indent) {
   switch (stmt.kind) {
     case StmtNodeKind::ExprStmt:
@@ -207,31 +239,28 @@ void print_stmt_impl(const Stmt& stmt, std::string& out, int indent) {
         out += a;
         out += "\n";
       }
-      indent_to(out, indent);
-      out += "for (";
-      if (const auto* es = s->init->as<ExprStmt>()) {
-        print_expr_impl(*es->expr, out, 0);
-      } else if (const auto* ds = s->init->as<DeclStmt>()) {
-        for (size_t i = 0; i < ds->decls.size(); ++i) {
-          if (i) out += ", ";
-          if (i == 0) {
-            print_var_decl(*ds->decls[i], out);
-          } else {
-            out += ds->decls[i]->name;
-            if (ds->decls[i]->init) {
-              out += " = ";
-              print_expr_impl(*ds->decls[i]->init, out, 0);
-            }
-          }
+      if (!s->hybrid_check.empty()) {
+        // Hybrid inspector–executor dispatch: the same loop is printed twice,
+        // the parallel version behind the runtime check, the serial one in
+        // the else branch.
+        indent_to(out, indent);
+        out += "if (";
+        out += s->hybrid_check;
+        out += ") {\n";
+        if (!s->hybrid_pragma.empty()) {
+          indent_to(out, indent + 1);
+          out += s->hybrid_pragma;
+          out += "\n";
         }
+        print_for_loop(*s, out, indent + 1);
+        indent_to(out, indent);
+        out += "} else {\n";
+        print_for_loop(*s, out, indent + 1);
+        indent_to(out, indent);
+        out += "}\n";
+        break;
       }
-      out += "; ";
-      if (s->cond) print_expr_impl(*s->cond, out, 0);
-      out += "; ";
-      if (s->step) print_expr_impl(*s->step, out, 0);
-      out += ")\n";
-      print_stmt_impl(*s->body, out,
-                      s->body->kind == StmtNodeKind::Compound ? indent : indent + 1);
+      print_for_loop(*s, out, indent);
       break;
     }
     case StmtNodeKind::While: {

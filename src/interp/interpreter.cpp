@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <functional>
 #include <random>
+#include <span>
 #include <stdexcept>
 
+#include "runtime/inspector.h"
 #include "support/text.h"
 
 namespace sspar::interp {
@@ -291,6 +293,7 @@ class Interpreter::Impl {
       }
       case ast::ExprNodeKind::Call: {
         const auto* call = expr.as<ast::Call>();
+        if (auto intrinsic = eval_inspector_intrinsic(*call)) return *intrinsic;
         const ast::FuncDecl* callee = program_.find_function(call->callee);
         if (!callee) throw std::runtime_error("call to unknown function " + call->callee);
         if (call->args.size() != callee->params.size()) {
@@ -333,6 +336,53 @@ class Interpreter::Impl {
       }
     }
     throw std::logic_error("unknown expr kind");
+  }
+
+  // --- Inspector intrinsics ---------------------------------------------------
+  // The OpenMP emitter guards hybrid dual-version loops with calls to
+  // sspar_check_* functions; they have no definition in the program (the
+  // frontend leaves them unbound), so the interpreter implements them here on
+  // top of the sspar::rt inspectors. Signature:
+  //   sspar_check_nondecreasing(arr, lo, hi)            — inclusive [lo, hi]
+  //   sspar_check_injective(arr, lo, hi)
+  //   sspar_check_subset_injective(arr, lo, hi, min)
+  // The section is clamped to the array extent; an empty section is
+  // vacuously true. Returns int 0/1.
+  std::optional<Value> eval_inspector_intrinsic(const ast::Call& call) {
+    const bool subset = call.callee == "sspar_check_subset_injective";
+    const bool nondecreasing = call.callee == "sspar_check_nondecreasing";
+    const bool injective = call.callee == "sspar_check_injective";
+    if (!subset && !nondecreasing && !injective) return std::nullopt;
+    if (call.args.size() != (subset ? 4u : 3u)) {
+      throw std::runtime_error("wrong argument count for " + call.callee);
+    }
+    const auto* var = call.args[0]->as<ast::VarRef>();
+    if (!var || !var->decl || !var->decl->is_array()) {
+      throw std::runtime_error(call.callee + " expects an array name as its first argument");
+    }
+    auto it = arrays_.find(var->decl);
+    if (it == arrays_.end() || it->second.elem == ast::TypeKind::Double) {
+      throw std::runtime_error(call.callee + " expects an int array");
+    }
+    const std::vector<int64_t>& ints = it->second.ints;
+    int64_t lo = std::max<int64_t>(eval(*call.args[1]).as_int(), 0);
+    int64_t hi = std::min<int64_t>(eval(*call.args[2]).as_int(),
+                                   static_cast<int64_t>(ints.size()) - 1);
+    std::span<const int64_t> section;
+    if (hi >= lo) {
+      section = std::span<const int64_t>(ints.data() + lo, static_cast<size_t>(hi - lo + 1));
+      // The inspection reads the section; make that visible to the oracle.
+      for (int64_t k = lo; k <= hi; ++k) record(var->decl, static_cast<size_t>(k), false);
+    }
+    bool ok;
+    if (nondecreasing) {
+      ok = rt::is_nondecreasing(section);
+    } else if (subset) {
+      ok = rt::is_subset_injective(section, eval(*call.args[3]).as_int());
+    } else {
+      ok = rt::is_injective(section);
+    }
+    return Value::of_int(ok ? 1 : 0);
   }
 
   // --- Statement execution ------------------------------------------------------

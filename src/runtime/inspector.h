@@ -18,8 +18,12 @@ namespace sspar::rt {
 bool is_nondecreasing(std::span<const int64_t> values);
 bool is_strictly_increasing(std::span<const int64_t> values);
 
-// Injectivity check. When all values fall inside [0, universe) a mark vector
-// is used (O(n + universe)); otherwise a sort-based check (O(n log n)).
+// Injectivity check. A mark vector (O(n + span)) is used while the occupied
+// value span fits within max(universe_hint, 4 * n), bounded by a hard
+// allocation cap; otherwise a sort-based check (O(n log n)). `universe_hint`
+// is the caller's promise that values fall inside [0, universe) — it widens
+// the mark-vector threshold for dense-but-larger-than-4n universes, it never
+// shrinks it, and it does not affect the result.
 bool is_injective(std::span<const int64_t> values, int64_t universe_hint = -1);
 
 // Injectivity of the subset with values >= min_value (paper Fig. 5).
@@ -52,6 +56,9 @@ class InspectorExecutor {
     bool monotonic = is_nondecreasing(ptr);
     inspection_seconds_ += seconds_since(t0);
     int64_t rows = static_cast<int64_t>(ptr.size()) - 1;
+    // An empty `ptr` gives rows == -1 and a single-element `ptr` gives
+    // rows == 0: neither describes any row, so never touch the pool.
+    if (rows <= 0) return monotonic;
     if (monotonic) {
       pool_.parallel_for(0, rows, [&](int64_t lo, int64_t hi) {
         for (int64_t r = lo; r < hi; ++r) {

@@ -6,16 +6,59 @@
 #include "frontend/sema.h"
 #include "pipeline/session.h"
 #include "support/diagnostics.h"
+#include "support/text.h"
 
 namespace sspar::transform {
 
+namespace {
+
+std::string build_pragma(const core::LoopVerdict& v) {
+  std::string pragma = "#pragma omp parallel for";
+  if (!v.privates.empty()) {
+    pragma += " private(";
+    for (size_t i = 0; i < v.privates.size(); ++i) {
+      if (i) pragma += ", ";
+      pragma += v.privates[i]->name;
+    }
+    pragma += ")";
+  }
+  return pragma;
+}
+
+// The sspar::rt runtime check call guarding a hybrid dual-version loop. The
+// re-parsed call stays unbound (the frontend leaves unknown callees opaque),
+// and the interpreter handles these names as intrinsics.
+std::string build_hybrid_check(const core::LoopVerdict& v) {
+  switch (v.hybrid_property) {
+    case core::EnablingProperty::Monotonic:
+      return support::format("sspar_check_nondecreasing(%s, %s, %s)",
+                             v.hybrid_index_array.c_str(), v.hybrid_check_lo.c_str(),
+                             v.hybrid_check_hi.c_str());
+    case core::EnablingProperty::Injective:
+      return support::format("sspar_check_injective(%s, %s, %s)",
+                             v.hybrid_index_array.c_str(), v.hybrid_check_lo.c_str(),
+                             v.hybrid_check_hi.c_str());
+    case core::EnablingProperty::SubsetInjective:
+      return support::format("sspar_check_subset_injective(%s, %s, %s, %lld)",
+                             v.hybrid_index_array.c_str(), v.hybrid_check_lo.c_str(),
+                             v.hybrid_check_hi.c_str(), (long long)v.hybrid_min_value);
+    default:
+      return {};
+  }
+}
+
+}  // namespace
+
 int annotate_parallel_loops(ast::Program& program,
                             const std::vector<core::LoopVerdict>& verdicts) {
-  std::set<const ast::For*> parallel;
   std::map<const ast::For*, const core::LoopVerdict*> by_loop;
+  // Duplicate verdicts for the same loop resolve deterministically: a
+  // parallel verdict beats a hybrid one beats a serial one; ties keep the
+  // first verdict seen, independent of input order beyond that.
+  auto rank = [](const core::LoopVerdict* v) { return v->parallel ? 2 : (v->hybrid ? 1 : 0); };
   for (const auto& v : verdicts) {
-    if (v.parallel) parallel.insert(v.loop);
-    by_loop[v.loop] = &v;
+    auto [it, inserted] = by_loop.emplace(v.loop, &v);
+    if (!inserted && rank(&v) > rank(it->second)) it->second = &v;
   }
 
   int annotated = 0;
@@ -25,21 +68,24 @@ int annotate_parallel_loops(ast::Program& program,
     std::function<void(ast::Stmt*)> visit = [&](ast::Stmt* stmt) {
       if (!stmt) return;
       if (auto* loop = stmt->as<ast::For>()) {
-        if (parallel.count(loop)) {
-          const core::LoopVerdict* v = by_loop[loop];
-          std::string pragma = "#pragma omp parallel for";
-          if (!v->privates.empty()) {
-            pragma += " private(";
-            for (size_t i = 0; i < v->privates.size(); ++i) {
-              if (i) pragma += ", ";
-              pragma += v->privates[i]->name;
-            }
-            pragma += ")";
-          }
-          loop->annotations.push_back(pragma);
+        auto found = by_loop.find(loop);
+        const core::LoopVerdict* v = found == by_loop.end() ? nullptr : found->second;
+        if (v && v->parallel) {
+          loop->annotations.push_back(build_pragma(*v));
           loop->annotations.push_back("// sspar: " + v->reason);
           ++annotated;
           return;  // don't annotate nested loops
+        }
+        if (v && v->hybrid) {
+          std::string check = build_hybrid_check(*v);
+          if (!check.empty()) {
+            loop->annotations.push_back(support::format(
+                "// sspar: hybrid — %s of '%s' verified at runtime",
+                core::property_name(v->hybrid_property), v->hybrid_index_array.c_str()));
+            loop->hybrid_check = check;
+            loop->hybrid_pragma = build_pragma(*v);
+            return;  // the dual-version emission covers the whole nest
+          }
         }
         visit(loop->body.get());
         return;
@@ -70,7 +116,11 @@ void clear_annotations(ast::Program& program) {
   for (auto& function : program.functions) {
     // collect_loops is recursive, so this reaches nested loops too.
     ast::Stmt* body = function->body.get();
-    for (ast::For* loop : ast::collect_loops(body)) loop->annotations.clear();
+    for (ast::For* loop : ast::collect_loops(body)) {
+      loop->annotations.clear();
+      loop->hybrid_check.clear();
+      loop->hybrid_pragma.clear();
+    }
   }
 }
 

@@ -775,6 +775,109 @@ TEST(IpaInterpreter, FallingOffTheEndReturnsZeroNotAStaleNestedValue) {
   EXPECT_EQ(interp.scalar_int("x"), 0);
 }
 
+TEST(IpaPrecision, CalleeScalarAssignedBeforeReadIsNotExposed) {
+  // compute() assigns the global temporary t before every read of it, so t's
+  // entry value never flows into the callee: the call site must not treat t
+  // as a loop-carried λ-read. The loop parallelizes with t privatized,
+  // byte-identically to its hand-inlined twin.
+  static const char* kHelper = R"(
+    int n;
+    int t;
+    int a[1024];
+    int b[1024];
+    void compute(int i) {
+      t = b[i] * 2;
+      a[i] = t;
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        compute(i);
+      }
+    }
+  )";
+  static const char* kInlined = R"(
+    int n;
+    int t;
+    int a[1024];
+    int b[1024];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        t = b[i] * 2;
+        a[i] = t;
+      }
+    }
+  )";
+  pipeline::Session helper(kHelper, {{"n", 1}});
+  pipeline::Session inlined(kInlined, {{"n", 1}});
+  const auto* hv = helper.parallelize();
+  const auto* iv = inlined.parallelize();
+  ASSERT_NE(hv, nullptr) << helper.diagnostics().dump();
+  ASSERT_NE(iv, nullptr) << inlined.diagnostics().dump();
+  ASSERT_EQ(hv->size(), 1u);
+  ASSERT_EQ(iv->size(), 1u);
+  EXPECT_TRUE((*iv)[0].parallel) << support::join((*iv)[0].blockers, "; ");
+  EXPECT_TRUE((*hv)[0].parallel) << support::join((*hv)[0].blockers, "; ");
+  EXPECT_EQ(verdict_key((*hv)[0]), verdict_key((*iv)[0]));
+  EXPECT_EQ(helper.annotate(), 1);
+  EXPECT_TRUE(support::contains(helper.emit().output, "private(t)"))
+      << helper.emit().output;
+
+  // Dynamic differential: the flipped verdict must survive the permutation
+  // oracle (excluding the privatized t, whose final value is unspecified).
+  support::DiagnosticEngine diags;
+  auto parsed = ast::parse_and_resolve(kHelper, diags);
+  ASSERT_TRUE(parsed.ok) << diags.dump();
+  auto seed = [](interp::Interpreter& interp) {
+    interp.set_scalar("n", int64_t{512});
+    std::vector<int64_t> b(1024);
+    for (size_t i = 0; i < b.size(); ++i) b[i] = static_cast<int64_t>(i % 37);
+    interp.set_array_int("b", std::move(b));
+  };
+  interp::Interpreter sequential(*parsed.program);
+  seed(sequential);
+  sequential.run("f");
+  auto expected = sequential.snapshot();
+  auto loops = ast::collect_loops(parsed.program->find_function("f")->body.get());
+  ASSERT_EQ(loops.size(), 1u);
+  interp::Interpreter permuted(*parsed.program);
+  seed(permuted);
+  permuted.run_permuted("f", loops[0], 99);
+  std::string diff;
+  EXPECT_TRUE(
+      interp::Interpreter::equal_state(*expected, *permuted.snapshot(), {"t"}, &diff))
+      << diff;
+}
+
+TEST(IpaPrecision, ReadBeforeAssignmentStaysExposed) {
+  // The mirror case: accumulate() reads s before writing it, so s IS exposed
+  // and the caller loop keeps its loop-carried scalar dependence.
+  pipeline::Session session(R"(
+    int n;
+    int s;
+    int b[1024];
+    void accumulate(int i) {
+      s = s + b[i];
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        accumulate(i);
+      }
+    }
+  )",
+                            {{"n", 1}});
+  const auto* verdicts = session.parallelize();
+  ASSERT_NE(verdicts, nullptr) << session.diagnostics().dump();
+  ASSERT_EQ(verdicts->size(), 1u);
+  EXPECT_FALSE((*verdicts)[0].parallel);
+  bool lambda_blocker = false;
+  for (const auto& b : (*verdicts)[0].blockers) {
+    if (b.find("loop-carried scalar dependence on 's'") != std::string::npos) {
+      lambda_blocker = true;
+    }
+  }
+  EXPECT_TRUE(lambda_blocker) << support::join((*verdicts)[0].blockers, "; ");
+}
+
 TEST(Diagnostics, ReanalysisDoesNotDuplicateWarnings) {
   pipeline::Session session(R"(
     int n;

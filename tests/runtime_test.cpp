@@ -89,6 +89,44 @@ TEST(Inspector, SubsetInjectivity) {
   EXPECT_FALSE(is_subset_injective(std::vector<int64_t>{-1, 3, 3}, 0));
 }
 
+TEST(Inspector, ExtremeValueSpansDoNotOverflow) {
+  // Regression: `hi - lo + 1` in int64_t overflows when the values straddle
+  // INT64_MIN/INT64_MAX, which used to size the mark vector from a wrapped
+  // negative span and write out of bounds.
+  EXPECT_TRUE(is_injective(std::vector<int64_t>{INT64_MIN, INT64_MAX}));
+  EXPECT_FALSE(is_injective(std::vector<int64_t>{INT64_MIN, INT64_MAX, INT64_MAX}));
+  EXPECT_TRUE(is_injective(std::vector<int64_t>{INT64_MIN, 0, INT64_MAX}));
+  EXPECT_FALSE(is_injective(std::vector<int64_t>{INT64_MIN, INT64_MIN}));
+  // Near-maximal span (0 .. INT64_MAX - 1) must route to the sort.
+  EXPECT_TRUE(is_injective(std::vector<int64_t>{0, INT64_MAX - 1}));
+  EXPECT_FALSE(is_injective(std::vector<int64_t>{0, INT64_MAX - 1, 0}));
+  // Subset injectivity with participating extremes.
+  EXPECT_TRUE(is_subset_injective(std::vector<int64_t>{INT64_MIN, 1, INT64_MAX}, 0));
+  EXPECT_FALSE(is_subset_injective(std::vector<int64_t>{-5, INT64_MAX, INT64_MAX}, 0));
+}
+
+TEST(Inspector, UniverseHintIsBoundedByAllocationCap) {
+  // A huge hint used to permit an allocation proportional to the hint even
+  // for a handful of values; now it is clamped by a hard cap and large spans
+  // fall through to the sort-based check — with identical results.
+  EXPECT_TRUE(is_injective(std::vector<int64_t>{0, 1'000'000'000}, 2'000'000'000));
+  EXPECT_FALSE(is_injective(std::vector<int64_t>{0, 1'000'000'000, 0}, 2'000'000'000));
+  EXPECT_TRUE(is_injective(std::vector<int64_t>{3, 9, 7}, INT64_MAX));
+  EXPECT_FALSE(is_injective(std::vector<int64_t>{3, 9, 3}, INT64_MAX));
+}
+
+TEST(Inspector, HintSmallerThanSpanStillCorrect) {
+  // The hint widens the mark-vector threshold; a hint smaller than the
+  // actual span must not change the verdict (dense path still applies via
+  // the 4*n default, or the sort path takes over).
+  std::vector<int64_t> dense = {0, 5, 3, 9, 1, 7};
+  EXPECT_TRUE(is_injective(dense, 2));
+  dense.push_back(5);
+  EXPECT_FALSE(is_injective(dense, 2));
+  // Values outside the hinted universe ([0, 4)) are still handled.
+  EXPECT_TRUE(is_injective(std::vector<int64_t>{-100, 2, 200}, 4));
+}
+
 TEST(Inspector, InspectionReportsAllProperties) {
   auto result = inspect(std::vector<int64_t>{0, 2, 4, 9});
   EXPECT_TRUE(result.nondecreasing);
@@ -115,6 +153,44 @@ TEST(InspectorExecutor, SerialFallbackOnBrokenPtr) {
   std::atomic<int> count{0};
   bool parallel = ie.run_csr(ptr, [&](int64_t, int64_t) { count++; });
   EXPECT_FALSE(parallel);
+  // The serial path must still execute every (r, k) pair: rows 0 and 2 have
+  // nonempty ranges ([0,5) and [3,6)), row 1's range [5,3) is empty.
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(InspectorExecutor, EmptyPtrDoesNotInvokePool) {
+  ThreadPool pool(4);
+  InspectorExecutor ie(pool);
+  std::atomic<int> calls{0};
+  // rows == -1: there is no row to execute and the pool must not be entered.
+  bool parallel = ie.run_csr(std::span<const int64_t>{}, [&](int64_t, int64_t) { calls++; });
+  EXPECT_TRUE(parallel);  // vacuously monotonic
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(InspectorExecutor, SingleElementPtrHasNoRows) {
+  ThreadPool pool(4);
+  InspectorExecutor ie(pool);
+  std::vector<int64_t> ptr = {5};  // rows == 0
+  std::atomic<int> calls{0};
+  bool parallel = ie.run_csr(ptr, [&](int64_t, int64_t) { calls++; });
+  EXPECT_TRUE(parallel);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(InspectorExecutor, InspectionSecondsAccumulateAcrossInvocations) {
+  ThreadPool pool(2);
+  InspectorExecutor ie(pool);
+  std::vector<int64_t> ptr(4097);
+  for (size_t i = 0; i < ptr.size(); ++i) ptr[i] = static_cast<int64_t>(i * 2);
+  std::atomic<int64_t> sink{0};
+  ie.run_csr(ptr, [&](int64_t, int64_t k) { sink += k; });
+  double after_first = ie.inspection_seconds();
+  EXPECT_GT(after_first, 0.0);
+  ie.run_csr(ptr, [&](int64_t, int64_t k) { sink += k; });
+  EXPECT_GE(ie.inspection_seconds(), after_first);
+  ie.reset_timing();
+  EXPECT_EQ(ie.inspection_seconds(), 0.0);
 }
 
 }  // namespace

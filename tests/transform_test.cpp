@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "frontend/printer.h"
 #include "frontend/sema.h"
 #include "support/diagnostics.h"
 #include "support/text.h"
@@ -81,6 +82,62 @@ TEST(Transform, OnlyOutermostParallelLoopAnnotated) {
     ++pos;
   }
   EXPECT_EQ(count, 1u);
+}
+
+TEST(Transform, DuplicateVerdictsResolveDeterministically) {
+  // Two verdicts for the same loop used to resolve last-writer-wins; the
+  // annotation choice must not depend on verdict order: parallel beats
+  // hybrid beats serial.
+  support::DiagnosticEngine diags;
+  auto parsed = ast::parse_and_resolve(R"(
+    int n;
+    int a[100];
+    int b[100];
+    void f(void) {
+      for (int i = 0; i < n; i++) {
+        a[i] = b[i] + 1;
+      }
+    }
+  )",
+                                       diags);
+  ASSERT_TRUE(parsed.ok) << diags.dump();
+  auto loops = ast::collect_loops(parsed.program->functions[0]->body.get());
+  ASSERT_EQ(loops.size(), 1u);
+
+  core::LoopVerdict serial;
+  serial.loop = loops[0];
+  serial.blockers.push_back("synthetic blocker");
+  core::LoopVerdict parallel;
+  parallel.loop = loops[0];
+  parallel.parallel = true;
+  parallel.reason = "affine disjoint accesses";
+  core::LoopVerdict hybrid;
+  hybrid.loop = loops[0];
+  hybrid.hybrid = true;
+  hybrid.hybrid_property = core::EnablingProperty::Injective;
+  hybrid.hybrid_index_array = "b";
+  hybrid.hybrid_check_lo = "0";
+  hybrid.hybrid_check_hi = "n - 1";
+
+  for (bool parallel_first : {false, true}) {
+    std::vector<core::LoopVerdict> verdicts =
+        parallel_first ? std::vector<core::LoopVerdict>{parallel, serial, hybrid}
+                       : std::vector<core::LoopVerdict>{serial, hybrid, parallel};
+    clear_annotations(*parsed.program);
+    EXPECT_EQ(annotate_parallel_loops(*parsed.program, verdicts), 1);
+    std::string out = ast::print_program(*parsed.program);
+    EXPECT_TRUE(support::contains(out, "#pragma omp parallel for")) << out;
+    EXPECT_FALSE(support::contains(out, "sspar_check_")) << out;
+  }
+  for (bool hybrid_first : {false, true}) {
+    std::vector<core::LoopVerdict> verdicts =
+        hybrid_first ? std::vector<core::LoopVerdict>{hybrid, serial}
+                     : std::vector<core::LoopVerdict>{serial, hybrid};
+    clear_annotations(*parsed.program);
+    EXPECT_EQ(annotate_parallel_loops(*parsed.program, verdicts), 0);
+    std::string out = ast::print_program(*parsed.program);
+    EXPECT_TRUE(support::contains(out, "if (sspar_check_injective(b, 0, n - 1)) {")) << out;
+  }
 }
 
 TEST(Transform, Fig9EndToEnd) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # Runs the symbolic micro benches (google-benchmark JSON), the E6
-# analysis-time stage-split bench, and the fig10 interprocedural-analysis
-# preface (summary-cache hit rates), and merges them into one JSON document —
-# the perf trajectory snapshot checked in at the repo root (BENCH_pr4.json).
+# analysis-time stage-split bench, the fig10 interprocedural-analysis
+# preface (summary-cache hit rates), the E5 inspector-overhead table, and a
+# corpus coverage run ({static_parallel, hybrid_parallel, serial}), and
+# merges them into one JSON document — the perf trajectory snapshot checked
+# in at the repo root (BENCH_pr<N>.json).
 #
 # usage: bench_report.sh <build-dir> <output.json> [min_time_seconds]
 set -eu
@@ -14,6 +16,8 @@ MIN_TIME=${3:-0.2}
 MICRO="$BUILD_DIR/bench_micro_symbolic"
 ANALYSIS="$BUILD_DIR/bench_analysis_time"
 FIG10="$BUILD_DIR/bench_fig10_cg_speedup"
+INSPECTOR="$BUILD_DIR/bench_inspector_overhead"
+ANALYZE="$BUILD_DIR/sspar-analyze"
 
 if [ ! -x "$MICRO" ]; then
   echo "bench_report.sh: $MICRO not built (google-benchmark missing?)" >&2
@@ -23,7 +27,9 @@ fi
 TMP_MICRO=$(mktemp)
 TMP_ANALYSIS=$(mktemp)
 TMP_IPA=$(mktemp)
-trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA"' EXIT
+TMP_INSPECTOR=$(mktemp)
+TMP_COVERAGE=$(mktemp)
+trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE"' EXIT
 
 # Older google-benchmark rejects the "0.01s" suffix form; pass a plain double.
 "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP_MICRO"
@@ -37,12 +43,28 @@ if [ -x "$FIG10" ]; then
 else
   : >"$TMP_IPA"
 fi
+# The inspector bench simulates an iterative solver; scale the invocation
+# count down for smoke runs (min_time < 0.1 → CI's tiny-budget mode).
+case "$MIN_TIME" in
+  0.0*) INSPECTOR_INVOCATIONS=3 ;;
+  *) INSPECTOR_INVOCATIONS=50 ;;
+esac
+if [ -x "$INSPECTOR" ]; then
+  "$INSPECTOR" "$INSPECTOR_INVOCATIONS" >"$TMP_INSPECTOR"
+else
+  : >"$TMP_INSPECTOR"
+fi
+if [ -x "$ANALYZE" ]; then
+  "$ANALYZE" --threads=1 --json >"$TMP_COVERAGE"
+else
+  : >"$TMP_COVERAGE"
+fi
 
-python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$OUT" <<'EOF'
+python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$OUT" <<'EOF'
 import json
 import sys
 
-micro_path, analysis_path, ipa_path, out_path = sys.argv[1:5]
+micro_path, analysis_path, ipa_path, inspector_path, coverage_path, out_path = sys.argv[1:7]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -85,6 +107,40 @@ for line in ipa_text.splitlines():
             k, _, v = kv.partition("=")
             entry[k] = float(v) if "." in v else int(v)
 
+# E5 inspector-overhead table: keep the raw text, parse the data rows.
+with open(inspector_path) as f:
+    inspector_text = f.read()
+
+inspector_rows = []
+for line in inspector_text.splitlines():
+    cells = line.split()
+    if len(cells) == 8 and cells[0].isdigit():
+        inspector_rows.append({
+            "rows": int(cells[0]),
+            "nnz": int(cells[1]),
+            "serial_ms": float(cells[2]),
+            "static_ms": float(cells[3]),
+            "inspector_ms": float(cells[4]),
+            "inspect_share_pct": float(cells[5].rstrip("%")),
+            "static_speedup": float(cells[6].rstrip("x")),
+            "inspector_speedup": float(cells[7].rstrip("x")),
+        })
+
+# Corpus coverage: the static/hybrid/serial partition from sspar-analyze
+# --json (deterministic at any thread count).
+with open(coverage_path) as f:
+    coverage_text = f.read()
+
+coverage = {}
+if coverage_text.strip():
+    report = json.loads(coverage_text)
+    coverage = {
+        "aggregate": report.get("stats", {}).get("coverage", {}),
+        "hybrid_programs": sorted(
+            p["name"] for p in report.get("programs", [])
+            if p.get("coverage", {}).get("hybrid_parallel", 0) > 0),
+    }
+
 doc = {
     "context": micro.get("context", {}),
     "micro_symbolic": micro.get("benchmarks", []),
@@ -92,6 +148,9 @@ doc = {
     "analysis_time_raw": analysis_text,
     "interprocedural_cg": ipa,
     "interprocedural_cg_raw": ipa_text,
+    "inspector_overhead": inspector_rows,
+    "inspector_overhead_raw": inspector_text,
+    "coverage": coverage,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
