@@ -640,11 +640,8 @@ void Analyzer::compute_summaries(const ipa::CallGraph& graph) {
   }
 }
 
-void Analyzer::compute_content_key(const ast::FuncDecl& function,
-                                   const ipa::CallGraph& graph) {
-  if (content_keys_.count(&function)) return;
-  ipa::ContentHasher h;
-  h.mix("sspar-summary-v1");
+void Analyzer::mix_function_identity(const ast::FuncDecl& function,
+                                     ipa::ContentHasher& h) const {
   // Signature + printed body: textual identity of the function itself.
   h.mix(function.name);
   h.mix(static_cast<uint64_t>(function.return_type));
@@ -671,11 +668,27 @@ void Analyzer::compute_content_key(const ast::FuncDecl& function,
     const sym::Range* bound = base_ctx_.bound(decl->symbol);
     h.mix(bound ? bound->to_string(symbols_) : std::string("-"));
   }
+}
+
+void Analyzer::compute_content_key(const ast::FuncDecl& function,
+                                   const ipa::CallGraph& graph) {
+  if (content_keys_.count(&function)) return;
+  const ipa::CallGraph::Node* node = graph.node(&function);
+  if (node && node->recursive) {
+    // Recursive functions are keyed as a whole SCC: a caller's key must
+    // reflect the SCC's *content* (its may-write sets feed the caller's
+    // summary), and a per-member marker could not do that.
+    compute_scc_content_keys(function, graph);
+    return;
+  }
+  ipa::ContentHasher h;
+  h.mix("sspar-summary-v1");
+  mix_function_identity(function, h);
   // Callee content keys: the summary folds callee effects in, so the address
-  // must cover the transitive closure. Recursive SCC siblings have no key
-  // yet; they produce unanalyzable summaries that are never shared, so a
-  // name marker suffices.
-  if (const ipa::CallGraph::Node* node = graph.node(&function)) {
+  // must cover the transitive closure. Bottom-up order (with SCCs keyed as a
+  // group) keys every defined callee before its callers; the fallback marker
+  // only covers callees outside the traversal.
+  if (node) {
     for (const ast::FuncDecl* callee : node->callees) {
       auto it = content_keys_.find(callee);
       if (it != content_keys_.end()) {
@@ -690,6 +703,57 @@ void Analyzer::compute_content_key(const ast::FuncDecl& function,
   }
   ipa::CacheKey key = h.key();
   content_keys_[&function] = {key.hi, key.lo};
+}
+
+void Analyzer::compute_scc_content_keys(const ast::FuncDecl& member,
+                                        const ipa::CallGraph& graph) {
+  const ipa::CallGraph::Node* node = graph.node(&member);
+  if (!node) return;
+  std::vector<const ast::FuncDecl*> members = graph.scc_members(node->scc);
+  if (members.empty()) members.push_back(&member);
+  // Hash in name order so the combined key does not depend on discovery
+  // order (names are unique per program).
+  std::sort(members.begin(), members.end(),
+            [](const ast::FuncDecl* a, const ast::FuncDecl* b) { return a->name < b->name; });
+  ipa::ContentHasher h;
+  h.mix("sspar-scc-v1");
+  for (const ast::FuncDecl* f : members) {
+    mix_function_identity(*f, h);
+    // Recursive summaries carry a failure location (W030x provenance); the
+    // key must pin it so a cross-program hit never mis-attributes lines.
+    h.mix(static_cast<uint64_t>(f->location.line));
+    h.mix(static_cast<uint64_t>(f->location.column));
+    const ipa::CallGraph::Node* n = graph.node(f);
+    if (!n) continue;
+    for (const ast::FuncDecl* callee : n->callees) {
+      if (const ipa::CallGraph::Node* cn = graph.node(callee);
+          cn && cn->scc == node->scc) {
+        h.mix("scc-sibling");
+        h.mix(callee->name);
+        continue;
+      }
+      auto it = content_keys_.find(callee);  // bottom-up: externals keyed first
+      if (it != content_keys_.end()) {
+        h.mix(it->second.first);
+        h.mix(it->second.second);
+      } else {
+        h.mix("unkeyed-callee");
+        h.mix(callee->name);
+      }
+    }
+    if (n->has_unknown_callee) h.mix("unknown-callee");
+  }
+  ipa::CacheKey combined = h.key();
+  for (const ast::FuncDecl* f : members) {
+    ipa::ContentHasher m;
+    m.mix("sspar-scc-member-v1");
+    m.mix(combined.hi);
+    m.mix(combined.lo);
+    m.mix(f->name);
+    ipa::CacheKey key = m.key();
+    content_keys_[f] = {key.hi, key.lo};
+    scc_functions_.insert(f);
+  }
 }
 
 const ipa::FunctionSummary* Analyzer::obtain_summary(const ast::FuncDecl* function,
@@ -728,10 +792,13 @@ const ipa::FunctionSummary* Analyzer::obtain_summary(const ast::FuncDecl* functi
         }
       }
       key = h.key();
-      if (auto portable = shared->find(key)) {
+      bool from_store = false;
+      if (auto portable = shared->find(key, &from_store)) {
         if (auto summary = ipa::rehydrate(*portable, program_, symbols_)) {
+          if (scc_functions_.count(function)) summaries_->note_scc_summary();
           return &summaries_->insert(function, options_, fingerprint,
-                                     std::move(*summary), /*from_shared=*/true);
+                                     std::move(*summary), /*from_shared=*/true,
+                                     from_store);
         }
       }
       summaries_->note_shared_miss();
@@ -745,10 +812,16 @@ const ipa::FunctionSummary* Analyzer::obtain_summary(const ast::FuncDecl* functi
     const ipa::FunctionSummary* base = summaries_->find(function, options_);
     computed = resummarize_with_context(*base, *entry_facts);
   }
+  if (fingerprint == 0 && scc_functions_.count(function)) summaries_->note_scc_summary();
   const ipa::FunctionSummary& stored =
       summaries_->insert(function, options_, fingerprint, std::move(computed));
-  if (shared && key && stored.analyzable) {
-    if (auto portable = ipa::to_portable(stored, program_, symbols_)) {
+  // Analyzable summaries are always publishable; unanalyzable ones only for
+  // SCC members, whose combined key pins the failure location (see
+  // compute_scc_content_keys).
+  const bool publishable = stored.analyzable || scc_functions_.count(function);
+  if (shared && key && publishable) {
+    if (auto portable = ipa::to_portable(stored, program_, symbols_,
+                                         /*allow_unanalyzable=*/true)) {
       shared->insert(key, std::move(*portable));
     }
   }

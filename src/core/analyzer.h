@@ -43,6 +43,7 @@ class DiagnosticEngine;
 }
 namespace sspar::ipa {
 class CallGraph;
+class ContentHasher;
 class SummaryDB;
 struct FunctionSummary;
 }
@@ -241,8 +242,18 @@ class Analyzer {
   // Content address for the cross-program cache: printed function source,
   // referenced-global declarations + assumptions, callee keys (transitive
   // closure). Stored in content_keys_; requires callees to be keyed first
-  // (bottom-up order).
+  // (bottom-up order). Members of a recursive SCC are keyed as a group via
+  // compute_scc_content_keys.
   void compute_content_key(const ast::FuncDecl& function, const ipa::CallGraph& graph);
+  // Combined content key for a whole recursive SCC: every member's printed
+  // source, referenced globals, external callee keys AND source location
+  // (recursive summaries carry a failure location; folding locations into
+  // the key keeps cross-program reuse of those locations sound). Each member
+  // is then addressed as H(combined, member name).
+  void compute_scc_content_keys(const ast::FuncDecl& member, const ipa::CallGraph& graph);
+  // Mixes one function's identity (signature, printed body, referenced
+  // globals + assumptions) into `h` — shared by both key paths.
+  void mix_function_identity(const ast::FuncDecl& function, ipa::ContentHasher& h) const;
   // The cached summary for a call site's callee (null without a DB, for
   // unknown callees, or before compute_summaries ran).
   const ipa::FunctionSummary* call_summary(const ast::Call& call) const;
@@ -294,6 +305,10 @@ class Analyzer {
   // Cross-program content addresses ((hi, lo) halves of ipa::CacheKey),
   // computed bottom-up when a shared cache is attached.
   std::map<const ast::FuncDecl*, std::pair<uint64_t, uint64_t>> content_keys_;
+  // Functions keyed as members of a recursive SCC: their (unanalyzable)
+  // summaries are still published to the shared cache, and their
+  // materializations are counted in SummaryDB::Stats::scc_summaries.
+  std::set<const ast::FuncDecl*> scc_functions_;
   // Flow state of the function being analyzed: which summaries produced the
   // facts currently held for each array (cleared when locally re-derived).
   std::map<sym::SymbolId, std::set<std::string>> fact_provenance_;

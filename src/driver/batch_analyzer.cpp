@@ -85,6 +85,9 @@ bool BatchStats::operator==(const BatchStats& other) const {
          summary_context_computed == other.summary_context_computed &&
          cross_summary_requests == other.cross_summary_requests &&
          cross_summary_entries == other.cross_summary_entries &&
+         summary_scc == other.summary_scc && store_loaded == other.store_loaded &&
+         store_hits == other.store_hits && store_misses == other.store_misses &&
+         store_evicted == other.store_evicted && store_flushed == other.store_flushed &&
          property_counts == other.property_counts;
 }
 
@@ -109,9 +112,15 @@ BatchReport BatchAnalyzer::run(const std::vector<ProgramInput>& inputs,
   report.programs.resize(inputs.size());
   // One content-addressed summary cache for the whole batch: sessions
   // rehydrate byte-identical helper summaries other entries already
-  // computed. Thread-safe; verdicts are identical with or without it.
+  // computed. Thread-safe; verdicts are identical with or without it. A
+  // caller-owned cache (options_.share_with) — typically warmed from a
+  // store::SummaryStore — takes the place of the per-run one, carrying
+  // summaries across runs.
   ipa::CrossProgramCache shared_cache;
-  ipa::CrossProgramCache* shared = options_.shared_summaries ? &shared_cache : nullptr;
+  ipa::CrossProgramCache* shared = nullptr;
+  if (options_.shared_summaries) {
+    shared = options_.share_with ? options_.share_with : &shared_cache;
+  }
   if (!inputs.empty()) {
     if (threads_ == 1) {
       // threads == 1 means "serial on the calling thread": no pool, and the
@@ -175,6 +184,11 @@ BatchStats BatchAnalyzer::aggregate(const std::vector<ProgramReport>& programs) 
     stats.summary_applications += static_cast<int>(p.summary_cache.applications);
     stats.summary_context_computed += static_cast<int>(p.summary_cache.context_computed);
     stats.cross_summary_requests += static_cast<int>(p.summary_cache.shared_requests());
+    stats.summary_scc += static_cast<int>(p.summary_cache.scc_summaries);
+    // Hits on preloaded (disk-backed) entries are deterministic: the keys are
+    // present before any session runs, so scheduling cannot flip them.
+    stats.store_hits += static_cast<int>(p.summary_cache.store_hits);
+    stats.store_misses += static_cast<int>(p.summary_cache.store_misses());
     for (const auto& v : p.result.verdicts) {
       if (v.parallel && v.uses_subscripted_subscripts) {
         ++stats.property_counts[property_key(v)];

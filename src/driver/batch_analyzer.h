@@ -100,6 +100,20 @@ struct BatchStats {
   // equality).
   int cross_summary_requests = 0;  // shared lookups across all sessions
   int cross_summary_entries = 0;   // unique content keys cached at end of run
+  // SCC-member (recursive-function) summaries materialized across all
+  // sessions — covered by the store since SCCs gained combined content keys.
+  int summary_scc = 0;
+  // Persistent-store (store::SummaryStore) counters. All deterministic for a
+  // fixed input set AND store state: a preloaded key is present before any
+  // session runs, so scheduling cannot flip its lookups between hit and
+  // miss. store_loaded/evicted/flushed are filled by the store orchestrator
+  // (CLI / server) via apply_store_stats; hits/misses aggregate from the
+  // per-session SummaryDB counters.
+  int store_loaded = 0;   // records read from disk at open
+  int store_hits = 0;     // shared lookups served by a preloaded entry
+  int store_misses = 0;   // shared lookups the store could not serve
+  int store_evicted = 0;  // records dropped by the size cap at flush
+  int store_flushed = 0;  // records written by the last flush
   // Enabling-property histogram over parallel subscripted-subscript loops,
   // keyed by core::property_name(verdict.property).
   std::map<std::string, int> property_counts;
@@ -133,6 +147,14 @@ struct BatchOptions {
   // helper functions reuse each other's summaries instead of re-deriving
   // them. Verdicts are identical with or without sharing.
   bool shared_summaries = true;
+  // External cache to share across RUNS (not just across the programs of one
+  // run). When non-null, sessions share this cache instead of a fresh
+  // per-run one; entries preloaded into it from a store::SummaryStore count
+  // as store hits. Ignored when shared_summaries is false. The caller keeps
+  // ownership and must keep it alive for the duration of run(). Appended
+  // after the original members so aggregate initialization like
+  // `BatchOptions{1, {}}` keeps meaning what it always did.
+  ipa::CrossProgramCache* share_with = nullptr;
 };
 
 class BatchAnalyzer {

@@ -153,6 +153,10 @@ Value program_report_to_json(const ProgramReport& report, bool include_output) {
                         static_cast<int64_t>(report.summary_cache.shared_hits));
   summary_cache.emplace("shared_misses",
                         static_cast<int64_t>(report.summary_cache.shared_misses));
+  summary_cache.emplace("store_hits",
+                        static_cast<int64_t>(report.summary_cache.store_hits));
+  summary_cache.emplace("scc_summaries",
+                        static_cast<int64_t>(report.summary_cache.scc_summaries));
   o.emplace("summary_cache", std::move(summary_cache));
   if (include_output && report.ok) o.emplace("output", report.result.output);
   return Value(std::move(o));
@@ -179,6 +183,16 @@ Value stats_to_json(const BatchStats& stats) {
   o.emplace("summary_context_computed", stats.summary_context_computed);
   o.emplace("cross_summary_requests", stats.cross_summary_requests);
   o.emplace("cross_summary_entries", stats.cross_summary_entries);
+  o.emplace("summary_scc", stats.summary_scc);
+  // Persistent-store counters (all deterministic for a fixed input set and
+  // store state — see BatchStats).
+  Object store;
+  store.emplace("loaded", stats.store_loaded);
+  store.emplace("hits", stats.store_hits);
+  store.emplace("misses", stats.store_misses);
+  store.emplace("evicted", stats.store_evicted);
+  store.emplace("flushed", stats.store_flushed);
+  o.emplace("persistent_store", std::move(store));
   Object properties;
   for (const auto& [key, count] : stats.property_counts) properties.emplace(key, count);
   o.emplace("property_counts", std::move(properties));
@@ -208,6 +222,14 @@ BatchStats stats_from_json(const Value& value) {
   stats.cross_summary_requests =
       static_cast<int>(value.int_or("cross_summary_requests", 0));
   stats.cross_summary_entries = static_cast<int>(value.int_or("cross_summary_entries", 0));
+  stats.summary_scc = static_cast<int>(value.int_or("summary_scc", 0));
+  if (const Value* store = value.find("persistent_store")) {
+    stats.store_loaded = static_cast<int>(store->int_or("loaded", 0));
+    stats.store_hits = static_cast<int>(store->int_or("hits", 0));
+    stats.store_misses = static_cast<int>(store->int_or("misses", 0));
+    stats.store_evicted = static_cast<int>(store->int_or("evicted", 0));
+    stats.store_flushed = static_cast<int>(store->int_or("flushed", 0));
+  }
   if (const Value* properties = value.find("property_counts")) {
     if (properties->is_object()) {
       for (const auto& [key, count] : properties->as_object()) {
@@ -235,6 +257,9 @@ Value batch_report_to_json(const BatchReport& report, unsigned threads, bool inc
   shared.emplace("misses", static_cast<int64_t>(report.shared_cache.misses));
   shared.emplace("inserts", static_cast<int64_t>(report.shared_cache.inserts));
   shared.emplace("entries", static_cast<int64_t>(report.shared_cache.entries));
+  shared.emplace("preloaded", static_cast<int64_t>(report.shared_cache.preloaded));
+  shared.emplace("preloaded_hits",
+                 static_cast<int64_t>(report.shared_cache.preloaded_hits));
   o.emplace("cross_program_cache", std::move(shared));
   return Value(std::move(o));
 }

@@ -5,6 +5,10 @@
 //   sspar-analyze --threads=4 --emit    # 4 threads, print annotated sources
 //   sspar-analyze --json                # machine-readable report on stdout
 //   sspar-analyze --assume n=1 prog.c   # analyze mini-C files instead
+//   sspar-analyze --json --store=s.bin  # warm-start from a persistent store
+//   sspar-analyze --serve --socket=S    # long-lived analysis daemon
+//   sspar-analyze --connect=S --json    # send this run to a daemon instead
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -16,6 +20,11 @@
 #include "corpus/corpus.h"
 #include "driver/batch_analyzer.h"
 #include "driver/json_report.h"
+#include "driver/store_session.h"
+#include "server/analysis_server.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "store/summary_store.h"
 
 namespace {
 
@@ -43,6 +52,24 @@ void print_usage(std::ostream& os) {
         "                   structured diagnostics, per-stage timings, stats)\n"
         "  --quiet          aggregate statistics only\n"
         "  --assume VAR=MIN assume global VAR >= MIN for file inputs (repeatable)\n"
+        "\n"
+        "persistent store:\n"
+        "  --store=PATH     load/save function summaries from a disk store; a\n"
+        "                   second run over the same code starts warm\n"
+        "  --store-cap=N    max records kept across a flush (default 4096;\n"
+        "                   coldest generations evicted first)\n"
+        "  --no-store       ignore any --store flag (one-shot cold run)\n"
+        "\n"
+        "analysis server:\n"
+        "  --serve          run as a long-lived daemon answering analyze\n"
+        "                   requests over a Unix-domain socket (requires\n"
+        "                   --socket; SIGTERM/SIGINT flush the store and exit)\n"
+        "  --socket=PATH    the socket path to listen on\n"
+        "  --connect=PATH   ship this invocation's inputs to a daemon at PATH\n"
+        "                   and print its response (with --json, the report is\n"
+        "                   byte-identical to a local --json run against the\n"
+        "                   same store state)\n"
+        "  --shutdown       with --connect: ask the daemon to exit\n"
         "  --help           this message\n";
 }
 
@@ -110,13 +137,19 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
      << "  programs with pattern:  " << s.programs_with_pattern << "\n";
   if (s.summaries_computed > 0 || s.summary_applications > 0) {
     os << "  function summaries:     " << s.summaries_computed << " materialized ("
-       << s.summary_context_computed << " context-sensitive), " << s.summary_cache_hits
-       << " cache hits, " << s.summary_applications << " call-site applications\n";
+       << s.summary_context_computed << " context-sensitive, " << s.summary_scc
+       << " recursive-scc), " << s.summary_cache_hits << " cache hits, "
+       << s.summary_applications << " call-site applications\n";
   }
   if (report.shared_cache.lookups > 0) {
     os << "  cross-program cache:    " << report.shared_cache.entries << " entries, "
        << report.shared_cache.hits << "/" << report.shared_cache.lookups
        << " lookups rehydrated\n";
+  }
+  if (s.store_loaded > 0 || s.store_flushed > 0) {
+    os << "  persistent store:       " << s.store_loaded << " loaded, " << s.store_hits
+       << " hits, " << s.store_misses << " misses, " << s.store_evicted << " evicted, "
+       << s.store_flushed << " flushed\n";
   }
   if (!s.property_counts.empty()) {
     os << "  enabling properties:\n";
@@ -124,6 +157,93 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
       os << "    " << key << ": " << count << "\n";
     }
   }
+}
+
+sspar::server::AnalysisServer* g_server = nullptr;
+
+void handle_signal(int) {
+  // Async-signal-safe: request_stop only write()s to the server's self-pipe;
+  // the orderly shutdown (join + store flush) runs on the main thread.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+int run_serve(const BatchOptions& options, const std::string& socket_path,
+              sspar::store::SummaryStore* store) {
+  sspar::server::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.threads = options.threads;
+  server_options.analyzer = options.analyzer;
+  server_options.store = store;
+  sspar::server::AnalysisServer server(server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "sspar-analyze: " << error << "\n";
+    return 2;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  std::cerr << "sspar-analyze: serving on " << socket_path << "\n";
+  server.wait();  // returns after stop(): store flushed, socket unlinked
+  g_server = nullptr;
+  std::cerr << "sspar-analyze: served " << server.requests() << " requests, shut down\n";
+  return 0;
+}
+
+int run_connect(const std::vector<ProgramInput>& inputs, const BatchOptions& options,
+                const std::string& socket_path, bool emit, bool json,
+                bool shutdown_daemon) {
+  sspar::server::Client client;
+  std::string error;
+  if (!client.connect(socket_path, &error)) {
+    std::cerr << "sspar-analyze: " << error << "\n";
+    return 2;
+  }
+  if (shutdown_daemon) {
+    auto response = client.request(
+        sspar::server::make_simple_request(sspar::server::Method::Shutdown), &error);
+    if (!response) {
+      std::cerr << "sspar-analyze: " << error << "\n";
+      return 2;
+    }
+    std::cout << response->dump(2) << "\n";
+    return 0;
+  }
+  auto response = client.request(
+      sspar::server::make_analyze_request(inputs, emit, options.threads), &error);
+  if (!response) {
+    std::cerr << "sspar-analyze: " << error << "\n";
+    return 2;
+  }
+  const auto* ok = response->find("ok");
+  if (!ok || !ok->is_bool() || !ok->as_bool()) {
+    const auto* why = response->find("error");
+    std::cerr << "sspar-analyze: server error: "
+              << (why && why->is_string() ? why->as_string() : response->dump()) << "\n";
+    return 1;
+  }
+  const auto* report_json = response->find("report");
+  if (!report_json) {
+    std::cerr << "sspar-analyze: server response carries no report\n";
+    return 1;
+  }
+  if (json) {
+    // Same shape and key order as a local `--json` run: the server built
+    // this object with batch_report_to_json and objects dump sorted.
+    std::cout << report_json->dump(2) << "\n";
+  } else {
+    sspar::driver::BatchStats stats;
+    if (const auto* stats_json = report_json->find("stats")) {
+      stats = sspar::driver::stats_from_json(*stats_json);
+    }
+    std::cout << "== remote aggregate (" << stats.programs << " programs)\n"
+              << "  parallel loops:        " << stats.parallel << "\n"
+              << "  parallel+subscripted:  " << stats.parallel_subscripted << "\n"
+              << "  persistent store hits: " << stats.store_hits << "\n";
+  }
+  const auto* stats_json = report_json->find("stats");
+  int64_t failed = stats_json ? stats_json->int_or("failed", 0) : 0;
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -134,6 +254,13 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool json = false;
   bool have_suite = false;
+  bool serve = false;
+  bool no_store = false;
+  bool shutdown_daemon = false;
+  std::string store_path;
+  std::string socket_path;
+  std::string connect_path;
+  int64_t store_cap = 4096;
   sspar::corpus::Suite suite = sspar::corpus::Suite::Paper;
   std::vector<std::string> files;
   sspar::pipeline::Assumptions assumptions;
@@ -165,6 +292,27 @@ int main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg.rfind("--store=", 0) == 0) {
+      store_path = arg.substr(8);
+      if (store_path.empty()) {
+        std::cerr << "sspar-analyze: --store expects a file path\n";
+        return 2;
+      }
+    } else if (arg.rfind("--store-cap=", 0) == 0) {
+      if (!parse_int(arg.substr(12), &store_cap) || store_cap < 1) {
+        std::cerr << "sspar-analyze: --store-cap expects a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--no-store") {
+      no_store = true;
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--connect=", 0) == 0) {
+      connect_path = arg.substr(10);
+    } else if (arg == "--shutdown") {
+      shutdown_daemon = true;
     } else if (arg == "--assume" && i + 1 < argc) {
       std::string spec = argv[++i];
       if (!assumptions.add_spec(spec)) {
@@ -189,6 +337,33 @@ int main(int argc, char** argv) {
                  "carry their own assumptions\n";
     return 2;
   }
+  if (serve && socket_path.empty()) {
+    std::cerr << "sspar-analyze: --serve requires --socket=PATH\n";
+    return 2;
+  }
+  if (serve && !connect_path.empty()) {
+    std::cerr << "sspar-analyze: --serve and --connect are mutually exclusive\n";
+    return 2;
+  }
+  if (shutdown_daemon && connect_path.empty()) {
+    std::cerr << "sspar-analyze: --shutdown requires --connect=PATH\n";
+    return 2;
+  }
+  if (no_store) store_path.clear();
+
+  sspar::store::SummaryStore store(
+      store_path, sspar::store::StoreOptions{static_cast<size_t>(store_cap)});
+  sspar::store::SummaryStore* store_ptr = nullptr;
+  if (!store_path.empty()) {
+    if (!store.open()) {
+      std::cerr << "sspar-analyze: store '" << store_path
+                << "' was corrupt; quarantined to '" << store_path
+                << ".corrupt' and starting empty\n";
+    }
+    store_ptr = &store;
+  }
+
+  if (serve) return run_serve(options, socket_path, store_ptr);
 
   std::vector<ProgramInput> inputs;
   if (files.empty()) {
@@ -212,8 +387,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!connect_path.empty()) {
+    return run_connect(inputs, options, connect_path, emit, json, shutdown_daemon);
+  }
+
   BatchAnalyzer analyzer(options);
-  BatchReport report = analyzer.run(inputs);
+  BatchReport report = sspar::driver::run_with_store(inputs, options, store_ptr);
 
   if (json) {
     std::cout << sspar::driver::batch_report_to_json(report, analyzer.threads(), emit).dump(2)

@@ -1,0 +1,28 @@
+#include "driver/store_session.h"
+
+namespace sspar::driver {
+
+BatchReport run_with_store(const std::vector<ProgramInput>& inputs, BatchOptions options,
+                           store::SummaryStore* store,
+                           const BatchAnalyzer::ReportCallback& on_report) {
+  ipa::CrossProgramCache cache;
+  const bool use_store = store != nullptr && options.shared_summaries;
+  size_t preloaded = 0;
+  if (use_store) {
+    preloaded = store->preload(cache);
+    options.share_with = &cache;
+  }
+  BatchAnalyzer analyzer(options);
+  BatchReport report = analyzer.run(inputs, on_report);
+  if (use_store) {
+    store->absorb(cache);
+    store->flush();
+    const store::SummaryStore::Stats s = store->stats();
+    report.stats.store_loaded = static_cast<int>(preloaded);
+    report.stats.store_evicted = static_cast<int>(s.evicted);
+    report.stats.store_flushed = static_cast<int>(s.flushed);
+  }
+  return report;
+}
+
+}  // namespace sspar::driver

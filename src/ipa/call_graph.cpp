@@ -104,6 +104,7 @@ CallGraph::CallGraph(const ast::Program& program) {
           nodes_.at(member).recursive = members.size() > 1 || self_loop;
           bottom_up_.push_back(member);
         }
+        scc_members_.push_back(std::move(members));
         ++next_scc;
       }
       const ast::FuncDecl* finished = frame.function;
@@ -129,6 +130,12 @@ bool CallGraph::is_recursive(const ast::FuncDecl* function) const {
 bool CallGraph::has_unknown_callee(const ast::FuncDecl* function) const {
   const Node* n = node(function);
   return n && n->has_unknown_callee;
+}
+
+const std::vector<const ast::FuncDecl*>& CallGraph::scc_members(int scc) const {
+  static const std::vector<const ast::FuncDecl*> empty;
+  if (scc < 0 || static_cast<size_t>(scc) >= scc_members_.size()) return empty;
+  return scc_members_[static_cast<size_t>(scc)];
 }
 
 }  // namespace sspar::ipa

@@ -47,9 +47,15 @@ class CallGraph {
   // Direct unknown callee only; transitive opacity is the summary layer's job.
   bool has_unknown_callee(const ast::FuncDecl* function) const;
 
+  // Members of one SCC in discovery (deterministic) order; empty vector for
+  // out-of-range ids. The summary layer hashes whole SCCs into one combined
+  // content key so recursive functions are addressable across programs.
+  const std::vector<const ast::FuncDecl*>& scc_members(int scc) const;
+
  private:
   std::map<const ast::FuncDecl*, Node> nodes_;
   std::vector<const ast::FuncDecl*> bottom_up_;
+  std::vector<std::vector<const ast::FuncDecl*>> scc_members_;  // by SCC id
 };
 
 }  // namespace sspar::ipa

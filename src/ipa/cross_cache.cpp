@@ -234,8 +234,10 @@ bool effect_to_portable(const core::ArrayWriteEffect& e, const DeclNames& names,
 
 std::optional<PortableSummary> to_portable(const FunctionSummary& summary,
                                            const ast::Program& program,
-                                           const sym::SymbolTable& symbols) {
-  if (!summary.analyzable || summary.opaque || !summary.function) return std::nullopt;
+                                           const sym::SymbolTable& symbols,
+                                           bool allow_unanalyzable) {
+  if (!summary.function) return std::nullopt;
+  if ((!summary.analyzable || summary.opaque) && !allow_unanalyzable) return std::nullopt;
 
   // The name namespace: the program's global scope plus the function's
   // parameters — exactly what DeclResolver reconstructs on rehydration. The
@@ -251,6 +253,13 @@ std::optional<PortableSummary> to_portable(const FunctionSummary& summary,
   PortableSummary out;
   out.function = summary.function->name;
   out.writes_array_params = summary.writes_array_params;
+  out.analyzable = summary.analyzable;
+  out.opaque = summary.opaque;
+  if (!summary.analyzable) {
+    out.failure = summary.failure;
+    out.failure_line = summary.failure_location.line;
+    out.failure_column = summary.failure_location.column;
+  }
   out.entry_fingerprint = summary.entry_fingerprint;
   for (const ast::VarDecl* d : summary.may_write_scalars) {
     out.may_write_scalars.push_back(d->name);
@@ -481,6 +490,7 @@ std::optional<FunctionSummary> rehydrate(const PortableSummary& portable,
   FunctionSummary out;
   out.function = function;
   out.writes_array_params = portable.writes_array_params;
+  out.opaque = portable.opaque;
   out.entry_fingerprint = portable.entry_fingerprint;
   auto resolve_into = [&](const std::vector<std::string>& names,
                           std::set<const ast::VarDecl*>& sink) {
@@ -559,7 +569,14 @@ std::optional<FunctionSummary> rehydrate(const PortableSummary& portable,
     if (!range_from_portable(*portable.return_value, decls, range)) return std::nullopt;
     out.return_value = std::move(range);
   }
-  out.analyzable = true;
+  out.analyzable = portable.analyzable;
+  if (!portable.analyzable) {
+    // SCC-member summaries: the content key folds the members' source
+    // locations in, so the stored line/column are valid for this program.
+    out.failure = portable.failure;
+    out.failure_location.line = portable.failure_line;
+    out.failure_location.column = portable.failure_column;
+  }
   return out;
 }
 
@@ -567,7 +584,9 @@ std::optional<FunctionSummary> rehydrate(const PortableSummary& portable,
 // CrossProgramCache
 // ---------------------------------------------------------------------------
 
-std::shared_ptr<const PortableSummary> CrossProgramCache::find(const CacheKey& key) {
+std::shared_ptr<const PortableSummary> CrossProgramCache::find(const CacheKey& key,
+                                                               bool* from_store) {
+  if (from_store) *from_store = false;
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.lookups;
   auto it = entries_.find(key);
@@ -576,18 +595,47 @@ std::shared_ptr<const PortableSummary> CrossProgramCache::find(const CacheKey& k
     return nullptr;
   }
   ++stats_.hits;
-  return it->second;
+  ++it->second.hits;
+  if (it->second.preloaded) {
+    ++stats_.preloaded_hits;
+    if (from_store) *from_store = true;
+  }
+  return it->second.summary;
+}
+
+bool CrossProgramCache::insert_impl(const CacheKey& key, PortableSummary summary,
+                                    bool preloaded) {
+  auto entry = std::make_shared<const PortableSummary>(std::move(summary));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = entries_.emplace(key, Entry{std::move(entry), preloaded, 0});
+  (void)it;
+  if (inserted) {
+    if (preloaded) {
+      ++stats_.preloaded;
+    } else {
+      ++stats_.inserts;
+    }
+    stats_.entries = entries_.size();
+  }
+  return inserted;
 }
 
 void CrossProgramCache::insert(const CacheKey& key, PortableSummary summary) {
-  auto entry = std::make_shared<const PortableSummary>(std::move(summary));
+  insert_impl(key, std::move(summary), /*preloaded=*/false);
+}
+
+void CrossProgramCache::insert_preloaded(const CacheKey& key, PortableSummary summary) {
+  insert_impl(key, std::move(summary), /*preloaded=*/true);
+}
+
+std::vector<CrossProgramCache::Snapshot> CrossProgramCache::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = entries_.emplace(key, std::move(entry));
-  (void)it;
-  if (inserted) {
-    ++stats_.inserts;
-    stats_.entries = entries_.size();
+  std::vector<Snapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(Snapshot{key, entry.summary, entry.preloaded, entry.hits});
   }
+  return out;
 }
 
 CrossProgramCache::Stats CrossProgramCache::stats() const {

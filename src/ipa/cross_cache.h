@@ -31,11 +31,16 @@
 //     to what the session would have computed, so batch verdicts stay
 //     deterministic for every thread count.
 //
-// Only analyzable summaries are cached (failures are cheap to recompute and
-// carry program-specific source locations). A summary whose expressions
-// mention non-portable symbols (e.g. a function-body local) is skipped at
-// insert time, and a rehydration that cannot resolve a name reports failure
-// — both degrade to a local recompute, never to a wrong summary.
+// Analyzable summaries are always cacheable. Unanalyzable summaries carry
+// program-specific failure locations, so they are shared only for
+// call-graph SCC members (recursion), whose content keys fold the members'
+// source locations in — identical key then implies identical locations, and
+// the persistent store covers recursive helpers instead of silently
+// recomputing their conservative effect sets every run. A summary whose
+// expressions mention non-portable symbols (e.g. a function-body local) is
+// skipped at insert time, and a rehydration that cannot resolve a name
+// reports failure — both degrade to a local recompute, never to a wrong
+// summary.
 #pragma once
 
 #include <cstdint>
@@ -118,7 +123,10 @@ struct PortableArrayFacts {
   std::vector<PortableIdentityFact> identities;
 };
 
-// Name-keyed mirror of FunctionSummary (analyzable summaries only).
+// Name-keyed mirror of FunctionSummary. Analyzable summaries carry the full
+// effect payload; unanalyzable ones (shared for SCC members only, see the
+// header comment) carry the conservative may-write sets plus the failure
+// text/location, exactly what their callers' havoc paths consume.
 struct PortableSummary {
   std::string function;
   std::vector<std::string> may_write_scalars;
@@ -126,6 +134,11 @@ struct PortableSummary {
   std::vector<std::string> definite_scalar_writes;
   std::vector<std::string> exposed_scalar_reads;
   bool writes_array_params = false;
+  bool analyzable = true;
+  bool opaque = false;
+  std::string failure;        // non-empty only when !analyzable
+  uint32_t failure_line = 0;  // mirror of FunctionSummary::failure_location
+  uint32_t failure_column = 0;
   std::map<std::string, PortableRange> scalar_finals;
   std::vector<PortableEffect> writes;
   std::vector<PortableEffect> reads;
@@ -172,10 +185,12 @@ class ContentHasher {
 // summary's entry facts may mention globals the callee itself never
 // references, hence the whole program's global scope), or two distinct
 // symbols sharing one declaration name (shadowing would mis-resolve on
-// rehydration).
+// rehydration). Unanalyzable summaries convert when `allow_unanalyzable`
+// (the SCC path); only their conservative sets and failure are carried.
 std::optional<PortableSummary> to_portable(const FunctionSummary& summary,
                                            const ast::Program& program,
-                                           const sym::SymbolTable& symbols);
+                                           const sym::SymbolTable& symbols,
+                                           bool allow_unanalyzable = false);
 
 // Resolves names against `program` (parameters of the named function first,
 // then globals) and interns every expression in the CURRENT arena. Null when
@@ -208,27 +223,60 @@ class CrossProgramCache {
     size_t lookups = 0;
     size_t hits = 0;
     size_t misses = 0;
-    size_t inserts = 0;   // first-writer inserts (duplicates not counted)
-    size_t entries = 0;   // current size; == inserts
+    size_t inserts = 0;    // first-writer inserts (duplicates not counted)
+    size_t entries = 0;    // current size; == inserts + preloaded
+    size_t preloaded = 0;  // entries loaded from a persistent store
+    // Hits served by a preloaded entry. Unlike the raw hit/miss split, this
+    // IS deterministic for a fixed input set: a preloaded key is present
+    // from the first lookup on, so scheduling cannot flip it.
+    size_t preloaded_hits = 0;
     // lookups and entries are deterministic for a fixed input set; the
     // hit/miss split can vary with scheduling when sessions race on the same
     // key (both compute, one inserts) — never the analysis results.
   };
 
+  // One cache entry as exported to the persistent store.
+  struct Snapshot {
+    CacheKey key;
+    std::shared_ptr<const PortableSummary> summary;
+    bool preloaded = false;  // came from SummaryStore::preload
+    size_t hits = 0;         // find()s served by this entry
+  };
+
   // Counts the lookup and a hit or miss; null on miss. The returned snapshot
-  // is immutable and safe to read without the lock.
-  std::shared_ptr<const PortableSummary> find(const CacheKey& key);
+  // is immutable and safe to read without the lock. `from_store`, if given,
+  // reports whether the hit was served by a preloaded (persistent-store)
+  // entry.
+  std::shared_ptr<const PortableSummary> find(const CacheKey& key,
+                                              bool* from_store = nullptr);
 
   // First writer wins (a concurrent duplicate insert is dropped; both
   // writers computed the identical summary, so either copy serves).
   void insert(const CacheKey& key, PortableSummary summary);
 
+  // Store-side insert: marks the entry as preloaded so later hits are
+  // attributed to the persistent store. Same first-writer-wins contract.
+  void insert_preloaded(const CacheKey& key, PortableSummary summary);
+
+  // Every entry with its preloaded/hit bookkeeping, in key order — the
+  // store's absorb() input. Entries are shared_ptr snapshots; safe to use
+  // after the lock is released.
+  std::vector<Snapshot> snapshot() const;
+
   Stats stats() const;
   size_t size() const;
 
  private:
+  struct Entry {
+    std::shared_ptr<const PortableSummary> summary;
+    bool preloaded = false;
+    size_t hits = 0;
+  };
+
+  bool insert_impl(const CacheKey& key, PortableSummary summary, bool preloaded);
+
   mutable std::mutex mutex_;
-  std::map<CacheKey, std::shared_ptr<const PortableSummary>> entries_;
+  std::map<CacheKey, Entry> entries_;
   Stats stats_;
 };
 

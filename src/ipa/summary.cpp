@@ -38,9 +38,10 @@ const FunctionSummary* SummaryDB::lookup(const ast::FuncDecl* function,
 const FunctionSummary& SummaryDB::insert(const ast::FuncDecl* function,
                                          const core::AnalyzerOptions& options,
                                          uint64_t fingerprint, FunctionSummary summary,
-                                         bool from_shared) {
+                                         bool from_shared, bool from_store) {
   if (from_shared) {
     ++stats_.shared_hits;
+    if (from_store) ++stats_.store_hits;
   } else {
     ++stats_.computed;
   }

@@ -112,8 +112,19 @@ class SummaryDB {
     // scheduling (see CrossProgramCache::Stats).
     size_t shared_hits = 0;
     size_t shared_misses = 0;
+    // Subset of shared_hits served by a PRELOADED cache entry, i.e. one a
+    // persistent SummaryStore loaded from disk. Deterministic even with
+    // batch scheduling: preloaded keys are present before any session runs,
+    // so every lookup of one hits.
+    size_t store_hits = 0;
+    // Summaries of call-graph SCC members (recursive functions) entered into
+    // this session's DB — computed locally or rehydrated under their
+    // combined SCC content key. Deterministic.
+    size_t scc_summaries = 0;
     size_t requests() const { return computed + hits + shared_hits; }
     size_t shared_requests() const { return shared_hits + shared_misses; }
+    // Shared lookups the persistent store could not serve (key not on disk).
+    size_t store_misses() const { return shared_requests() - store_hits; }
     // Summaries entered into this session's DB (locally computed plus
     // rehydrated); deterministic regardless of batch scheduling.
     size_t materialized() const { return computed + shared_hits; }
@@ -129,14 +140,16 @@ class SummaryDB {
                                 const core::AnalyzerOptions& options,
                                 uint64_t fingerprint = 0);
   // Counts a local compute (or a shared-cache rehydration when
-  // `from_shared`); overwrites any existing entry.
+  // `from_shared`; additionally a persistent-store hit when `from_store`);
+  // overwrites any existing entry.
   const FunctionSummary& insert(const ast::FuncDecl* function,
                                 const core::AnalyzerOptions& options,
                                 uint64_t fingerprint, FunctionSummary summary,
-                                bool from_shared = false);
+                                bool from_shared = false, bool from_store = false);
 
   void note_application() { ++stats_.applications; }
   void note_shared_miss() { ++stats_.shared_misses; }
+  void note_scc_summary() { ++stats_.scc_summaries; }
 
   // Optional content-addressed cache shared across sessions (programs).
   // Attach before any analysis; the owner must outlive this DB's use.

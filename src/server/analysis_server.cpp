@@ -1,0 +1,256 @@
+#include "server/analysis_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "driver/json_report.h"
+#include "driver/store_session.h"
+#include "server/protocol.h"
+#include "support/json.h"
+
+namespace sspar::server {
+
+using support::json::Object;
+using support::json::Value;
+
+namespace {
+
+bool send_all(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a client that disconnected mid-response must produce
+    // EPIPE here, not a process-killing SIGPIPE.
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+AnalysisServer::AnalysisServer(ServerOptions options) : options_(std::move(options)) {}
+
+AnalysisServer::~AnalysisServer() { stop(); }
+
+bool AnalysisServer::start(std::string* error) {
+  auto fail = [this, error](const std::string& why) {
+    if (error) *error = why;
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_pipe_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  };
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return fail("socket path empty or too long for AF_UNIX");
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::pipe(wake_pipe_) != 0) return fail("pipe() failed");
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket() failed");
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      return fail("bind(" + options_.socket_path + "): " + std::strerror(errno));
+    }
+    // The path exists. A live daemon accepts connections; a stale file from
+    // a crashed run refuses them and is safe to replace.
+    int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    bool alive = probe >= 0 && ::connect(probe, reinterpret_cast<sockaddr*>(&addr),
+                                         sizeof(addr)) == 0;
+    if (probe >= 0) ::close(probe);
+    if (alive) {
+      return fail("another server is already listening on " + options_.socket_path);
+    }
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return fail("bind(" + options_.socket_path + "): " + std::strerror(errno));
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::unlink(options_.socket_path.c_str());
+    return fail("listen() failed");
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void AnalysisServer::request_stop() {
+  // Async-signal-safe: one write(), nothing else. The pipe is deliberately
+  // never drained, so it stays readable and wakes BOTH the accept loop's
+  // poll and wait()'s poll, no matter which observes it first.
+  stop_requested_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void AnalysisServer::wait() {
+  if (!running_.load()) return;
+  pollfd wake{wake_pipe_[0], POLLIN, 0};
+  while (!stop_requested_.load()) {
+    if (::poll(&wake, 1, -1) < 0 && errno != EINTR) break;
+  }
+  stop();
+}
+
+void AnalysisServer::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  if (!running_.exchange(false)) return;
+  request_stop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock handler threads parked in recv(), then join them all. The join
+  // happens OUTSIDE connections_mutex_: an exiting handler takes that mutex
+  // to deregister its fd, so joining under it would deadlock.
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    to_join.swap(connections_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  if (options_.store) options_.store->flush();
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+void AnalysisServer::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stop_requested_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.insert(conn);
+    connections_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+}
+
+void AnalysisServer::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool shutdown_server = false;
+  for (;;) {
+    // A peer that disconnects mid-request just ends the loop here — the
+    // partial line in `buffer` is dropped, never parsed, never answered.
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      std::string response = handle_line(line, &shutdown_server);
+      response.push_back('\n');
+      if (!send_all(fd, response)) {
+        shutdown_server = false;
+        break;
+      }
+      if (shutdown_server) break;
+    }
+    buffer.erase(0, start);
+    if (shutdown_server) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.erase(fd);
+  }
+  ::close(fd);
+  // Ordering matters: the shutdown response is already on the wire and the
+  // socket closed before the stop is triggered, so the requesting client
+  // always sees its acknowledgment.
+  if (shutdown_server) request_stop();
+}
+
+std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown) {
+  requests_.fetch_add(1);
+  std::string error;
+  std::optional<Request> request = parse_request(line, &error);
+  if (!request) return error_response(error);
+  switch (request->method) {
+    case Method::Ping: {
+      Object o;
+      o.emplace("ok", true);
+      o.emplace("method", "ping");
+      return Value(std::move(o)).dump();
+    }
+    case Method::Stats: {
+      Object o;
+      o.emplace("ok", true);
+      o.emplace("requests", static_cast<int64_t>(requests_.load()));
+      if (options_.store) {
+        const store::SummaryStore::Stats s = options_.store->stats();
+        Object st;
+        st.emplace("records", static_cast<int64_t>(options_.store->size()));
+        st.emplace("loaded", static_cast<int64_t>(s.loaded));
+        st.emplace("rejected", static_cast<int64_t>(s.rejected));
+        st.emplace("absorbed", static_cast<int64_t>(s.absorbed));
+        st.emplace("evicted", static_cast<int64_t>(s.evicted));
+        st.emplace("flushed", static_cast<int64_t>(s.flushed));
+        o.emplace("store", std::move(st));
+      } else {
+        o.emplace("store", nullptr);
+      }
+      return Value(std::move(o)).dump();
+    }
+    case Method::Shutdown: {
+      *shutdown = true;
+      Object o;
+      o.emplace("ok", true);
+      o.emplace("method", "shutdown");
+      return Value(std::move(o)).dump();
+    }
+    case Method::Analyze:
+      break;
+  }
+  driver::BatchOptions options;
+  options.threads = request->threads != 0 ? request->threads : options_.threads;
+  options.analyzer = options_.analyzer;
+  // Every request runs through the same store orchestration as one-shot
+  // `--json --store`, so responses are byte-identical to the CLI for the
+  // same inputs and store state.
+  driver::BatchReport report =
+      driver::run_with_store(request->programs, options, options_.store);
+  const unsigned threads = driver::BatchAnalyzer(options).threads();
+  Object o;
+  o.emplace("ok", true);
+  o.emplace("report", driver::batch_report_to_json(report, threads, request->emit));
+  return Value(std::move(o)).dump();
+}
+
+}  // namespace sspar::server

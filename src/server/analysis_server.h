@@ -1,0 +1,100 @@
+// Long-lived analysis daemon behind `sspar-analyze --serve`.
+//
+// Listens on a Unix-domain stream socket and answers newline-delimited JSON
+// requests (see server/protocol.h). Every connection gets its own handler
+// thread; every analyze request runs driver::run_with_store against the
+// shared persistent store, so concurrent clients reuse each other's function
+// summaries across requests — the warm-cache economics of the batch driver,
+// kept warm for the lifetime of the daemon instead of one process run.
+//
+// Threading model: one accept thread polls the listen socket plus an
+// internal self-pipe (so stop() can wake it without races); each accepted
+// connection is served by a dedicated thread reading request lines until the
+// peer disconnects. Analysis parallelism *within* a request is the batch
+// driver's rt::ThreadPool, bounded by ServerOptions::threads. A client that
+// disconnects mid-request or mid-response never takes the server down:
+// writes use MSG_NOSIGNAL and failures just close that connection.
+//
+// Shutdown: stop() — triggered by a "shutdown" request, a SIGTERM/SIGINT
+// forwarded by the CLI, or the owner — closes the listener, joins all
+// connection threads, flushes the store one final time, and unlinks the
+// socket path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "store/summary_store.h"
+
+namespace sspar::server {
+
+struct ServerOptions {
+  std::string socket_path;
+  // Analysis threads per request (BatchOptions::threads semantics: 0 = one
+  // lane per logical core). Requests may override with their own "threads".
+  unsigned threads = 1;
+  core::AnalyzerOptions analyzer;
+  // Optional persistent store, owned by the caller and already open()ed.
+  // Shared by every request; flushed after each absorb and at stop().
+  store::SummaryStore* store = nullptr;
+};
+
+class AnalysisServer {
+ public:
+  explicit AnalysisServer(ServerOptions options);
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer&) = delete;
+  AnalysisServer& operator=(const AnalysisServer&) = delete;
+
+  // Binds the socket and starts the accept thread. False (with a reason in
+  // `error`) when the path cannot be bound — e.g. a live daemon already owns
+  // it. A dead socket file from a crashed run is detected (connect fails)
+  // and replaced.
+  bool start(std::string* error);
+
+  // Blocks until stop() is called (by a shutdown request, a signal handler
+  // via request_stop(), or another thread).
+  void wait();
+
+  // Idempotent: wakes the accept thread, joins every connection, flushes the
+  // store, unlinks the socket.
+  void stop();
+
+  // Async-signal-safe stop trigger: writes one byte to the self-pipe. The
+  // accept thread then runs the orderly stop() on its own stack. Safe to
+  // call from a SIGTERM/SIGINT handler.
+  void request_stop();
+
+  bool running() const { return running_.load(); }
+  // Total requests answered (all methods, including errors).
+  uint64_t requests() const { return requests_.load(); }
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  // One request line -> one response line (no trailing newline). Sets
+  // `shutdown` when the request asked the server to exit.
+  std::string handle_line(const std::string& line, bool* shutdown);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  std::set<int> connection_fds_;  // live fds, shutdown() by stop()
+  std::mutex stop_mutex_;         // serializes stop() callers
+};
+
+}  // namespace sspar::server

@@ -1,0 +1,87 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sspar::server {
+
+Client::~Client() { close(); }
+
+bool Client::connect(const std::string& socket_path, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    if (error) *error = "socket path empty or too long for AF_UNIX";
+    return false;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error) *error = "socket() failed";
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error) *error = "connect(" + socket_path + "): " + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+bool Client::send_only(const std::string& line) { return send_bytes(line + "\n"); }
+
+bool Client::send_bytes(std::string_view bytes) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::optional<support::json::Value> Client::request(const std::string& line,
+                                                    std::string* error) {
+  if (!send_only(line)) {
+    if (error) *error = "not connected or send failed";
+    return std::nullopt;
+  }
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string response = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      std::string parse_error;
+      std::optional<support::json::Value> doc =
+          support::json::parse(response, &parse_error);
+      if (!doc && error) *error = "malformed response: " + parse_error;
+      return doc;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (error) *error = "server closed the connection";
+      return std::nullopt;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace sspar::server

@@ -1,0 +1,46 @@
+// Minimal blocking client for the analysis server (server/protocol.h):
+// connect to the daemon's Unix-domain socket, write request lines, read
+// response lines. Backs `sspar-analyze --connect` and the server tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/json.h"
+
+namespace sspar::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // False (with a reason in `error`) when nothing accepts on `socket_path`.
+  bool connect(const std::string& socket_path, std::string* error = nullptr);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Sends one request line (newline appended) and blocks for the one-line
+  // response. Null on transport failure or a response that is not valid
+  // JSON. The same connection can issue any number of requests.
+  std::optional<support::json::Value> request(const std::string& line,
+                                              std::string* error = nullptr);
+
+  // Sends the request line WITHOUT waiting for (or reading) the response —
+  // used by the disconnect-mid-request robustness test.
+  bool send_only(const std::string& line);
+
+  // Raw bytes, no newline appended: lets tests leave a partial request line
+  // on the wire before disconnecting.
+  bool send_bytes(std::string_view bytes);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last consumed response line
+};
+
+}  // namespace sspar::server

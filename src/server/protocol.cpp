@@ -1,0 +1,125 @@
+#include "server/protocol.h"
+
+namespace sspar::server {
+
+using support::json::Array;
+using support::json::Object;
+using support::json::Value;
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::Analyze:
+      return "analyze";
+    case Method::Ping:
+      return "ping";
+    case Method::Stats:
+      return "stats";
+    case Method::Shutdown:
+      return "shutdown";
+  }
+  return "ping";
+}
+
+std::optional<Request> parse_request(std::string_view line, std::string* error) {
+  auto fail = [error](const char* why) -> std::optional<Request> {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+  std::string parse_error;
+  std::optional<Value> doc = support::json::parse(line, &parse_error);
+  if (!doc) {
+    if (error) *error = "malformed JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (!doc->is_object()) return fail("request must be a JSON object");
+  const Value* method = doc->find("method");
+  if (!method || !method->is_string()) return fail("missing \"method\"");
+  Request request;
+  const std::string& name = method->as_string();
+  if (name == "ping") {
+    request.method = Method::Ping;
+    return request;
+  }
+  if (name == "stats") {
+    request.method = Method::Stats;
+    return request;
+  }
+  if (name == "shutdown") {
+    request.method = Method::Shutdown;
+    return request;
+  }
+  if (name != "analyze") return fail("unknown method");
+  request.method = Method::Analyze;
+  const Value* programs = doc->find("programs");
+  if (!programs || !programs->is_array()) return fail("analyze needs a \"programs\" array");
+  if (programs->as_array().empty()) return fail("\"programs\" must not be empty");
+  for (const Value& entry : programs->as_array()) {
+    if (!entry.is_object()) return fail("program entries must be objects");
+    const Value* name_field = entry.find("name");
+    const Value* source = entry.find("source");
+    if (!name_field || !name_field->is_string()) return fail("program missing \"name\"");
+    if (!source || !source->is_string()) return fail("program missing \"source\"");
+    driver::ProgramInput input;
+    input.name = name_field->as_string();
+    input.source = source->as_string();
+    if (const Value* assume = entry.find("assume")) {
+      if (!assume->is_array()) return fail("\"assume\" must be an array of NAME=VALUE");
+      for (const Value& spec : assume->as_array()) {
+        if (!spec.is_string() || !input.assumptions.add_spec(spec.as_string())) {
+          return fail("bad \"assume\" spec (want NAME=VALUE)");
+        }
+      }
+    }
+    request.programs.push_back(std::move(input));
+  }
+  if (const Value* emit = doc->find("emit")) {
+    if (!emit->is_bool()) return fail("\"emit\" must be a bool");
+    request.emit = emit->as_bool();
+  }
+  if (const Value* threads = doc->find("threads")) {
+    if (!threads->is_int() || threads->as_int() < 0) {
+      return fail("\"threads\" must be a non-negative integer");
+    }
+    request.threads = static_cast<unsigned>(threads->as_int());
+  }
+  return request;
+}
+
+std::string make_analyze_request(const std::vector<driver::ProgramInput>& programs,
+                                 bool emit, unsigned threads) {
+  Object o;
+  o.emplace("method", "analyze");
+  Array entries;
+  for (const driver::ProgramInput& input : programs) {
+    Object entry;
+    entry.emplace("name", input.name);
+    entry.emplace("source", input.source);
+    if (!input.assumptions.empty()) {
+      Array assume;
+      for (const pipeline::Assumption& a : input.assumptions.items()) {
+        assume.emplace_back(a.name + "=" + std::to_string(a.value));
+      }
+      entry.emplace("assume", std::move(assume));
+    }
+    entries.push_back(Value(std::move(entry)));
+  }
+  o.emplace("programs", std::move(entries));
+  o.emplace("emit", emit);
+  o.emplace("threads", static_cast<int64_t>(threads));
+  return Value(std::move(o)).dump();
+}
+
+std::string make_simple_request(Method method) {
+  Object o;
+  o.emplace("method", method_name(method));
+  return Value(std::move(o)).dump();
+}
+
+std::string error_response(const std::string& message) {
+  Object o;
+  o.emplace("ok", false);
+  o.emplace("error", message);
+  return Value(std::move(o)).dump();
+}
+
+}  // namespace sspar::server

@@ -1,0 +1,65 @@
+// Wire protocol of the sspar-analyze analysis server: newline-delimited
+// JSON over a Unix-domain stream socket. One request per line, one response
+// per line; a connection may carry any number of request/response pairs.
+//
+// Requests:
+//
+//   {"method":"analyze","programs":[{"name":"p","source":"...",
+//    "assume":["N=100","M=8"]}],"emit":false,"threads":0}
+//   {"method":"ping"}
+//   {"method":"stats"}
+//   {"method":"shutdown"}
+//
+// `assume` entries use the CLI's NAME=VALUE spec (pipeline::Assumptions::
+// add_spec). `emit` includes the transformed OpenMP source per program;
+// `threads` overrides the server's per-request analysis parallelism (0 =
+// server default). Responses:
+//
+//   {"ok":true,"report":{...}}        analyze — driver::batch_report_to_json
+//   {"ok":true,"method":"ping"}
+//   {"ok":true,"requests":N,"store":{...}}
+//   {"ok":true,"method":"shutdown"}   the server flushes its store and exits
+//   {"ok":false,"error":"..."}        malformed request / unknown method
+//
+// The report object is byte-identical to one-shot `sspar-analyze --json` for
+// the same inputs and persistent-store state (both run through
+// driver::run_with_store; JSON objects serialize with sorted keys).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "driver/batch_analyzer.h"
+#include "support/json.h"
+
+namespace sspar::server {
+
+enum class Method { Analyze, Ping, Stats, Shutdown };
+
+struct Request {
+  Method method = Method::Ping;
+  // Analyze payload (empty for the other methods).
+  std::vector<driver::ProgramInput> programs;
+  bool emit = false;
+  unsigned threads = 0;  // 0 = server default
+};
+
+// Parses one request line. Null on malformed JSON, unknown method, or a
+// structurally invalid analyze payload; `error` gets a one-line reason.
+std::optional<Request> parse_request(std::string_view line, std::string* error);
+
+// Client-side builder for an analyze request line (without the trailing
+// newline — the transport adds it).
+std::string make_analyze_request(const std::vector<driver::ProgramInput>& programs,
+                                 bool emit, unsigned threads);
+// Builder for the payload-free methods ("ping", "stats", "shutdown").
+std::string make_simple_request(Method method);
+
+// {"ok":false,"error":message} — the server's reply to anything unparseable.
+std::string error_response(const std::string& message);
+
+const char* method_name(Method method);
+
+}  // namespace sspar::server

@@ -1,0 +1,267 @@
+// Analysis server: concurrent clients get byte-identical responses matching
+// the one-shot CLI report, malformed requests get errors without killing the
+// connection, disconnecting clients never take the server down, and a
+// shutdown request flushes the persistent store.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "driver/json_report.h"
+#include "driver/store_session.h"
+#include "server/analysis_server.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "store/summary_store.h"
+#include "support/json.h"
+
+namespace sspar::server {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "sspar_server_test_" + name;
+}
+
+std::vector<driver::ProgramInput> test_inputs() {
+  const char* kProgram = R"(
+    int n;
+    int a[100];
+    int idx[100];
+    int clamp(int v) {
+      if (v < 0) { v = 0; }
+      return v;
+    }
+    void f() {
+      for (int i = 0; i < n; i++) {
+        a[idx[i]] = clamp(i);
+      }
+    }
+  )";
+  std::vector<driver::ProgramInput> inputs;
+  inputs.push_back(driver::ProgramInput{"prog", kProgram, {{"n", 1}}});
+  return inputs;
+}
+
+// Zeroes every "total_ms" — wall-clock is the one legitimately varying field
+// between otherwise byte-identical reports.
+void canonicalize(support::json::Value& value) {
+  if (value.is_object()) {
+    for (auto& [key, child] : value.as_object()) {
+      if (key == "total_ms") {
+        child = support::json::Value(int64_t{0});
+      } else {
+        canonicalize(child);
+      }
+    }
+  } else if (value.is_array()) {
+    for (auto& child : value.as_array()) canonicalize(child);
+  }
+}
+
+std::string canonical_dump(support::json::Value value) {
+  canonicalize(value);
+  return value.dump(2);
+}
+
+std::string fresh_path(const std::string& name) {
+  std::string path = temp_path(name);
+  std::remove(path.c_str());
+  return path;
+}
+
+struct ServerFixture {
+  std::string socket_path;
+  std::string store_path;
+  store::SummaryStore store;
+  AnalysisServer server;
+
+  explicit ServerFixture(const std::string& name, unsigned threads = 2)
+      : socket_path(fresh_path(name + ".sock")),
+        store_path(fresh_path(name + ".bin")),
+        store(store_path),
+        server(ServerOptions{socket_path, threads, {}, &store}) {
+    EXPECT_TRUE(store.open());
+  }
+
+  ~ServerFixture() {
+    server.stop();
+    std::remove(store_path.c_str());
+  }
+
+  bool start() {
+    std::string error;
+    bool ok = server.start(&error);
+    EXPECT_TRUE(ok) << error;
+    return ok;
+  }
+};
+
+TEST(AnalysisServer, ConcurrentClientsGetByteIdenticalReports) {
+  ServerFixture fx("concurrent");
+  ASSERT_TRUE(fx.start());
+  auto inputs = test_inputs();
+  const std::string request = make_analyze_request(inputs, /*emit=*/true, /*threads=*/2);
+
+  // Warm the store with one sequential request so every concurrent request
+  // below sees the same preloaded record set.
+  {
+    Client warmup;
+    ASSERT_TRUE(warmup.connect(fx.socket_path));
+    auto response = warmup.request(request);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->find("ok")->as_bool());
+  }
+
+  constexpr int kClients = 5;
+  std::vector<std::string> responses(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client;
+      std::string error;
+      if (!client.connect(fx.socket_path, &error)) return;
+      auto response = client.request(request, &error);
+      if (response) responses[static_cast<size_t>(i)] = canonical_dump(*response);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(responses[static_cast<size_t>(i)].empty()) << "client " << i << " failed";
+    EXPECT_EQ(responses[static_cast<size_t>(i)], responses[0]) << "client " << i;
+  }
+
+  // And the daemon's report is byte-identical to what one-shot
+  // `sspar-analyze --json --store` produces for the same warm store.
+  store::SummaryStore local_store(fx.store_path);
+  ASSERT_TRUE(local_store.open());
+  driver::BatchOptions options;
+  options.threads = 2;
+  driver::BatchReport local = driver::run_with_store(inputs, options, &local_store);
+  const std::string expected = canonical_dump(
+      driver::batch_report_to_json(local, driver::BatchAnalyzer(options).threads(), true));
+  auto first = support::json::parse(responses[0]);
+  ASSERT_TRUE(first.has_value());
+  const support::json::Value* report = first->find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(canonical_dump(*report), expected);
+}
+
+TEST(AnalysisServer, MalformedRequestsGetErrorsAndTheConnectionSurvives) {
+  ServerFixture fx("malformed");
+  ASSERT_TRUE(fx.start());
+  Client client;
+  ASSERT_TRUE(client.connect(fx.socket_path));
+
+  auto garbage = client.request("this is not json");
+  ASSERT_TRUE(garbage.has_value());
+  EXPECT_FALSE(garbage->find("ok")->as_bool());
+  EXPECT_TRUE(garbage->find("error")->is_string());
+
+  auto wrong_method = client.request(R"({"method":"transmogrify"})");
+  ASSERT_TRUE(wrong_method.has_value());
+  EXPECT_FALSE(wrong_method->find("ok")->as_bool());
+
+  auto bad_programs = client.request(R"({"method":"analyze","programs":"nope"})");
+  ASSERT_TRUE(bad_programs.has_value());
+  EXPECT_FALSE(bad_programs->find("ok")->as_bool());
+
+  // The same connection still answers valid requests afterwards.
+  auto ping = client.request(make_simple_request(Method::Ping));
+  ASSERT_TRUE(ping.has_value());
+  EXPECT_TRUE(ping->find("ok")->as_bool());
+  EXPECT_EQ(ping->find("method")->as_string(), "ping");
+}
+
+TEST(AnalysisServer, ClientDisconnectMidRequestLeavesTheServerServing) {
+  ServerFixture fx("disconnect");
+  ASSERT_TRUE(fx.start());
+
+  {
+    // Half a request line, NO newline, then gone: the server must drop the
+    // partial buffer without parsing or answering it.
+    Client goner;
+    ASSERT_TRUE(goner.connect(fx.socket_path));
+    ASSERT_TRUE(goner.send_bytes(R"({"method":"analyze","programs":[{"na)"));
+    goner.close();
+  }
+  {
+    // …and a connection that opens and dies without a single byte.
+    Client goner;
+    ASSERT_TRUE(goner.connect(fx.socket_path));
+    goner.close();
+  }
+
+  Client client;
+  ASSERT_TRUE(client.connect(fx.socket_path));
+  auto response = client.request(make_analyze_request(test_inputs(), false, 1));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->find("ok")->as_bool());
+  EXPECT_NE(response->find("report"), nullptr);
+}
+
+TEST(AnalysisServer, StatsAndPingReportServerState) {
+  ServerFixture fx("stats");
+  ASSERT_TRUE(fx.start());
+  Client client;
+  ASSERT_TRUE(client.connect(fx.socket_path));
+
+  auto ping = client.request(make_simple_request(Method::Ping));
+  ASSERT_TRUE(ping.has_value());
+  EXPECT_TRUE(ping->find("ok")->as_bool());
+
+  auto analyze = client.request(make_analyze_request(test_inputs(), false, 1));
+  ASSERT_TRUE(analyze.has_value());
+  EXPECT_TRUE(analyze->find("ok")->as_bool());
+
+  auto stats = client.request(make_simple_request(Method::Stats));
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->find("ok")->as_bool());
+  EXPECT_GE(stats->int_or("requests", 0), 3);
+  const support::json::Value* store_stats = stats->find("store");
+  ASSERT_NE(store_stats, nullptr);
+  EXPECT_GT(store_stats->int_or("records", 0), 0);  // the analyze was absorbed
+}
+
+TEST(AnalysisServer, ShutdownRequestStopsTheServerAndFlushesTheStore) {
+  ServerFixture fx("shutdown");
+  ASSERT_TRUE(fx.start());
+  {
+    Client client;
+    ASSERT_TRUE(client.connect(fx.socket_path));
+    auto analyze = client.request(make_analyze_request(test_inputs(), false, 1));
+    ASSERT_TRUE(analyze.has_value());
+    auto bye = client.request(make_simple_request(Method::Shutdown));
+    ASSERT_TRUE(bye.has_value());
+    EXPECT_TRUE(bye->find("ok")->as_bool());
+  }
+  fx.server.wait();  // returns once the shutdown lands
+  EXPECT_FALSE(fx.server.running());
+
+  // The store was flushed on the way out: a fresh open sees the records.
+  store::SummaryStore reopened(fx.store_path);
+  ASSERT_TRUE(reopened.open());
+  EXPECT_GT(reopened.size(), 0u);
+}
+
+TEST(AnalysisServer, StaleSocketFileIsReplacedLiveServerIsNot) {
+  ServerFixture fx("stale");
+  ASSERT_TRUE(fx.start());
+
+  // A second server on the SAME path must refuse: the first one is alive.
+  AnalysisServer rival(ServerOptions{fx.socket_path, 1, {}, nullptr});
+  std::string error;
+  EXPECT_FALSE(rival.start(&error));
+  EXPECT_NE(error.find("already"), std::string::npos) << error;
+
+  fx.server.stop();
+
+  // stop() unlinked the socket; simulate a crash leftover instead.
+  ServerFixture fresh("stale2");
+  ASSERT_TRUE(fresh.start());
+  fresh.server.stop();
+}
+
+}  // namespace
+}  // namespace sspar::server

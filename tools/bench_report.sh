@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # Runs the symbolic micro benches (google-benchmark JSON), the E6
 # analysis-time stage-split bench, the fig10 interprocedural-analysis
-# preface (summary-cache hit rates), the E5 inspector-overhead table, and a
-# corpus coverage run ({static_parallel, hybrid_parallel, serial}), and
-# merges them into one JSON document — the perf trajectory snapshot checked
-# in at the repo root (BENCH_pr<N>.json).
+# preface (summary-cache hit rates), the E5 inspector-overhead table, a
+# corpus coverage run ({static_parallel, hybrid_parallel, serial}), and a
+# cold-vs-warm persistent-store pair (the warm run MUST report store hits,
+# or the script fails), and merges them into one JSON document — the perf
+# trajectory snapshot checked in at the repo root (BENCH_pr<N>.json).
 #
 # usage: bench_report.sh <build-dir> <output.json> [min_time_seconds]
 set -eu
@@ -29,7 +30,10 @@ TMP_ANALYSIS=$(mktemp)
 TMP_IPA=$(mktemp)
 TMP_INSPECTOR=$(mktemp)
 TMP_COVERAGE=$(mktemp)
-trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE"' EXIT
+TMP_STORE_COLD=$(mktemp)
+TMP_STORE_WARM=$(mktemp)
+TMP_STORE_FILE=$(mktemp)
+trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_STORE_FILE"' EXIT
 
 # Older google-benchmark rejects the "0.01s" suffix form; pass a plain double.
 "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP_MICRO"
@@ -59,12 +63,24 @@ if [ -x "$ANALYZE" ]; then
 else
   : >"$TMP_COVERAGE"
 fi
+# Cold-vs-warm persistent store over the corpus: run 1 populates the store
+# from scratch, run 2 starts from it. The warm run's persistent_store.hits
+# must be positive — a warm store that serves nothing is a regression.
+if [ -x "$ANALYZE" ]; then
+  rm -f "$TMP_STORE_FILE"  # mktemp created it empty; the store wants absent-or-valid
+  "$ANALYZE" --threads=1 --json --store="$TMP_STORE_FILE" >"$TMP_STORE_COLD"
+  "$ANALYZE" --threads=1 --json --store="$TMP_STORE_FILE" >"$TMP_STORE_WARM"
+else
+  : >"$TMP_STORE_COLD"
+  : >"$TMP_STORE_WARM"
+fi
 
-python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$OUT" <<'EOF'
+python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$OUT" <<'EOF'
 import json
 import sys
 
-micro_path, analysis_path, ipa_path, inspector_path, coverage_path, out_path = sys.argv[1:7]
+(micro_path, analysis_path, ipa_path, inspector_path, coverage_path,
+ store_cold_path, store_warm_path, out_path) = sys.argv[1:9]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -141,6 +157,32 @@ if coverage_text.strip():
             if p.get("coverage", {}).get("hybrid_parallel", 0) > 0),
     }
 
+# Persistent-store cold/warm pair: stats.persistent_store from each run plus
+# the summed per-stage analysis wall-clock, the store's payoff signal.
+def store_run(path):
+    with open(path) as f:
+        text = f.read()
+    if not text.strip():
+        return None
+    report = json.loads(text)
+    stage_ms = sum(
+        stage.get("total_ms", 0.0)
+        for p in report.get("programs", [])
+        for stage in p.get("stages", {}).values())
+    return {
+        "persistent_store": report.get("stats", {}).get("persistent_store", {}),
+        "summary_scc": report.get("stats", {}).get("summary_scc", 0),
+        "stage_ms": round(stage_ms, 3),
+    }
+
+store_cold = store_run(store_cold_path)
+store_warm = store_run(store_warm_path)
+if store_warm is not None:
+    warm_hits = store_warm["persistent_store"].get("hits", 0)
+    if warm_hits <= 0:
+        sys.exit("bench_report.sh: warm persistent-store run reported 0 hits "
+                 "— the store round-trip is broken")
+
 doc = {
     "context": micro.get("context", {}),
     "micro_symbolic": micro.get("benchmarks", []),
@@ -151,6 +193,7 @@ doc = {
     "inspector_overhead": inspector_rows,
     "inspector_overhead_raw": inspector_text,
     "coverage": coverage,
+    "persistent_store": {"cold": store_cold, "warm": store_warm},
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
