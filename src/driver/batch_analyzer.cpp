@@ -88,6 +88,8 @@ bool BatchStats::operator==(const BatchStats& other) const {
          summary_scc == other.summary_scc && store_loaded == other.store_loaded &&
          store_hits == other.store_hits && store_misses == other.store_misses &&
          store_evicted == other.store_evicted && store_flushed == other.store_flushed &&
+         shed == other.shed && timed_out == other.timed_out &&
+         recovered == other.recovered && journal_replays == other.journal_replays &&
          property_counts == other.property_counts;
 }
 

@@ -114,6 +114,16 @@ struct BatchStats {
   int store_misses = 0;   // shared lookups the store could not serve
   int store_evicted = 0;  // records dropped by the size cap at flush
   int store_flushed = 0;  // records written by the last flush
+  // Resilience counters (JSON `stats.resilience`). Per-RUN values, so they
+  // are deterministic and inside operator==: a batch run never sheds or
+  // times out its own requests (always 0 here — the server's cumulative
+  // shed/timed_out/recovered totals live in the `stats` method response,
+  // outside report equality), and journal_replays is fixed by the store
+  // state the run opened with.
+  int shed = 0;             // requests refused by the connection cap
+  int timed_out = 0;        // requests past their deadline or read timeout
+  int recovered = 0;        // analyze exceptions turned into error responses
+  int journal_replays = 0;  // WAL records replayed when the store opened
   // Enabling-property histogram over parallel subscripted-subscript loops,
   // keyed by core::property_name(verdict.property).
   std::map<std::string, int> property_counts;

@@ -193,6 +193,14 @@ Value stats_to_json(const BatchStats& stats) {
   store.emplace("evicted", stats.store_evicted);
   store.emplace("flushed", stats.store_flushed);
   o.emplace("persistent_store", std::move(store));
+  // Per-run resilience counters (see BatchStats: deterministic, inside
+  // operator== — the server's cumulative totals are reported elsewhere).
+  Object resilience;
+  resilience.emplace("shed", stats.shed);
+  resilience.emplace("timed_out", stats.timed_out);
+  resilience.emplace("recovered", stats.recovered);
+  resilience.emplace("journal_replays", stats.journal_replays);
+  o.emplace("resilience", std::move(resilience));
   Object properties;
   for (const auto& [key, count] : stats.property_counts) properties.emplace(key, count);
   o.emplace("property_counts", std::move(properties));
@@ -229,6 +237,12 @@ BatchStats stats_from_json(const Value& value) {
     stats.store_misses = static_cast<int>(store->int_or("misses", 0));
     stats.store_evicted = static_cast<int>(store->int_or("evicted", 0));
     stats.store_flushed = static_cast<int>(store->int_or("flushed", 0));
+  }
+  if (const Value* resilience = value.find("resilience")) {
+    stats.shed = static_cast<int>(resilience->int_or("shed", 0));
+    stats.timed_out = static_cast<int>(resilience->int_or("timed_out", 0));
+    stats.recovered = static_cast<int>(resilience->int_or("recovered", 0));
+    stats.journal_replays = static_cast<int>(resilience->int_or("journal_replays", 0));
   }
   if (const Value* properties = value.find("property_counts")) {
     if (properties->is_object()) {

@@ -59,6 +59,11 @@ void print_usage(std::ostream& os) {
         "  --store-cap=N    max records kept across a flush (default 4096;\n"
         "                   coldest generations evicted first)\n"
         "  --no-store       ignore any --store flag (one-shot cold run)\n"
+        "  --journal        crash-safe write-ahead journal: absorbed summaries\n"
+        "                   are fsync'd to <store>.journal per run and replayed\n"
+        "                   on open; the full store rewrite only happens at\n"
+        "                   checkpoints, so a crash loses at most the in-flight\n"
+        "                   run's records\n"
         "\n"
         "analysis server:\n"
         "  --serve          run as a long-lived daemon answering analyze\n"
@@ -70,6 +75,14 @@ void print_usage(std::ostream& os) {
         "                   byte-identical to a local --json run against the\n"
         "                   same store state)\n"
         "  --shutdown       with --connect: ask the daemon to exit\n"
+        "\n"
+        "resilience (see README \"Resilience & operational limits\"):\n"
+        "  --max-connections=N   serve: live-connection cap; excess clients are\n"
+        "                   shed with E_OVERLOADED (default 64)\n"
+        "  --request-timeout-ms=N  serve: per-request deadline; an analyze past\n"
+        "                   it answers E_DEADLINE (default 0 = none)\n"
+        "  --timeout-ms=N   connect: client-side connect/read timeout so a hung\n"
+        "                   daemon fails fast (default 30000; 0 = wait forever)\n"
         "  --help           this message\n";
 }
 
@@ -151,6 +164,9 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
        << " hits, " << s.store_misses << " misses, " << s.store_evicted << " evicted, "
        << s.store_flushed << " flushed\n";
   }
+  if (s.journal_replays > 0) {
+    os << "  store journal:          " << s.journal_replays << " records replayed at open\n";
+  }
   if (!s.property_counts.empty()) {
     os << "  enabling properties:\n";
     for (const auto& [key, count] : s.property_counts) {
@@ -168,12 +184,15 @@ void handle_signal(int) {
 }
 
 int run_serve(const BatchOptions& options, const std::string& socket_path,
-              sspar::store::SummaryStore* store) {
+              sspar::store::SummaryStore* store, int64_t max_connections,
+              int64_t request_timeout_ms) {
   sspar::server::ServerOptions server_options;
   server_options.socket_path = socket_path;
   server_options.threads = options.threads;
   server_options.analyzer = options.analyzer;
   server_options.store = store;
+  server_options.max_connections = static_cast<size_t>(max_connections);
+  server_options.request_timeout_ms = static_cast<int>(request_timeout_ms);
   sspar::server::AnalysisServer server(server_options);
   std::string error;
   if (!server.start(&error)) {
@@ -190,10 +209,28 @@ int run_serve(const BatchOptions& options, const std::string& socket_path,
   return 0;
 }
 
+// Renders either error shape: the structured {"code","message"} object or a
+// plain string (older servers).
+std::string describe_server_error(const sspar::support::json::Value& response) {
+  const auto* why = response.find("error");
+  if (why == nullptr) return response.dump();
+  if (why->is_string()) return why->as_string();
+  if (why->is_object()) {
+    const auto* code = why->find("code");
+    const auto* message = why->find("message");
+    std::string text;
+    if (code && code->is_string()) text += "[" + code->as_string() + "] ";
+    if (message && message->is_string()) text += message->as_string();
+    if (!text.empty()) return text;
+  }
+  return response.dump();
+}
+
 int run_connect(const std::vector<ProgramInput>& inputs, const BatchOptions& options,
                 const std::string& socket_path, bool emit, bool json,
-                bool shutdown_daemon) {
+                bool shutdown_daemon, int64_t timeout_ms) {
   sspar::server::Client client;
+  client.set_timeout_ms(static_cast<int>(timeout_ms));
   std::string error;
   if (!client.connect(socket_path, &error)) {
     std::cerr << "sspar-analyze: " << error << "\n";
@@ -217,9 +254,8 @@ int run_connect(const std::vector<ProgramInput>& inputs, const BatchOptions& opt
   }
   const auto* ok = response->find("ok");
   if (!ok || !ok->is_bool() || !ok->as_bool()) {
-    const auto* why = response->find("error");
-    std::cerr << "sspar-analyze: server error: "
-              << (why && why->is_string() ? why->as_string() : response->dump()) << "\n";
+    std::cerr << "sspar-analyze: server error: " << describe_server_error(*response)
+              << "\n";
     return 1;
   }
   const auto* report_json = response->find("report");
@@ -257,10 +293,14 @@ int main(int argc, char** argv) {
   bool serve = false;
   bool no_store = false;
   bool shutdown_daemon = false;
+  bool journal = false;
   std::string store_path;
   std::string socket_path;
   std::string connect_path;
   int64_t store_cap = 4096;
+  int64_t max_connections = 64;
+  int64_t request_timeout_ms = 0;
+  int64_t client_timeout_ms = 30000;
   sspar::corpus::Suite suite = sspar::corpus::Suite::Paper;
   std::vector<std::string> files;
   sspar::pipeline::Assumptions assumptions;
@@ -305,6 +345,23 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-store") {
       no_store = true;
+    } else if (arg == "--journal") {
+      journal = true;
+    } else if (arg.rfind("--max-connections=", 0) == 0) {
+      if (!parse_int(arg.substr(18), &max_connections) || max_connections < 1) {
+        std::cerr << "sspar-analyze: --max-connections expects a positive integer\n";
+        return 2;
+      }
+    } else if (arg.rfind("--request-timeout-ms=", 0) == 0) {
+      if (!parse_int(arg.substr(21), &request_timeout_ms) || request_timeout_ms < 0) {
+        std::cerr << "sspar-analyze: --request-timeout-ms expects a non-negative integer\n";
+        return 2;
+      }
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      if (!parse_int(arg.substr(13), &client_timeout_ms) || client_timeout_ms < 0) {
+        std::cerr << "sspar-analyze: --timeout-ms expects a non-negative integer\n";
+        return 2;
+      }
     } else if (arg == "--serve") {
       serve = true;
     } else if (arg.rfind("--socket=", 0) == 0) {
@@ -350,9 +407,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (no_store) store_path.clear();
+  if (journal && store_path.empty() && !no_store) {
+    std::cerr << "sspar-analyze: --journal requires --store=PATH\n";
+    return 2;
+  }
 
-  sspar::store::SummaryStore store(
-      store_path, sspar::store::StoreOptions{static_cast<size_t>(store_cap)});
+  sspar::store::StoreOptions store_options;
+  store_options.max_entries = static_cast<size_t>(store_cap);
+  store_options.journal = journal;
+  sspar::store::SummaryStore store(store_path, store_options);
   sspar::store::SummaryStore* store_ptr = nullptr;
   if (!store_path.empty()) {
     if (!store.open()) {
@@ -363,7 +426,10 @@ int main(int argc, char** argv) {
     store_ptr = &store;
   }
 
-  if (serve) return run_serve(options, socket_path, store_ptr);
+  if (serve) {
+    return run_serve(options, socket_path, store_ptr, max_connections,
+                     request_timeout_ms);
+  }
 
   std::vector<ProgramInput> inputs;
   if (files.empty()) {
@@ -388,7 +454,8 @@ int main(int argc, char** argv) {
   }
 
   if (!connect_path.empty()) {
-    return run_connect(inputs, options, connect_path, emit, json, shutdown_daemon);
+    return run_connect(inputs, options, connect_path, emit, json, shutdown_daemon,
+                       client_timeout_ms);
   }
 
   BatchAnalyzer analyzer(options);

@@ -17,8 +17,10 @@ namespace sspar::driver {
 //      these count as store hits),
 //   2. run the batch sharing that cache,
 //   3. absorb the cache back (first-writer-wins; hit keys' generations
-//      bumped) and flush to disk,
-//   4. fill BatchStats::store_loaded/evicted/flushed from the store.
+//      bumped) and commit() — a full flush, or just the fsync'd WAL batch
+//      when the store runs in journal mode,
+//   4. fill BatchStats::store_loaded/evicted/flushed/journal_replays from
+//      the store.
 //
 // `store` may be null — then this is exactly BatchAnalyzer::run. The store
 // steps are also skipped when options.shared_summaries is false (no shared

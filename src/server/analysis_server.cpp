@@ -6,38 +6,21 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <set>
+#include <exception>
 #include <utility>
 
 #include "driver/json_report.h"
 #include "driver/store_session.h"
 #include "server/protocol.h"
+#include "support/faultpoint.h"
 #include "support/json.h"
 
 namespace sspar::server {
 
 using support::json::Object;
 using support::json::Value;
-
-namespace {
-
-bool send_all(int fd, std::string_view bytes) {
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    // MSG_NOSIGNAL: a client that disconnected mid-response must produce
-    // EPIPE here, not a process-killing SIGPIPE.
-    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
 
 AnalysisServer::AnalysisServer(ServerOptions options) : options_(std::move(options)) {}
 
@@ -116,58 +99,123 @@ void AnalysisServer::stop() {
   if (!running_.exchange(false)) return;
   request_stop();
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Unblock handler threads parked in recv(), then join them all. The join
-  // happens OUTSIDE connections_mutex_: an exiting handler takes that mutex
-  // to deregister its fd, so joining under it would deadlock.
-  std::vector<std::thread> to_join;
+  // Unblock handler threads parked in poll()/recv(), then join them all.
+  // Handlers only flag `done` on exit (no mutex), so joining with
+  // connections_mutex_ held cannot deadlock; the fd is closed strictly
+  // after the join so no handler can race a reused fd number.
+  std::vector<std::unique_ptr<Connection>> to_join;
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const auto& conn : connections_) ::shutdown(conn->fd, SHUT_RDWR);
     to_join.swap(connections_);
   }
-  for (std::thread& t : to_join) {
-    if (t.joinable()) t.join();
+  for (const auto& conn : to_join) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(options_.socket_path.c_str());
-  if (options_.store) options_.store->flush();
+  if (options_.store) options_.store->commit();
   for (int& fd : wake_pipe_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
 }
 
+size_t AnalysisServer::reap_connections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  size_t live = 0;
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
 void AnalysisServer::accept_loop() {
   for (;;) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    int ready = ::poll(fds, 2, -1);
+    // Wake periodically even with no new connections so finished handler
+    // threads are reaped promptly, not only on the next accept.
+    int ready = ::poll(fds, 2, 1000);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (fds[1].revents != 0 || stop_requested_.load()) break;
+    size_t live = reap_connections();
     if ((fds[0].revents & POLLIN) == 0) continue;
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
+    SSPAR_FAULTPOINT("server.accept.post_accept");
+    if (live >= options_.max_connections) {
+      // Load shedding: the refusal costs the daemon one write on the accept
+      // thread — an over-cap burst never allocates handler threads.
+      shed_.fetch_add(1);
+      std::string response =
+          error_response(ErrorCode::Overloaded,
+                         "connection cap reached (" +
+                             std::to_string(options_.max_connections) + "); retry later");
+      response.push_back('\n');
+      send_with_timeout(conn, response);
+      ::shutdown(conn, SHUT_RDWR);
+      ::close(conn);
+      continue;
+    }
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection_fds_.insert(conn);
-    connections_.emplace_back([this, conn] { serve_connection(conn); });
+    auto connection = std::make_unique<Connection>();
+    Connection* raw = connection.get();
+    raw->fd = conn;
+    connections_.push_back(std::move(connection));
+    raw->thread = std::thread([this, raw] { serve_connection(raw); });
   }
 }
 
-void AnalysisServer::serve_connection(int fd) {
+void AnalysisServer::serve_connection(Connection* conn) {
+  const int fd = conn->fd;
   std::string buffer;
   char chunk[4096];
   bool shutdown_server = false;
-  for (;;) {
-    // A peer that disconnects mid-request just ends the loop here — the
-    // partial line in `buffer` is dropped, never parsed, never answered.
+  bool open = true;
+  while (open) {
+    // Block only while nothing is pending. A connection holding a PARTIAL
+    // request line is on the clock: a peer trickling bytes (slowloris) or
+    // stalling mid-request gets E_TIMEOUT and the connection is dropped.
+    // Idle connections between requests park here forever (timeout -1);
+    // the wake pipe unparks them when the server stops.
+    const bool partial = !buffer.empty();
+    const int timeout =
+        partial && options_.read_timeout_ms > 0 ? options_.read_timeout_ms : -1;
+    pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0 || stop_requested_.load()) break;
+    if (ready == 0) {
+      timed_out_.fetch_add(1);
+      std::string response =
+          error_response(ErrorCode::Timeout, "read timed out with a partial request");
+      response.push_back('\n');
+      send_with_timeout(fd, response);
+      break;
+    }
+    SSPAR_FAULTPOINT("server.read.post_poll");
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    // A peer that disconnects mid-request ends the loop here — the partial
+    // line in `buffer` is dropped, never parsed, never answered.
     if (n <= 0) break;
     buffer.append(chunk, static_cast<size_t>(n));
     size_t start = 0;
@@ -175,26 +223,70 @@ void AnalysisServer::serve_connection(int fd) {
          nl = buffer.find('\n', start)) {
       std::string line = buffer.substr(start, nl - start);
       start = nl + 1;
-      std::string response = handle_line(line, &shutdown_server);
+      std::string response;
+      if (line.size() > options_.max_request_bytes) {
+        response = error_response(ErrorCode::ReqTooLarge,
+                                  "request line over " +
+                                      std::to_string(options_.max_request_bytes) + " bytes");
+        open = false;
+      } else {
+        response = handle_line(line, &shutdown_server);
+      }
       response.push_back('\n');
-      if (!send_all(fd, response)) {
+      if (!send_with_timeout(fd, response)) {
         shutdown_server = false;
+        open = false;
         break;
       }
-      if (shutdown_server) break;
+      if (shutdown_server || !open) break;
     }
     buffer.erase(0, start);
     if (shutdown_server) break;
+    // An oversized UNTERMINATED line must not grow the buffer without
+    // bound: refuse it as soon as it passes the cap.
+    if (open && buffer.size() > options_.max_request_bytes) {
+      std::string response =
+          error_response(ErrorCode::ReqTooLarge,
+                         "request line over " +
+                             std::to_string(options_.max_request_bytes) + " bytes");
+      response.push_back('\n');
+      send_with_timeout(fd, response);
+      break;
+    }
   }
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connection_fds_.erase(fd);
-  }
-  ::close(fd);
+  // Signal the peer, flag done for the reaper — but never close: the accept
+  // loop (or stop()) closes the fd after joining this thread.
+  ::shutdown(fd, SHUT_RDWR);
+  conn->done.store(true);
   // Ordering matters: the shutdown response is already on the wire and the
-  // socket closed before the stop is triggered, so the requesting client
+  // socket shut down before the stop is triggered, so the requesting client
   // always sees its acknowledgment.
   if (shutdown_server) request_stop();
+}
+
+bool AnalysisServer::send_with_timeout(int fd, std::string_view bytes) {
+  SSPAR_FAULTPOINT("server.write.pre_send");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    // MSG_NOSIGNAL: a client that disconnected mid-response must produce
+    // EPIPE here, not a process-killing SIGPIPE. MSG_DONTWAIT so a peer
+    // that stops draining parks us in poll below — bounded by the write
+    // timeout — instead of blocking forever in send().
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) return false;
+      pollfd p{fd, POLLOUT, 0};
+      const int timeout = options_.write_timeout_ms > 0 ? options_.write_timeout_ms : -1;
+      int ready = ::poll(&p, 1, timeout);
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) return false;  // write timeout or poll failure
+      continue;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
 }
 
 std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown) {
@@ -222,10 +314,19 @@ std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown)
         st.emplace("absorbed", static_cast<int64_t>(s.absorbed));
         st.emplace("evicted", static_cast<int64_t>(s.evicted));
         st.emplace("flushed", static_cast<int64_t>(s.flushed));
+        st.emplace("journal_replayed", static_cast<int64_t>(s.journal_replayed));
+        st.emplace("journal_appended", static_cast<int64_t>(s.journal_appended));
         o.emplace("store", std::move(st));
       } else {
         o.emplace("store", nullptr);
       }
+      // Cumulative daemon-lifetime totals — the per-run, deterministic
+      // values live in each report's stats.resilience instead.
+      Object resilience;
+      resilience.emplace("shed", static_cast<int64_t>(shed_.load()));
+      resilience.emplace("timed_out", static_cast<int64_t>(timed_out_.load()));
+      resilience.emplace("recovered", static_cast<int64_t>(recovered_.load()));
+      o.emplace("resilience", std::move(resilience));
       return Value(std::move(o)).dump();
     }
     case Method::Shutdown: {
@@ -244,8 +345,34 @@ std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown)
   // Every request runs through the same store orchestration as one-shot
   // `--json --store`, so responses are byte-identical to the CLI for the
   // same inputs and store state.
-  driver::BatchReport report =
-      driver::run_with_store(request->programs, options, options_.store);
+  const auto start = std::chrono::steady_clock::now();
+  driver::BatchReport report;
+  try {
+    SSPAR_FAULTPOINT("server.analyze.pre_run");
+    report = driver::run_with_store(request->programs, options, options_.store);
+  } catch (const std::exception& e) {
+    // No pipeline failure may take down the connection thread (and with it
+    // the daemon): every exception becomes a structured error response.
+    recovered_.fetch_add(1);
+    return error_response(ErrorCode::Internal, std::string("analyze failed: ") + e.what());
+  } catch (...) {
+    recovered_.fetch_add(1);
+    return error_response(ErrorCode::Internal, "analyze failed: unknown exception");
+  }
+  if (options_.request_timeout_ms > 0) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (elapsed > options_.request_timeout_ms) {
+      // The work is done (and its summaries absorbed — the warm cache keeps
+      // the benefit), but the contract is the deadline: the client gets a
+      // deterministic refusal, not a late report it may no longer want.
+      timed_out_.fetch_add(1);
+      return error_response(ErrorCode::Deadline,
+                            "analyze exceeded its " +
+                                std::to_string(options_.request_timeout_ms) + " ms deadline");
+    }
+  }
   const unsigned threads = driver::BatchAnalyzer(options).threads();
   Object o;
   o.emplace("ok", true);

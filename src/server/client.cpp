@@ -1,13 +1,30 @@
 #include "server/client.h"
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace sspar::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_until(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
 
 Client::~Client() { close(); }
 
@@ -25,11 +42,62 @@ bool Client::connect(const std::string& socket_path, std::string* error) {
     if (error) *error = "socket() failed";
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error) *error = "connect(" + socket_path + "): " + std::strerror(errno);
+  auto fail = [this, error](const std::string& why) {
+    if (error) *error = why;
     ::close(fd_);
     fd_ = -1;
     return false;
+  };
+  // Non-blocking connect bounded by the timeout: a wedged daemon whose
+  // accept backlog is full makes AF_UNIX connect() block (or, non-blocking,
+  // fail with EAGAIN rather than EINPROGRESS) — the CLI must diagnose that,
+  // not hang.
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeout_ms_ > 0 ? timeout_ms_ : 1 << 30);
+  for (;;) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) break;
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      pollfd p{fd_, POLLOUT, 0};
+      int ready = ::poll(&p, 1, ms_until(deadline));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready <= 0) {
+        return fail("connect(" + socket_path + ") timed out after " +
+                    std::to_string(timeout_ms_) + " ms");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        return fail("connect(" + socket_path + "): " + std::strerror(so_error));
+      }
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED) {
+      // EAGAIN: the daemon's accept backlog is full. ECONNREFUSED can be a
+      // just-starting daemon racing its listen(). Both are retryable until
+      // the deadline — only then is the daemon declared hung/absent.
+      if (Clock::now() >= deadline) {
+        return fail("connect(" + socket_path + ") timed out after " +
+                    std::to_string(timeout_ms_) +
+                    " ms (daemon hung or backlog full): " + std::strerror(errno));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    return fail("connect(" + socket_path + "): " + std::strerror(errno));
+  }
+  ::fcntl(fd_, F_SETFL, flags);  // back to blocking for send/recv
+  if (timeout_ms_ > 0) {
+    // Per-call send/recv bound; recv then reports EAGAIN on a hung daemon
+    // instead of parking the CLI forever.
+    timeval tv{};
+    tv.tv_sec = timeout_ms_ / 1000;
+    tv.tv_usec = (timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   return true;
 }
@@ -62,6 +130,14 @@ std::optional<support::json::Value> Client::request(const std::string& line,
     if (error) *error = "not connected or send failed";
     return std::nullopt;
   }
+  return read_response(error);
+}
+
+std::optional<support::json::Value> Client::read_response(std::string* error) {
+  if (fd_ < 0) {
+    if (error) *error = "not connected";
+    return std::nullopt;
+  }
   for (;;) {
     size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
@@ -73,9 +149,25 @@ std::optional<support::json::Value> Client::request(const std::string& line,
       if (!doc && error) *error = "malformed response: " + parse_error;
       return doc;
     }
+    if (buffer_.size() > max_response_bytes_) {
+      // A runaway or hostile server must not balloon the client: drop the
+      // connection rather than keep accumulating.
+      if (error) {
+        *error = "response exceeded " + std::to_string(max_response_bytes_) + " bytes";
+      }
+      close();
+      return std::nullopt;
+    }
     char chunk[4096];
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (error) {
+        *error = "timed out after " + std::to_string(timeout_ms_) +
+                 " ms waiting for a response (daemon hung?)";
+      }
+      return std::nullopt;
+    }
     if (n <= 0) {
       if (error) *error = "server closed the connection";
       return std::nullopt;

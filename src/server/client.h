@@ -1,6 +1,12 @@
 // Minimal blocking client for the analysis server (server/protocol.h):
 // connect to the daemon's Unix-domain socket, write request lines, read
 // response lines. Backs `sspar-analyze --connect` and the server tests.
+//
+// Defensive defaults: connect, send, and receive are all bounded by
+// timeout_ms (30 s unless set_timeout_ms changes it), so a hung or wedged
+// daemon yields a clear diagnostic instead of blocking the CLI forever; a
+// response line is capped at max_response_bytes — a runaway or hostile
+// server cannot balloon the client's memory.
 #pragma once
 
 #include <optional>
@@ -19,14 +25,21 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  // False (with a reason in `error`) when nothing accepts on `socket_path`.
+  // Applies to connect(), send, and response reads; <= 0 waits forever.
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
+  // Response-line cap; oversized responses fail the request.
+  void set_max_response_bytes(size_t bytes) { max_response_bytes_ = bytes; }
+
+  // False (with a reason in `error`) when nothing accepts on `socket_path`
+  // within the timeout.
   bool connect(const std::string& socket_path, std::string* error = nullptr);
   void close();
   bool connected() const { return fd_ >= 0; }
 
   // Sends one request line (newline appended) and blocks for the one-line
-  // response. Null on transport failure or a response that is not valid
-  // JSON. The same connection can issue any number of requests.
+  // response, up to the timeout. Null on transport failure, timeout, an
+  // oversized response, or a response that is not valid JSON. The same
+  // connection can issue any number of requests.
   std::optional<support::json::Value> request(const std::string& line,
                                               std::string* error = nullptr);
 
@@ -38,8 +51,15 @@ class Client {
   // on the wire before disconnecting.
   bool send_bytes(std::string_view bytes);
 
+  // Reads the next response line (without sending anything first) — lets
+  // tests collect a response pushed by the server, e.g. the E_OVERLOADED
+  // shed notice.
+  std::optional<support::json::Value> read_response(std::string* error = nullptr);
+
  private:
   int fd_ = -1;
+  int timeout_ms_ = 30000;
+  size_t max_response_bytes_ = 64u << 20;
   std::string buffer_;  // bytes past the last consumed response line
 };
 

@@ -115,11 +115,36 @@ std::string make_simple_request(Method method) {
   return Value(std::move(o)).dump();
 }
 
-std::string error_response(const std::string& message) {
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::BadRequest:
+      return "E_BAD_REQUEST";
+    case ErrorCode::ReqTooLarge:
+      return "E_REQ_TOO_LARGE";
+    case ErrorCode::Timeout:
+      return "E_TIMEOUT";
+    case ErrorCode::Deadline:
+      return "E_DEADLINE";
+    case ErrorCode::Overloaded:
+      return "E_OVERLOADED";
+    case ErrorCode::Internal:
+      return "E_INTERNAL";
+  }
+  return "E_INTERNAL";
+}
+
+std::string error_response(ErrorCode code, const std::string& message) {
+  Object error;
+  error.emplace("code", error_code_name(code));
+  error.emplace("message", message);
   Object o;
   o.emplace("ok", false);
-  o.emplace("error", message);
+  o.emplace("error", std::move(error));
   return Value(std::move(o)).dump();
+}
+
+std::string error_response(const std::string& message) {
+  return error_response(ErrorCode::BadRequest, message);
 }
 
 }  // namespace sspar::server

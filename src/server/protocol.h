@@ -17,9 +17,19 @@
 //
 //   {"ok":true,"report":{...}}        analyze — driver::batch_report_to_json
 //   {"ok":true,"method":"ping"}
-//   {"ok":true,"requests":N,"store":{...}}
+//   {"ok":true,"requests":N,"store":{...},"resilience":{...}}
 //   {"ok":true,"method":"shutdown"}   the server flushes its store and exits
-//   {"ok":false,"error":"..."}        malformed request / unknown method
+//   {"ok":false,"error":{"code":"E_...","message":"..."}}
+//
+// Error responses carry a STABLE machine-readable code plus a human-readable
+// message (see ErrorCode):
+//
+//   E_BAD_REQUEST    malformed JSON / unknown method / invalid payload
+//   E_REQ_TOO_LARGE  request line exceeded the server's byte cap
+//   E_TIMEOUT        mid-request read stalled past the read timeout
+//   E_DEADLINE       the analyze ran past --request-timeout-ms
+//   E_OVERLOADED     connection cap reached; retry later (load shedding)
+//   E_INTERNAL       analyze pipeline threw; the daemon survives
 //
 // The report object is byte-identical to one-shot `sspar-analyze --json` for
 // the same inputs and persistent-store state (both run through
@@ -37,6 +47,19 @@
 namespace sspar::server {
 
 enum class Method { Analyze, Ping, Stats, Shutdown };
+
+// Stable machine-readable error codes — part of the wire protocol; clients
+// match on these, never on message text.
+enum class ErrorCode {
+  BadRequest,   // E_BAD_REQUEST
+  ReqTooLarge,  // E_REQ_TOO_LARGE
+  Timeout,      // E_TIMEOUT
+  Deadline,     // E_DEADLINE
+  Overloaded,   // E_OVERLOADED
+  Internal,     // E_INTERNAL
+};
+
+const char* error_code_name(ErrorCode code);
 
 struct Request {
   Method method = Method::Ping;
@@ -57,7 +80,11 @@ std::string make_analyze_request(const std::vector<driver::ProgramInput>& progra
 // Builder for the payload-free methods ("ping", "stats", "shutdown").
 std::string make_simple_request(Method method);
 
-// {"ok":false,"error":message} — the server's reply to anything unparseable.
+// {"ok":false,"error":{"code":...,"message":...}} — the server's reply to
+// anything it refuses or fails to serve.
+std::string error_response(ErrorCode code, const std::string& message);
+// Convenience overload: E_BAD_REQUEST (the pre-resilience error shape's only
+// case) with the given message.
 std::string error_response(const std::string& message);
 
 const char* method_name(Method method);

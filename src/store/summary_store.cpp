@@ -1,11 +1,17 @@
 #include "store/summary_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
+
+#include "support/faultpoint.h"
 
 namespace sspar::store {
 
@@ -379,6 +385,11 @@ namespace {
 constexpr char kMagic[4] = {'S', 'S', 'P', 'S'};
 constexpr uint32_t kVersion = 1;
 
+// Journal record types ("<path>.journal" sidecar, little-endian framing:
+// u8 type | u32 body_size | u64 body_fnv | body).
+constexpr char kJournalAdd = 'A';    // body: key.hi u64 | key.lo u64 | gen u64 | payload
+constexpr char kJournalTouch = 'T';  // body: key.hi u64 | key.lo u64 | gen u64
+
 void put_file_u32(std::string& out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
 }
@@ -386,26 +397,76 @@ void put_file_u64(std::string& out, uint64_t v) {
   for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
 }
 
+uint32_t get_raw_u32(std::string_view bytes, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+uint64_t get_raw_u64(std::string_view bytes, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[pos + i])) << (8 * i);
+  }
+  return v;
+}
+
+// Frames one journal record: type byte, body length, FNV-1a of the body.
+void put_journal_record(std::string& out, char type, const std::string& body) {
+  out.push_back(type);
+  put_file_u32(out, static_cast<uint32_t>(body.size()));
+  put_file_u64(out, payload_checksum(body));
+  out.append(body);
+}
+
+bool write_fully(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
 }  // namespace
 
 SummaryStore::SummaryStore(std::string path, StoreOptions options)
     : path_(std::move(path)), options_(options) {}
 
+SummaryStore::~SummaryStore() {
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
 bool SummaryStore::open() {
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return true;  // missing file: start empty, flush() will create it
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::string contents = buffer.str();
-  if (contents.empty()) return true;  // freshly touched file == missing
+  SSPAR_FAULTPOINT("store.open.pre_load");
+  std::string contents;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      contents = buffer.str();
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  if (load_file(contents)) return true;
-  // Whole-file reject (bad magic/version): quarantine so the next flush can
-  // lay down a fresh store without fighting the corrupt bytes.
-  records_.clear();
-  stats_.rejected += 1;
-  std::rename(path_.c_str(), (path_ + ".corrupt").c_str());
-  return false;
+  bool ok = true;
+  // A missing or freshly touched base file just starts empty.
+  if (!contents.empty() && !load_file(contents)) {
+    // Whole-file reject (bad magic/version): quarantine so the next flush can
+    // lay down a fresh store without fighting the corrupt bytes.
+    records_.clear();
+    stats_.rejected += 1;
+    std::rename(path_.c_str(), (path_ + ".corrupt").c_str());
+    ok = false;
+  }
+  SSPAR_FAULTPOINT("store.open.pre_replay");
+  if (options_.journal) replay_journal_locked();
+  return ok;
 }
 
 bool SummaryStore::load_file(const std::string& contents) {
@@ -470,6 +531,90 @@ bool SummaryStore::load_file(const std::string& contents) {
   return true;
 }
 
+void SummaryStore::replay_journal_locked() {
+  const std::string jpath = path_ + ".journal";
+  std::string contents;
+  {
+    std::ifstream in(jpath, std::ios::binary);
+    if (!in) return;  // no journal: nothing absorbed since the last flush
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents = buffer.str();
+  }
+  constexpr size_t kFrame = 1 + 4 + 8;  // type | body_size | body_fnv
+  constexpr size_t kKeyGen = 8 + 8 + 8;  // key.hi | key.lo | generation
+  size_t pos = 0;
+  size_t good = 0;  // bytes up to and including the last intact record
+  uint64_t max_generation = 0;
+  while (pos < contents.size()) {
+    if (contents.size() - pos < kFrame) break;  // torn frame header
+    const char type = contents[pos];
+    const uint32_t body_size = get_raw_u32(contents, pos + 1);
+    const uint64_t body_fnv = get_raw_u64(contents, pos + 5);
+    if (type != kJournalAdd && type != kJournalTouch) break;
+    if (contents.size() - pos - kFrame < body_size) break;  // torn body
+    std::string_view body(contents.data() + pos + kFrame, body_size);
+    if (payload_checksum(body) != body_fnv) break;  // corrupt record
+    if (body_size < kKeyGen || (type == kJournalTouch && body_size != kKeyGen)) break;
+    ipa::CacheKey key;
+    key.hi = get_raw_u64(body, 0);
+    key.lo = get_raw_u64(body, 8);
+    const uint64_t generation = get_raw_u64(body, 16);
+    max_generation = std::max(max_generation, generation);
+    if (type == kJournalAdd) {
+      // Counted whether or not the key is already in the base file: a
+      // checkpoint that completed its rename but died before truncating the
+      // journal leaves every record duplicated, and the count must not
+      // depend on which side of that instant the crash landed.
+      stats_.journal_replayed += 1;
+      std::string payload(body.substr(kKeyGen));
+      if (records_.find(key) == records_.end() && deserialize_summary(payload)) {
+        records_.emplace(key, Record{std::move(payload), generation});
+      }
+    } else {
+      auto it = records_.find(key);
+      if (it != records_.end() && generation > it->second.generation) {
+        it->second.generation = generation;
+      }
+    }
+    pos += kFrame + body_size;
+    good = pos;
+  }
+  journal_bytes_ = good;
+  if (good != contents.size()) {
+    // Torn or corrupt tail: drop it at the last good record and truncate the
+    // file so later appends never land after garbage.
+    stats_.rejected += 1;
+    ::truncate(jpath.c_str(), static_cast<off_t>(good));
+  }
+  // Replayed generations must stay in the past relative to this run's.
+  if (max_generation >= generation_) generation_ = max_generation + 1;
+}
+
+bool SummaryStore::ensure_journal_locked() {
+  if (journal_fd_ >= 0) return true;
+  journal_fd_ = ::open((path_ + ".journal").c_str(),
+                       O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  return journal_fd_ >= 0;
+}
+
+void SummaryStore::append_journal_locked(const std::string& batch, size_t record_count) {
+  if (journal_failed_) return;  // degraded mode: commit() full-flushes instead
+  if (SSPAR_FAULTPOINT_FAIL("store.journal.pre_append") || !ensure_journal_locked() ||
+      !write_fully(journal_fd_, batch)) {
+    journal_failed_ = true;
+    return;
+  }
+  SSPAR_FAULTPOINT("store.journal.pre_sync");
+  if (::fsync(journal_fd_) != 0) {
+    journal_failed_ = true;
+    return;
+  }
+  SSPAR_FAULTPOINT("store.journal.post_append");
+  journal_bytes_ += batch.size();
+  stats_.journal_appended += record_count;
+}
+
 size_t SummaryStore::preload(ipa::CrossProgramCache& cache) {
   std::lock_guard<std::mutex> lock(mutex_);
   size_t inserted = 0;
@@ -485,19 +630,41 @@ size_t SummaryStore::preload(ipa::CrossProgramCache& cache) {
 void SummaryStore::absorb(const ipa::CrossProgramCache& cache) {
   std::vector<ipa::CrossProgramCache::Snapshot> entries = cache.snapshot();
   std::lock_guard<std::mutex> lock(mutex_);
+  std::string batch;       // WAL records for this absorb, one fsync at the end
+  size_t batch_count = 0;  // (journal mode only; stays empty otherwise)
   for (const auto& entry : entries) {
     auto it = records_.find(entry.key);
     if (it != records_.end()) {
       // First writer wins: never overwrite the payload. A key that was HIT
       // this run is warm — bump its generation so eviction spares it.
-      if (entry.hits > 0) it->second.generation = generation_;
+      if (entry.hits > 0) {
+        it->second.generation = generation_;
+        if (options_.journal) {
+          std::string body;
+          put_file_u64(body, entry.key.hi);
+          put_file_u64(body, entry.key.lo);
+          put_file_u64(body, generation_);
+          put_journal_record(batch, kJournalTouch, body);
+          batch_count += 1;
+        }
+      }
       continue;
     }
     if (!entry.summary) continue;
-    records_.emplace(entry.key,
-                     Record{serialize_summary(*entry.summary), generation_});
+    std::string payload = serialize_summary(*entry.summary);
+    if (options_.journal) {
+      std::string body;
+      put_file_u64(body, entry.key.hi);
+      put_file_u64(body, entry.key.lo);
+      put_file_u64(body, generation_);
+      body.append(payload);
+      put_journal_record(batch, kJournalAdd, body);
+      batch_count += 1;
+    }
+    records_.emplace(entry.key, Record{std::move(payload), generation_});
     stats_.absorbed += 1;
   }
+  if (!batch.empty()) append_journal_locked(batch, batch_count);
 }
 
 bool SummaryStore::flush() {
@@ -529,19 +696,56 @@ bool SummaryStore::flush() {
     put_file_u64(out, payload_checksum(record.payload));
     out.append(record.payload);
   }
+  if (SSPAR_FAULTPOINT_FAIL("store.flush.pre_write")) return false;
   const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) return false;
-    file.write(out.data(), static_cast<std::streamsize>(out.size()));
-    if (!file.good()) return false;
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+  // POSIX fd, not ofstream: the tmp file must be fsync'd BEFORE the rename,
+  // or a crash right after the rename can publish a file whose bytes never
+  // reached disk.
+  int fd = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  if (!write_fully(fd, out)) {
+    ::close(fd);
     std::remove(tmp.c_str());
     return false;
   }
+  if (SSPAR_FAULTPOINT_FAIL("store.flush.pre_sync") || ::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  ::close(fd);
+  if (SSPAR_FAULTPOINT_FAIL("store.flush.pre_rename") ||
+      std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  SSPAR_FAULTPOINT("store.flush.post_rename");
   stats_.flushed = records_.size();
+  if (options_.journal) {
+    // Every journaled record is in the base file now; an O_APPEND fd keeps
+    // appending correctly after the truncate.
+    if (journal_fd_ >= 0) {
+      ::ftruncate(journal_fd_, 0);
+    } else {
+      ::truncate((path_ + ".journal").c_str(), 0);  // ENOENT is fine
+    }
+    journal_bytes_ = 0;
+  }
   return true;
+}
+
+bool SummaryStore::commit() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.journal && !journal_failed_ &&
+        records_.size() <= options_.max_entries &&
+        journal_bytes_ < options_.journal_checkpoint_bytes) {
+      // The WAL batches absorb() fsync'd already make this run durable; the
+      // full O(store) rewrite waits for a checkpoint trigger.
+      return true;
+    }
+  }
+  return flush();
 }
 
 size_t SummaryStore::size() const {

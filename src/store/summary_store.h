@@ -25,9 +25,23 @@
 //     trusted. Bad files never crash the analyzer and never surface a
 //     corrupted summary (the checksum covers the payload bytes and the
 //     deserializer bounds-checks every field).
-//   * flush() writes the entire store to "<path>.tmp" and renames it over
-//     the original, so a killed process leaves either the old file or the
-//     new one, never a torn mix.
+//   * flush() writes the entire store to "<path>.tmp", fsyncs it, and
+//     renames it over the original, so a killed process leaves either the
+//     old file or the new one, never a torn mix.
+//
+// Crash-safe journal (StoreOptions::journal): between full flushes the
+// store appends write-ahead records to the "<path>.journal" sidecar — one
+// fsync'd batch per absorb() — and commit() only pays the O(store) atomic
+// rewrite when the journal grows past journal_checkpoint_bytes or eviction
+// is due. On open() the journal is replayed over the base file: 'A' (add)
+// records re-insert summaries absorbed since the last checkpoint, 'T'
+// (touch) records re-apply generation bumps. A truncated or corrupted
+// journal tail is discarded at the last good record (and physically
+// truncated so later appends never follow garbage), so a SIGKILL at ANY
+// point — including mid-rename and mid-append, see the store.* fault points
+// in support/faultpoint.h — loses at most the in-flight absorb batch. The
+// crash-matrix test (tests/store_crash_test.cpp) kills a child process at
+// every registered store.* fault point and asserts exactly this.
 //
 // Merge semantics are first-writer-wins, matching the in-memory cache: a
 // record already present keeps its payload (identical key => identical
@@ -67,6 +81,11 @@ uint64_t payload_checksum(std::string_view bytes);
 struct StoreOptions {
   // Maximum records kept across a flush(); lowest generations evicted first.
   size_t max_entries = 4096;
+  // Crash-safe write-ahead journal: absorb() appends fsync'd WAL records to
+  // "<path>.journal" and commit() defers the full atomic rewrite until the
+  // journal exceeds journal_checkpoint_bytes (or eviction is due).
+  bool journal = false;
+  size_t journal_checkpoint_bytes = 1u << 20;
 };
 
 class SummaryStore {
@@ -77,14 +96,22 @@ class SummaryStore {
     size_t absorbed = 0;  // new records added from absorb() since open
     size_t evicted = 0;   // records dropped by the size cap at flush()
     size_t flushed = 0;   // records written by the last flush()
+    // Journal counters (always 0 with StoreOptions::journal off).
+    size_t journal_replayed = 0;  // 'A' records decoded from the journal at open()
+    size_t journal_appended = 0;  // WAL records appended by absorb() since open
   };
 
   explicit SummaryStore(std::string path, StoreOptions options = {});
+  ~SummaryStore();
 
-  // Loads the on-disk records (if the file exists). Safe on missing files
-  // (starts empty). Returns false only when the file existed but was
-  // rejected wholesale (bad magic/version) — the store still opens empty
-  // and quarantines the bad file.
+  // Loads the on-disk records (if the file exists), then — in journal mode —
+  // replays the "<path>.journal" sidecar over them ('A' records insert
+  // first-writer-wins, 'T' records bump generations; a corrupt tail is
+  // dropped at the last good record and physically truncated). Safe on
+  // missing files (starts empty). Returns false only when the base file
+  // existed but was rejected wholesale (bad magic/version) — the store
+  // still opens empty (plus any journal records) and quarantines the bad
+  // file.
   bool open();
 
   // Inserts every record into `cache` as a PRELOADED entry (cache hits on
@@ -100,9 +127,18 @@ class SummaryStore {
   void absorb(const ipa::CrossProgramCache& cache);
 
   // Evicts down to the size cap, then atomically rewrites the backing file
-  // (write "<path>.tmp", rename over `path`). Returns false on I/O failure
-  // (the old file is left untouched). Thread-safe.
+  // (write "<path>.tmp", fsync, rename over `path`) and truncates the
+  // journal — every journaled record is now in the base file. Returns false
+  // on I/O failure (the old file is left untouched). Thread-safe.
   bool flush();
+
+  // Durability policy hook for per-request orchestration: with the journal
+  // off this is exactly flush(); with it on, the WAL batches fsync'd by
+  // absorb() already make the run durable, so commit() only performs the
+  // full rewrite when the journal passed journal_checkpoint_bytes, the
+  // record count exceeds the cap (eviction), or a journal write previously
+  // failed (degraded mode: fall back to full flushes). Thread-safe.
+  bool commit();
 
   size_t size() const;
   Stats stats() const;
@@ -115,6 +151,13 @@ class SummaryStore {
   };
 
   bool load_file(const std::string& contents);
+  // Replays "<path>.journal" into records_ (lock held). Truncates the file
+  // to the last good record when the tail is torn or corrupt.
+  void replay_journal_locked();
+  // Lazily opens the journal fd (O_APPEND); false on failure.
+  bool ensure_journal_locked();
+  // Appends one framed batch and fsyncs it; flips journal_failed_ on error.
+  void append_journal_locked(const std::string& batch, size_t record_count);
 
   std::string path_;
   StoreOptions options_;
@@ -122,6 +165,9 @@ class SummaryStore {
   std::map<ipa::CacheKey, Record> records_;
   uint64_t generation_ = 1;  // current run's generation (monotonic across flushes)
   Stats stats_;
+  int journal_fd_ = -1;          // lazily opened append fd for the WAL sidecar
+  size_t journal_bytes_ = 0;     // good bytes on disk (replayed + appended)
+  bool journal_failed_ = false;  // a WAL write failed; commit() full-flushes
 };
 
 }  // namespace sspar::store

@@ -1,0 +1,86 @@
+// Compile-time-gated fault-injection framework.
+//
+// A fault point is a named site in a recovery-critical code path:
+//
+//   SSPAR_FAULTPOINT("store.flush.pre_rename");
+//
+// In builds without SSPAR_FAULTPOINTS the macro expands to nothing — zero
+// code, zero data, zero branches in production binaries. With the option on
+// (the default for development builds; see CMakeLists.txt) an unarmed site
+// costs one relaxed atomic load; an ARMED site performs its configured
+// action, which is how the robustness tests make every recovery path
+// deterministic instead of probabilistic:
+//
+//   kill        raise(SIGKILL) — simulates the process dying right here
+//               (crash-matrix tests fork a child, arm a point, and assert
+//               the survivor state reloads consistently)
+//   abort       std::abort()
+//   throw       throws support::faultpoint::FaultInjected (tests the
+//               exception-recovery path of the analyze handler)
+//   fail        SSPAR_FAULTPOINT_FAIL(name) evaluates true — the site
+//               simulates an I/O failure and takes its error path
+//   sleep=<ms>  blocks for <ms> milliseconds (deadline/timeout tests)
+//
+// Arming: programmatically via arm()/disarm_all() (same-process tests and
+// forked children), or through the SSPAR_FAULTPOINTS environment variable
+// ("name=action;name=action", parsed on first hit) for spawned processes.
+// Every site name must appear in known_points() — hitting an unregistered
+// name aborts in faultpoint builds, so the canonical list in faultpoint.cpp
+// cannot drift from the code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sspar::support::faultpoint {
+
+// Thrown by a site armed with "throw". Derives from std::runtime_error so
+// generic catch(std::exception&) recovery paths absorb it like any other
+// pipeline failure.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& point)
+      : std::runtime_error("injected fault at " + point) {}
+};
+
+// True when the framework is compiled in (SSPAR_FAULTPOINTS builds).
+bool compiled_in();
+
+// Arms `name` with `action` (see the table above). Unknown actions are
+// ignored with a stderr warning rather than aborting — a typo in a test
+// should fail its assertions, not the process. Thread-safe.
+void arm(std::string_view name, std::string_view action);
+
+// Disarms every point and resets hit counters. Thread-safe.
+void disarm_all();
+
+// Times `name` was hit since the last disarm_all() (0 in non-faultpoint
+// builds). Lets tests assert a recovery path actually ran through the site.
+uint64_t hit_count(std::string_view name);
+
+// The canonical registry of every fault-point site in the codebase, sorted.
+// Crash-matrix tests iterate this to kill the process at each one.
+std::vector<std::string> known_points();
+// The subset of known_points() under `prefix` ("store." / "server.").
+std::vector<std::string> known_points(std::string_view prefix);
+
+// Implementation hooks behind the macros; call through the macros so
+// non-faultpoint builds compile the sites away entirely.
+void hit(const char* name);
+bool hit_fail(const char* name);
+
+}  // namespace sspar::support::faultpoint
+
+#ifdef SSPAR_FAULTPOINTS
+// Runs the armed action for `name`, if any (kill/abort/throw/sleep).
+#define SSPAR_FAULTPOINT(name) ::sspar::support::faultpoint::hit(name)
+// Evaluates true when `name` is armed with "fail": the site should behave
+// as if the operation it guards failed (e.g. return false from an I/O path).
+#define SSPAR_FAULTPOINT_FAIL(name) ::sspar::support::faultpoint::hit_fail(name)
+#else
+#define SSPAR_FAULTPOINT(name) ((void)0)
+#define SSPAR_FAULTPOINT_FAIL(name) (false)
+#endif

@@ -157,7 +157,10 @@ TEST(AnalysisServer, MalformedRequestsGetErrorsAndTheConnectionSurvives) {
   auto garbage = client.request("this is not json");
   ASSERT_TRUE(garbage.has_value());
   EXPECT_FALSE(garbage->find("ok")->as_bool());
-  EXPECT_TRUE(garbage->find("error")->is_string());
+  // Structured error object with a stable machine-readable code.
+  ASSERT_TRUE(garbage->find("error")->is_object());
+  EXPECT_EQ(garbage->find("error")->find("code")->as_string(), "E_BAD_REQUEST");
+  EXPECT_TRUE(garbage->find("error")->find("message")->is_string());
 
   auto wrong_method = client.request(R"({"method":"transmogrify"})");
   ASSERT_TRUE(wrong_method.has_value());

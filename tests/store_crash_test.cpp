@@ -1,0 +1,261 @@
+// Crash matrix for the persistent store's recovery paths: for EVERY
+// registered store.* fault point, fork a child, arm that point with "kill"
+// (raise SIGKILL — no atexit, no flushes, the closest a test gets to the
+// machine losing the process), let the child run a full warm batch + flush
+// against the shared journal-mode store, and assert that the survivor state
+//
+//   * reloads without quarantine (open() == true, no "<path>.corrupt"),
+//   * still holds every durable record (at most the in-flight batch lost),
+//   * serves a warm run whose report is BYTE-IDENTICAL (modulo wall-clock)
+//     to an uncrashed control run, with warm store hits > 0.
+//
+// This is the determinism contract of ISSUE 8: a SIGKILL at any fault point
+// must be indistinguishable, to the next run, from no crash at all.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver/json_report.h"
+#include "driver/store_session.h"
+#include "store/summary_store.h"
+#include "support/faultpoint.h"
+#include "support/json.h"
+
+namespace sspar::store {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "sspar_store_crash_" + name;
+}
+
+// Two programs sharing a byte-identical helper and a recursive helper — the
+// same corpus shape the store tests use, so the store ends up holding both
+// plain and SCC summaries.
+std::vector<driver::ProgramInput> crash_inputs() {
+  const char* kProgramA = R"(
+    int n;
+    int acc;
+    int a[100];
+    int idx[100];
+    int clamp(int v) {
+      if (v < 0) { v = 0; }
+      return v;
+    }
+    int rec(int k) {
+      if (k > 0) { acc = acc + rec(k - 1); }
+      return acc;
+    }
+    void main_loop() {
+      acc = rec(n);
+      for (int i = 0; i < n; i++) {
+        a[idx[i]] = clamp(i);
+      }
+    }
+  )";
+  const char* kProgramB = R"(
+    int n;
+    int acc;
+    int b[100];
+    int clamp(int v) {
+      if (v < 0) { v = 0; }
+      return v;
+    }
+    int rec(int k) {
+      if (k > 0) { acc = acc + rec(k - 1); }
+      return acc;
+    }
+    void other() {
+      acc = rec(n);
+      for (int i = 0; i < n; i++) {
+        b[i] = clamp(i);
+      }
+    }
+  )";
+  std::vector<driver::ProgramInput> inputs;
+  inputs.push_back(driver::ProgramInput{"prog_a", kProgramA, {{"n", 1}}});
+  inputs.push_back(driver::ProgramInput{"prog_b", kProgramB, {{"n", 1}}});
+  return inputs;
+}
+
+StoreOptions journal_options() {
+  StoreOptions options;
+  options.journal = true;
+  return options;
+}
+
+// Zeroes every "total_ms" — wall-clock is the one legitimately varying field.
+void canonicalize(support::json::Value& value) {
+  if (value.is_object()) {
+    for (auto& [key, child] : value.as_object()) {
+      if (key == "total_ms") {
+        child = support::json::Value(int64_t{0});
+      } else {
+        canonicalize(child);
+      }
+    }
+  } else if (value.is_array()) {
+    for (auto& child : value.as_array()) canonicalize(child);
+  }
+}
+
+std::string canonical_report(const driver::BatchReport& report) {
+  support::json::Value json = driver::batch_report_to_json(report, 1, true);
+  canonicalize(json);
+  return json.dump(2);
+}
+
+// One warm run against the store at `path`; everything serial (threads=1)
+// so forked children never clone a threaded parent.
+driver::BatchReport warm_run(const std::string& path) {
+  driver::BatchOptions options;
+  options.threads = 1;
+  SummaryStore store(path, journal_options());
+  EXPECT_TRUE(store.open());
+  return driver::run_with_store(crash_inputs(), options, &store);
+}
+
+// The child's life: arm the point, then walk every store code path the
+// point could live on — open (replay), warm batch (journal append), full
+// flush. Exits 0 only if the armed point never fired, which the parent
+// treats as a matrix bug.
+[[noreturn]] void child_run(const std::string& path, const std::string& point) {
+  ::alarm(10);  // a wedged child must not hang the suite
+  support::faultpoint::disarm_all();
+  support::faultpoint::arm(point, "kill");
+  {
+    driver::BatchOptions options;
+    options.threads = 1;
+    SummaryStore store(path, journal_options());
+    store.open();
+    driver::run_with_store(crash_inputs(), options, &store);
+    store.flush();
+  }
+  ::_exit(0);
+}
+
+TEST(StoreCrashMatrix, KilledAtEveryStoreFaultPointReloadsConsistently) {
+  if (!support::faultpoint::compiled_in()) GTEST_SKIP() << "faultpoints off";
+  const std::string path = temp_path("matrix.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  std::remove((path + ".corrupt").c_str());
+  std::remove((path + ".tmp").c_str());
+
+  // Durable baseline: a cold run whose absorbed summaries the WAL holds.
+  driver::BatchReport cold = warm_run(path);
+  ASSERT_EQ(cold.stats.failed, 0);
+  ASSERT_GT(cold.stats.store_misses, 0);
+  size_t baseline = 0;
+  {
+    SummaryStore probe(path, journal_options());
+    ASSERT_TRUE(probe.open());
+    baseline = probe.size();
+    ASSERT_GT(baseline, 0u);
+    ASSERT_EQ(probe.stats().journal_replayed, baseline);
+  }
+
+  // Uncrashed control: every post-crash warm report must match this byte
+  // for byte (modulo wall-clock).
+  driver::BatchReport control = warm_run(path);
+  ASSERT_GT(control.stats.store_hits, 0);
+  ASSERT_EQ(control.stats.journal_replays, static_cast<int>(baseline));
+  const std::string control_bytes = canonical_report(control);
+
+  const std::vector<std::string> points = support::faultpoint::known_points("store.");
+  ASSERT_GE(points.size(), 9u);
+  for (const std::string& point : points) {
+    SCOPED_TRACE(point);
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) child_run(path, point);  // never returns
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    // The child must have died AT the armed point — exiting cleanly means
+    // the matrix missed it (a site was removed without unregistering it).
+    ASSERT_TRUE(WIFSIGNALED(status)) << "child exited " << WEXITSTATUS(status)
+                                     << " instead of dying at " << point;
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Survivor state: reloads with no quarantine and no lost records.
+    EXPECT_FALSE(std::ifstream(path + ".corrupt").good());
+    {
+      SummaryStore survivor(path, journal_options());
+      ASSERT_TRUE(survivor.open());
+      EXPECT_EQ(survivor.size(), baseline);
+      EXPECT_EQ(survivor.stats().journal_replayed, baseline);
+    }
+    // And the next warm run cannot tell the crash ever happened.
+    driver::BatchReport after = warm_run(path);
+    EXPECT_GT(after.stats.store_hits, 0);
+    EXPECT_TRUE(after.stats == control.stats);
+    EXPECT_EQ(canonical_report(after), control_bytes);
+  }
+
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// The journal bounds data loss to the IN-FLIGHT batch: records absorbed by
+// an earlier, completed run survive a kill during a LATER run's append, even
+// when that later run was adding new records of its own.
+TEST(StoreCrashMatrix, KillDuringAppendLosesAtMostTheInFlightBatch) {
+  if (!support::faultpoint::compiled_in()) GTEST_SKIP() << "faultpoints off";
+  const std::string path = temp_path("inflight.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+
+  driver::BatchReport cold = warm_run(path);
+  ASSERT_EQ(cold.stats.failed, 0);
+  size_t baseline = 0;
+  {
+    SummaryStore probe(path, journal_options());
+    ASSERT_TRUE(probe.open());
+    baseline = probe.size();
+  }
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // This child analyzes a NEW program, so its absorb carries fresh 'A'
+    // records — and dies before the batch is written.
+    ::alarm(10);
+    support::faultpoint::disarm_all();
+    support::faultpoint::arm("store.journal.pre_append", "kill");
+    driver::BatchOptions options;
+    options.threads = 1;
+    SummaryStore store(path, journal_options());
+    store.open();
+    std::vector<driver::ProgramInput> extra;
+    extra.push_back(driver::ProgramInput{
+        "prog_c",
+        "int n; int c[50]; int half(int v) { if (v < 0) { v = 0; } return v; } "
+        "void f() { for (int i = 0; i < n; i++) { c[i] = half(i); } }",
+        {{"n", 1}}});
+    driver::run_with_store(extra, options, &store);
+    ::_exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The in-flight batch is gone; every earlier record is intact.
+  SummaryStore survivor(path, journal_options());
+  ASSERT_TRUE(survivor.open());
+  EXPECT_EQ(survivor.size(), baseline);
+  EXPECT_EQ(survivor.stats().rejected, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+}  // namespace
+}  // namespace sspar::store

@@ -13,6 +13,7 @@
 #include "driver/json_report.h"
 #include "driver/store_session.h"
 #include "store/summary_store.h"
+#include "support/faultpoint.h"
 #include "support/json.h"
 
 namespace sspar::store {
@@ -368,6 +369,173 @@ TEST(SummaryStore, ConcurrentAbsorbsAreFirstWriterWins) {
     EXPECT_EQ(summary->function, "canonical_" + std::to_string(i));
   }
   std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Crash-safe journal (write-ahead log)
+// --------------------------------------------------------------------------
+
+StoreOptions journal_options(size_t cap = 4096, size_t checkpoint_bytes = 1u << 20) {
+  StoreOptions options;
+  options.max_entries = cap;
+  options.journal = true;
+  options.journal_checkpoint_bytes = checkpoint_bytes;
+  return options;
+}
+
+// Absorbs `count` distinct records into a journal-mode store WITHOUT a full
+// flush: durability comes from the WAL sidecar alone.
+void build_journal(const std::string& path, size_t count) {
+  ipa::CrossProgramCache cache;
+  for (size_t i = 0; i < count; ++i) {
+    ipa::PortableSummary s = rich_summary();
+    s.function = "kernel_" + std::to_string(i);
+    cache.insert(ipa::CacheKey{i + 1, i + 101}, std::move(s));
+  }
+  SummaryStore store(path, journal_options());
+  ASSERT_TRUE(store.open());
+  store.absorb(cache);
+  ASSERT_TRUE(store.commit());  // journal small: no base-file rewrite
+  EXPECT_EQ(store.stats().journal_appended, count);
+}
+
+TEST(SummaryStoreJournal, ReplayRestoresRecordsNeverFlushed) {
+  const std::string path = temp_path("journal.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  build_journal(path, 5);
+  // commit() never rewrote the base file — the journal is the only bytes.
+  EXPECT_FALSE(std::ifstream(path).good());
+  ASSERT_TRUE(std::ifstream(path + ".journal").good());
+
+  SummaryStore reopened(path, journal_options());
+  ASSERT_TRUE(reopened.open());
+  EXPECT_EQ(reopened.size(), 5u);
+  EXPECT_EQ(reopened.stats().journal_replayed, 5u);
+  EXPECT_EQ(reopened.stats().rejected, 0u);
+  ipa::CrossProgramCache check;
+  EXPECT_EQ(reopened.preload(check), 5u);
+  auto summary = check.find(ipa::CacheKey{1, 101});
+  ASSERT_TRUE(summary != nullptr);
+  EXPECT_EQ(summary->function, "kernel_0");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+TEST(SummaryStoreJournal, TornTailKeepsGoodPrefixAndTruncatesFile) {
+  const std::string path = temp_path("journal_torn.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  build_journal(path, 4);
+  std::string bytes = read_file(path + ".journal");
+  // A crash mid-append leaves a torn final record.
+  write_file(path + ".journal", bytes.substr(0, bytes.size() - 25));
+
+  SummaryStore store(path, journal_options());
+  ASSERT_TRUE(store.open());
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.stats().journal_replayed, 3u);
+  EXPECT_EQ(store.stats().rejected, 1u);
+  // The torn tail was physically removed so later appends never follow it.
+  const std::string after = read_file(path + ".journal");
+  EXPECT_LT(after.size(), bytes.size() - 25);
+  EXPECT_EQ(after, bytes.substr(0, after.size()));
+
+  // The survivor store keeps absorbing and replaying cleanly.
+  SummaryStore again(path, journal_options());
+  ASSERT_TRUE(again.open());
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_EQ(again.stats().rejected, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+TEST(SummaryStoreJournal, CorruptRecordStopsReplayAtThePrefix) {
+  const std::string path = temp_path("journal_bitflip.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  build_journal(path, 3);
+  std::string bytes = read_file(path + ".journal");
+  // Flip a byte in the middle of the file: the checksum of that record
+  // fails, and — unlike the base file's length-prefixed framing — nothing
+  // after an untrusted journal record can be trusted either.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x5a);
+  write_file(path + ".journal", bytes);
+
+  SummaryStore store(path, journal_options());
+  ASSERT_TRUE(store.open());
+  EXPECT_LT(store.size(), 3u);
+  EXPECT_EQ(store.stats().rejected, 1u);
+  EXPECT_EQ(store.stats().journal_replayed, store.size());
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+TEST(SummaryStoreJournal, FlushCompactsJournalIntoBaseFile) {
+  const std::string path = temp_path("journal_compact.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  build_journal(path, 4);
+
+  SummaryStore store(path, journal_options());
+  ASSERT_TRUE(store.open());
+  EXPECT_EQ(store.stats().journal_replayed, 4u);
+  ASSERT_TRUE(store.flush());
+  // The checkpoint moved every journaled record into the base file and
+  // emptied the journal.
+  EXPECT_EQ(read_file(path + ".journal").size(), 0u);
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  SummaryStore reopened(path, journal_options());
+  ASSERT_TRUE(reopened.open());
+  EXPECT_EQ(reopened.size(), 4u);
+  EXPECT_EQ(reopened.stats().loaded, 4u);
+  EXPECT_EQ(reopened.stats().journal_replayed, 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+TEST(SummaryStoreJournal, CommitCheckpointsWhenTheJournalGrowsPastTheCap) {
+  const std::string path = temp_path("journal_checkpoint.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  // A 1-byte checkpoint threshold: the very first commit must checkpoint.
+  ipa::CrossProgramCache cache;
+  ipa::PortableSummary s = rich_summary();
+  cache.insert(ipa::CacheKey{1, 101}, std::move(s));
+  SummaryStore store(path, journal_options(4096, 1));
+  ASSERT_TRUE(store.open());
+  store.absorb(cache);
+  ASSERT_TRUE(store.commit());
+  EXPECT_TRUE(std::ifstream(path).good());  // base file written
+  EXPECT_EQ(read_file(path + ".journal").size(), 0u);
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+}
+
+TEST(SummaryStoreJournal, SimulatedAppendFailureFallsBackToFullFlush) {
+  if (!support::faultpoint::compiled_in()) GTEST_SKIP() << "faultpoints off";
+  const std::string path = temp_path("journal_degraded.bin");
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
+  support::faultpoint::disarm_all();
+  support::faultpoint::arm("store.journal.pre_append", "fail");
+
+  ipa::CrossProgramCache cache;
+  ipa::PortableSummary s = rich_summary();
+  cache.insert(ipa::CacheKey{1, 101}, std::move(s));
+  SummaryStore store(path, journal_options());
+  ASSERT_TRUE(store.open());
+  store.absorb(cache);  // WAL append "fails"; degraded mode kicks in
+  support::faultpoint::disarm_all();
+  ASSERT_TRUE(store.commit());  // must full-flush despite the tiny journal
+  EXPECT_TRUE(std::ifstream(path).good());
+
+  SummaryStore reopened(path, journal_options());
+  ASSERT_TRUE(reopened.open());
+  EXPECT_EQ(reopened.size(), 1u);  // nothing lost
+  std::remove(path.c_str());
+  std::remove((path + ".journal").c_str());
 }
 
 // --------------------------------------------------------------------------

@@ -2,10 +2,12 @@
 # Runs the symbolic micro benches (google-benchmark JSON), the E6
 # analysis-time stage-split bench, the fig10 interprocedural-analysis
 # preface (summary-cache hit rates), the E5 inspector-overhead table, a
-# corpus coverage run ({static_parallel, hybrid_parallel, serial}), and a
+# corpus coverage run ({static_parallel, hybrid_parallel, serial}), a
 # cold-vs-warm persistent-store pair (the warm run MUST report store hits,
-# or the script fails), and merges them into one JSON document — the perf
-# trajectory snapshot checked in at the repo root (BENCH_pr<N>.json).
+# or the script fails), and a journal-overhead guard (a warm run with the
+# crash-safe WAL on must cost < 5% over one without, outside the timer noise
+# floor), and merges them into one JSON document — the perf trajectory
+# snapshot checked in at the repo root (BENCH_pr<N>.json).
 #
 # usage: bench_report.sh <build-dir> <output.json> [min_time_seconds]
 set -eu
@@ -33,7 +35,9 @@ TMP_COVERAGE=$(mktemp)
 TMP_STORE_COLD=$(mktemp)
 TMP_STORE_WARM=$(mktemp)
 TMP_STORE_FILE=$(mktemp)
-trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_STORE_FILE"' EXIT
+TMP_JOURNAL_WARM=$(mktemp)
+TMP_JOURNAL_FILE=$(mktemp)
+trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_STORE_FILE" "$TMP_JOURNAL_WARM" "$TMP_JOURNAL_FILE" "$TMP_JOURNAL_FILE.journal"' EXIT
 
 # Older google-benchmark rejects the "0.01s" suffix form; pass a plain double.
 "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP_MICRO"
@@ -75,12 +79,40 @@ else
   : >"$TMP_STORE_WARM"
 fi
 
-python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$OUT" <<'EOF'
+# Journal-overhead guard: the crash-safe WAL (--journal) must not make warm
+# runs measurably slower. Warm both stores, then time best-of-3 warm runs
+# each way; the merge step fails if the journaled run costs >= 5% more
+# (beyond a 25 ms noise floor — process startup dominates at corpus scale).
+PLAIN_WARM_MS=""
+JOURNAL_WARM_MS=""
+if [ -x "$ANALYZE" ]; then
+  rm -f "$TMP_JOURNAL_FILE" "$TMP_JOURNAL_FILE.journal"
+  "$ANALYZE" --threads=1 --quiet --store="$TMP_JOURNAL_FILE" --journal
+  "$ANALYZE" --threads=1 --json --store="$TMP_JOURNAL_FILE" --journal >"$TMP_JOURNAL_WARM"
+  best_of_3() {
+    python3 -c '
+import subprocess, sys, time
+best = None
+for _ in range(3):
+    t = time.perf_counter()
+    subprocess.run(sys.argv[1:], stdout=subprocess.DEVNULL, check=True)
+    ms = (time.perf_counter() - t) * 1000.0
+    best = ms if best is None or ms < best else best
+print(f"{best:.1f}")' "$@"
+  }
+  PLAIN_WARM_MS=$(best_of_3 "$ANALYZE" --threads=1 --quiet --store="$TMP_STORE_FILE")
+  JOURNAL_WARM_MS=$(best_of_3 "$ANALYZE" --threads=1 --quiet --store="$TMP_JOURNAL_FILE" --journal)
+else
+  : >"$TMP_JOURNAL_WARM"
+fi
+
+python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_JOURNAL_WARM" "${PLAIN_WARM_MS:-}" "${JOURNAL_WARM_MS:-}" "$OUT" <<'EOF'
 import json
 import sys
 
 (micro_path, analysis_path, ipa_path, inspector_path, coverage_path,
- store_cold_path, store_warm_path, out_path) = sys.argv[1:9]
+ store_cold_path, store_warm_path, journal_warm_path,
+ plain_warm_ms, journal_warm_ms, out_path) = sys.argv[1:12]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -183,6 +215,29 @@ if store_warm is not None:
         sys.exit("bench_report.sh: warm persistent-store run reported 0 hits "
                  "— the store round-trip is broken")
 
+# Journal guard: a warm --journal run must serve hits (its records live only
+# in the WAL until a checkpoint) and must not cost >= 5% over the plain warm
+# run, outside a 25 ms absolute noise floor.
+journal = None
+journal_warm = store_run(journal_warm_path)
+if journal_warm is not None:
+    if journal_warm["persistent_store"].get("hits", 0) <= 0:
+        sys.exit("bench_report.sh: warm journal-mode run reported 0 hits "
+                 "— WAL replay is broken")
+    plain_ms = float(plain_warm_ms) if plain_warm_ms else 0.0
+    wal_ms = float(journal_warm_ms) if journal_warm_ms else 0.0
+    overhead_pct = ((wal_ms - plain_ms) / plain_ms * 100.0) if plain_ms > 0 else 0.0
+    if overhead_pct >= 5.0 and (wal_ms - plain_ms) > 25.0:
+        sys.exit(f"bench_report.sh: journal warm-run overhead {overhead_pct:.1f}% "
+                 f"({plain_ms:.1f} ms plain vs {wal_ms:.1f} ms journal) — "
+                 "the WAL must stay under 5%")
+    journal = {
+        "warm": journal_warm,
+        "plain_warm_best_ms": round(plain_ms, 1),
+        "journal_warm_best_ms": round(wal_ms, 1),
+        "overhead_pct": round(overhead_pct, 1),
+    }
+
 doc = {
     "context": micro.get("context", {}),
     "micro_symbolic": micro.get("benchmarks", []),
@@ -193,7 +248,8 @@ doc = {
     "inspector_overhead": inspector_rows,
     "inspector_overhead_raw": inspector_text,
     "coverage": coverage,
-    "persistent_store": {"cold": store_cold, "warm": store_warm},
+    "persistent_store": {"cold": store_cold, "warm": store_warm,
+                         "journal": journal},
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
