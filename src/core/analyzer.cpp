@@ -127,14 +127,32 @@ void Analyzer::assume_ge(const ast::VarDecl* decl, int64_t lo) {
   base_ctx_.assume_ge(decl->symbol, lo);
 }
 
-void Analyzer::run() {
+void Analyzer::run() { run(nullptr); }
+
+void Analyzer::run(const std::set<const ast::FuncDecl*>* only) {
   if (summaries_ && program_has_calls_) {
     ipa::CallGraph graph(program_);
-    compute_summaries(graph);
+    // The restricted path probes the shared cache by content key, so every
+    // function must be keyed up front (idempotent; a no-op when the caller
+    // already keyed the program).
+    if (only != nullptr && summaries_->shared()) key_all_functions(graph);
+    compute_summaries(graph, only);
   }
   for (const auto& function : program_.functions) {
+    if (only != nullptr && only->count(function.get()) == 0) continue;
     analyze_function(*function);
   }
+}
+
+void Analyzer::key_all_functions(const ipa::CallGraph& graph) {
+  for (const ast::FuncDecl* function : graph.bottom_up()) {
+    compute_content_key(*function, graph);
+  }
+}
+
+const std::pair<uint64_t, uint64_t>* Analyzer::content_key(const ast::FuncDecl* function) const {
+  auto it = content_keys_.find(function);
+  return it == content_keys_.end() ? nullptr : &it->second;
 }
 
 void Analyzer::analyze_function(const ast::FuncDecl& function) {
@@ -630,14 +648,85 @@ class ExposedScalarReads {
 }  // namespace
 
 void Analyzer::compute_summaries(const ipa::CallGraph& graph) {
+  compute_summaries(graph, /*roots=*/nullptr);
+}
+
+void Analyzer::compute_summaries(const ipa::CallGraph& graph,
+                                 const std::set<const ast::FuncDecl*>* roots) {
+  // With `roots`, only the summaries a restricted analysis can actually
+  // consult are materialized. Analyzing (or re-summarizing) a function
+  // consults its DIRECT callees' summaries — a summary already encapsulates
+  // its own callees' transitive effects. The expansion therefore recurses
+  // into a callee's callees only when that callee's summary will be
+  // COMPUTED rather than rehydrated from the shared cache (shared-cache
+  // probe miss): computing replays the cold bottom-up path and needs the
+  // next level down, a rehydration is self-contained. For the incremental
+  // engine this means a dirty leaf costs its callers plus one rehydrated
+  // ring around the cone, not the whole program.
+  std::set<const ast::FuncDecl*> needed;
+  if (roots != nullptr) {
+    std::vector<const ast::FuncDecl*> work;
+    auto push_callees = [&](const ast::FuncDecl* f) {
+      if (const ipa::CallGraph::Node* node = graph.node(f)) {
+        for (const ast::FuncDecl* callee : node->callees) work.push_back(callee);
+      }
+    };
+    // A root needs its direct callees' summaries only if it is summarized
+    // itself (called: aggregation folds callee effects in) or its body has a
+    // loop (any For/While makes the flow analysis consult call summaries —
+    // straight-line call handling feeds loop entry state). A loop-free,
+    // uncalled root (a pure dispatcher like main) is analyzed without ever
+    // reading a summary, so its callees need none materialized.
+    auto has_loop = [](const ast::FuncDecl* f) {
+      bool found = false;
+      ast::walk_stmts(static_cast<const ast::Stmt*>(f->body.get()),
+                      [&found](const ast::Stmt* s) {
+                        if (s->kind == ast::StmtNodeKind::For ||
+                            s->kind == ast::StmtNodeKind::While) {
+                          found = true;
+                        }
+                        return !found;
+                      });
+      return found;
+    };
+    for (const ast::FuncDecl* f : *roots) {
+      const ipa::CallGraph::Node* node = graph.node(f);
+      if ((node && node->called) || has_loop(f)) push_callees(f);
+    }
+    while (!work.empty()) {
+      const ast::FuncDecl* f = work.back();
+      work.pop_back();
+      if (!needed.insert(f).second) continue;
+      if (!shared_summary_available(f)) push_callees(f);
+    }
+  }
   for (const ast::FuncDecl* function : graph.bottom_up()) {
     const ipa::CallGraph::Node* node = graph.node(function);
     if (!node || !node->called) continue;  // only functions something calls
+    if (roots != nullptr && needed.count(function) == 0 && roots->count(function) == 0) {
+      continue;
+    }
     // Bottom-up order keys callees before their callers, which is exactly
     // what the content address's transitive-closure composition needs.
     if (summaries_->shared()) compute_content_key(*function, graph);
     obtain_summary(function, /*entry_facts=*/nullptr, /*fingerprint=*/0, &graph);
   }
+}
+
+bool Analyzer::shared_summary_available(const ast::FuncDecl* function) const {
+  ipa::CrossProgramCache* shared = summaries_ ? summaries_->shared() : nullptr;
+  if (shared == nullptr) return false;
+  auto it = content_keys_.find(function);
+  if (it == content_keys_.end()) return false;
+  // Must mirror obtain_summary's base-summary cache address exactly
+  // (content key + encoded options + fingerprint 0, no entry facts).
+  ipa::ContentHasher h;
+  h.mix(it->second.first);
+  h.mix(it->second.second);
+  h.mix(static_cast<uint64_t>(ipa::SummaryDB::encode(options_)));
+  h.mix(uint64_t{0});
+  bool from_store = false;
+  return shared->find(h.key(), &from_store) != nullptr;
 }
 
 void Analyzer::mix_function_identity(const ast::FuncDecl& function,

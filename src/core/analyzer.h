@@ -26,8 +26,10 @@
 // traversal falls out of the recursion).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <memory>
 #include <optional>
 #include <set>
@@ -163,6 +165,17 @@ class Analyzer {
 
   // Analyzes every function in the program.
   void run();
+  // Restricted run for incremental re-analysis: only functions in `only` get
+  // per-loop snapshots, and summaries are materialized only for their callee
+  // closure (everything a restricted analysis can request). nullptr = "all".
+  void run(const std::set<const ast::FuncDecl*>* only);
+
+  // Computes the cross-program content key of every function (bottom-up, so
+  // callee keys exist before their callers fold them in). Idempotent; call
+  // after assumptions are declared — keys mix assumption bounds.
+  void key_all_functions(const ipa::CallGraph& graph);
+  // The (hi, lo) content key of `function`, or null if not yet keyed.
+  const std::pair<uint64_t, uint64_t>* content_key(const ast::FuncDecl* function) const;
 
   // Snapshot of the analysis state at the entry of `loop` (after run()).
   const LoopSnapshot* snapshot(const ast::For* loop) const;
@@ -186,8 +199,14 @@ class Analyzer {
   void flow_stmt(const ast::Stmt& stmt, ScalarEnv& env, FactDB& facts);
 
   // --- Interprocedural analysis (active when summaries_ is set) -------------
-  // Summarizes every called function bottom-up over the call graph.
+  // Summarizes every called function bottom-up over the call graph; with
+  // `roots`, only their callee closure.
   void compute_summaries(const ipa::CallGraph& graph);
+  void compute_summaries(const ipa::CallGraph& graph,
+                         const std::set<const ast::FuncDecl*>* roots);
+  // True when the shared cross-program cache holds a rehydratable base
+  // summary for `function` (probed at its fingerprint-0 cache address).
+  bool shared_summary_available(const ast::FuncDecl* function) const;
   ipa::FunctionSummary summarize_function(const ast::FuncDecl& function,
                                           const ipa::CallGraph& graph);
   // The effect-computation half of summarization: flows the body in

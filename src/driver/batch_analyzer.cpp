@@ -40,7 +40,16 @@ ProgramReport analyze_one(const ProgramInput& input, const core::AnalyzerOptions
       report.result.ok = true;
     }
     report.result.diags = session.diagnostics().diagnostics();
-    report.result.diagnostics = session.diagnostics().dump();
+    // Canonical (line, column, code) order + dedup: diagnostics compare
+    // byte-identical no matter what order the analysis visited functions in
+    // (batch shards, incremental dirty cones). The joined string form follows
+    // the same order.
+    support::canonicalize_diagnostics(report.result.diags);
+    report.result.diagnostics.clear();
+    for (const support::Diagnostic& d : report.result.diags) {
+      report.result.diagnostics += d.to_string();
+      report.result.diagnostics += '\n';
+    }
     report.summary_cache = session.summaries().stats();
     report.result.parsed = session.take_parse();
     report.stages = session.stats();

@@ -8,6 +8,7 @@
 //   sspar-analyze --json --store=s.bin  # warm-start from a persistent store
 //   sspar-analyze --serve --socket=S    # long-lived analysis daemon
 //   sspar-analyze --connect=S --json    # send this run to a daemon instead
+//   sspar-analyze --incremental a.c b.c # replay edits through one warm engine
 #include <csignal>
 #include <cstdint>
 #include <cstring>
@@ -21,6 +22,7 @@
 #include "driver/batch_analyzer.h"
 #include "driver/json_report.h"
 #include "driver/store_session.h"
+#include "incremental/incremental_engine.h"
 #include "server/analysis_server.h"
 #include "server/client.h"
 #include "server/protocol.h"
@@ -65,6 +67,15 @@ void print_usage(std::ostream& os) {
         "                   checkpoints, so a crash loses at most the in-flight\n"
         "                   run's records\n"
         "\n"
+        "incremental analysis:\n"
+        "  --incremental    treat the file arguments as SUCCESSIVE VERSIONS of\n"
+        "                   one program and replay them through a warm\n"
+        "                   incremental engine: each update re-analyzes only\n"
+        "                   the dirty cone (changed functions + callers) and\n"
+        "                   reports the diagnostic delta plus reuse stats;\n"
+        "                   verdicts are byte-identical to a cold run of each\n"
+        "                   version (composes with --store, --emit, --json)\n"
+        "\n"
         "analysis server:\n"
         "  --serve          run as a long-lived daemon answering analyze\n"
         "                   requests over a Unix-domain socket (requires\n"
@@ -75,6 +86,10 @@ void print_usage(std::ostream& os) {
         "                   byte-identical to a local --json run against the\n"
         "                   same store state)\n"
         "  --shutdown       with --connect: ask the daemon to exit\n"
+        "  --max-sessions=N serve: LRU cap on warm incremental sessions; opening\n"
+        "                   past it evicts the least recently used (default 8)\n"
+        "  --session-idle-ms=N  serve: purge sessions idle past N ms; later\n"
+        "                   requests on them answer E_NO_SESSION (default 0 = keep)\n"
         "\n"
         "resilience (see README \"Resilience & operational limits\"):\n"
         "  --max-connections=N   serve: live-connection cap; excess clients are\n"
@@ -175,6 +190,90 @@ void print_stats(const BatchReport& report, unsigned threads, std::ostream& os) 
   }
 }
 
+void print_update(const std::string& name, const sspar::incremental::UpdateResult& result,
+                  bool emit, std::ostream& os) {
+  os << "== update " << name;
+  if (!result.ok) {
+    os << "  ERROR\n" << result.error << "\n";
+    return;
+  }
+  int parallel = 0;
+  for (const auto& v : result.verdicts) {
+    if (v.parallel) ++parallel;
+  }
+  const auto& s = result.stats;
+  os << "  (" << result.verdicts.size() << " loops, " << parallel << " parallel)\n"
+     << "  functions: " << s.functions_total << " total, " << s.dirty << " dirty, "
+     << s.reanalyzed << " re-analyzed\n"
+     << "  reused:    " << s.reused_summaries << " summaries, " << s.reused_verdicts
+     << " verdicts\n"
+     << "  diags:     +" << result.delta.added.size() << " -" << result.delta.removed.size()
+     << " =" << result.delta.unchanged << "\n";
+  for (const auto& d : result.delta.added) os << "    + " << d.to_string() << "\n";
+  for (const auto& d : result.delta.removed) os << "    - " << d.to_string() << "\n";
+  if (emit) os << "---- annotated source ----\n" << result.output << "\n";
+}
+
+int run_incremental(const std::vector<ProgramInput>& inputs, const BatchOptions& options,
+                    sspar::store::SummaryStore* store, bool emit, bool json, bool quiet) {
+  sspar::incremental::EngineOptions engine_options;
+  engine_options.analyzer = options.analyzer;
+  engine_options.store = store;
+  if (!inputs.empty()) engine_options.assumptions = inputs.front().assumptions;
+  sspar::incremental::IncrementalEngine engine(engine_options);
+  int failed = 0;
+  sspar::support::json::Array updates_json;
+  for (const ProgramInput& input : inputs) {
+    sspar::incremental::UpdateResult result = engine.update(input.source);
+    if (!result.ok) ++failed;
+    if (json) {
+      sspar::support::json::Object o;
+      o.emplace("name", input.name);
+      o.emplace("ok", result.ok);
+      if (!result.ok) {
+        o.emplace("error", result.error);
+      } else {
+        int parallel = 0;
+        for (const auto& v : result.verdicts) {
+          if (v.parallel) ++parallel;
+        }
+        o.emplace("loops", static_cast<int64_t>(result.verdicts.size()));
+        o.emplace("parallel", static_cast<int64_t>(parallel));
+        o.emplace("stats", sspar::incremental::to_json(result.stats));
+        o.emplace("delta", sspar::incremental::to_json(result.delta));
+        if (emit) o.emplace("output", result.output);
+      }
+      sspar::support::json::Array diags;
+      for (const auto& d : result.diagnostics) {
+        diags.push_back(sspar::incremental::diagnostic_to_json(d));
+      }
+      o.emplace("diagnostics", std::move(diags));
+      updates_json.push_back(std::move(o));
+    } else if (!quiet) {
+      print_update(input.name, result, emit, std::cout);
+    }
+  }
+  engine.flush_store();
+  if (json) {
+    sspar::support::json::Object root;
+    sspar::support::json::Object incr;
+    incr.emplace("updates", std::move(updates_json));
+    incr.emplace("totals", sspar::incremental::to_json(engine.totals()));
+    root.emplace("incremental", std::move(incr));
+    std::cout << sspar::support::json::Value(std::move(root)).dump(2) << "\n";
+  } else {
+    const auto& t = engine.totals();
+    std::cout << "== incremental totals (" << t.updates << " updates)\n"
+              << "  functions seen:     " << t.functions_total << "\n"
+              << "  dirty:              " << t.dirty << "\n"
+              << "  re-analyzed:        " << t.reanalyzed << "\n"
+              << "  reused summaries:   " << t.reused_summaries << "\n"
+              << "  reused verdicts:    " << t.reused_verdicts << "\n"
+              << "  dirty-cone ratio:   " << t.dirty_cone_ratio() << "\n";
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 sspar::server::AnalysisServer* g_server = nullptr;
 
 void handle_signal(int) {
@@ -185,7 +284,8 @@ void handle_signal(int) {
 
 int run_serve(const BatchOptions& options, const std::string& socket_path,
               sspar::store::SummaryStore* store, int64_t max_connections,
-              int64_t request_timeout_ms) {
+              int64_t request_timeout_ms, int64_t max_sessions,
+              int64_t session_idle_ms) {
   sspar::server::ServerOptions server_options;
   server_options.socket_path = socket_path;
   server_options.threads = options.threads;
@@ -193,6 +293,8 @@ int run_serve(const BatchOptions& options, const std::string& socket_path,
   server_options.store = store;
   server_options.max_connections = static_cast<size_t>(max_connections);
   server_options.request_timeout_ms = static_cast<int>(request_timeout_ms);
+  server_options.max_sessions = static_cast<size_t>(max_sessions);
+  server_options.session_idle_ms = static_cast<int>(session_idle_ms);
   sspar::server::AnalysisServer server(server_options);
   std::string error;
   if (!server.start(&error)) {
@@ -291,6 +393,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool have_suite = false;
   bool serve = false;
+  bool incremental = false;
   bool no_store = false;
   bool shutdown_daemon = false;
   bool journal = false;
@@ -301,6 +404,8 @@ int main(int argc, char** argv) {
   int64_t max_connections = 64;
   int64_t request_timeout_ms = 0;
   int64_t client_timeout_ms = 30000;
+  int64_t max_sessions = 8;
+  int64_t session_idle_ms = 0;
   sspar::corpus::Suite suite = sspar::corpus::Suite::Paper;
   std::vector<std::string> files;
   sspar::pipeline::Assumptions assumptions;
@@ -357,6 +462,16 @@ int main(int argc, char** argv) {
         std::cerr << "sspar-analyze: --request-timeout-ms expects a non-negative integer\n";
         return 2;
       }
+    } else if (arg.rfind("--max-sessions=", 0) == 0) {
+      if (!parse_int(arg.substr(15), &max_sessions) || max_sessions < 1) {
+        std::cerr << "sspar-analyze: --max-sessions expects a positive integer\n";
+        return 2;
+      }
+    } else if (arg.rfind("--session-idle-ms=", 0) == 0) {
+      if (!parse_int(arg.substr(18), &session_idle_ms) || session_idle_ms < 0) {
+        std::cerr << "sspar-analyze: --session-idle-ms expects a non-negative integer\n";
+        return 2;
+      }
     } else if (arg.rfind("--timeout-ms=", 0) == 0) {
       if (!parse_int(arg.substr(13), &client_timeout_ms) || client_timeout_ms < 0) {
         std::cerr << "sspar-analyze: --timeout-ms expects a non-negative integer\n";
@@ -364,6 +479,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--serve") {
       serve = true;
+    } else if (arg == "--incremental") {
+      incremental = true;
     } else if (arg.rfind("--socket=", 0) == 0) {
       socket_path = arg.substr(9);
     } else if (arg.rfind("--connect=", 0) == 0) {
@@ -402,6 +519,16 @@ int main(int argc, char** argv) {
     std::cerr << "sspar-analyze: --serve and --connect are mutually exclusive\n";
     return 2;
   }
+  if (incremental && files.empty()) {
+    std::cerr << "sspar-analyze: --incremental expects file arguments (successive "
+                 "versions of one program)\n";
+    return 2;
+  }
+  if (incremental && (serve || !connect_path.empty())) {
+    std::cerr << "sspar-analyze: --incremental runs locally; it cannot combine with "
+                 "--serve/--connect (use the open_session/update protocol instead)\n";
+    return 2;
+  }
   if (shutdown_daemon && connect_path.empty()) {
     std::cerr << "sspar-analyze: --shutdown requires --connect=PATH\n";
     return 2;
@@ -428,7 +555,7 @@ int main(int argc, char** argv) {
 
   if (serve) {
     return run_serve(options, socket_path, store_ptr, max_connections,
-                     request_timeout_ms);
+                     request_timeout_ms, max_sessions, session_idle_ms);
   }
 
   std::vector<ProgramInput> inputs;
@@ -456,6 +583,10 @@ int main(int argc, char** argv) {
   if (!connect_path.empty()) {
     return run_connect(inputs, options, connect_path, emit, json, shutdown_daemon,
                        client_timeout_ms);
+  }
+
+  if (incremental) {
+    return run_incremental(inputs, options, store_ptr, emit, json, quiet);
   }
 
   BatchAnalyzer analyzer(options);

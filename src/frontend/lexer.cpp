@@ -131,24 +131,27 @@ void Lexer::skip_trivia() {
 Token Lexer::lex_number() {
   Token tok;
   tok.location = here();
-  std::string digits;
+  // Scan the token as one span of the source instead of growing a string a
+  // character at a time (lexing is on the interactive re-parse path).
+  const size_t start = pos_;
   bool is_float = false;
-  while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+  while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
   if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
     is_float = true;
-    digits += advance();
-    while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
   }
   if (peek() == 'e' || peek() == 'E') {
     size_t save = 1;
     if (peek(1) == '+' || peek(1) == '-') save = 2;
     if (std::isdigit(static_cast<unsigned char>(peek(save)))) {
       is_float = true;
-      digits += advance();  // e
-      if (peek() == '+' || peek() == '-') digits += advance();
-      while (std::isdigit(static_cast<unsigned char>(peek()))) digits += advance();
+      advance();  // e
+      if (peek() == '+' || peek() == '-') advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
     }
   }
+  std::string digits(source_.substr(start, pos_ - start));
   if (is_float) {
     tok.kind = TokenKind::FloatLiteral;
     tok.float_value = std::stod(digits);
@@ -162,16 +165,18 @@ Token Lexer::lex_number() {
 Token Lexer::lex_identifier() {
   Token tok;
   tok.location = here();
-  std::string text;
+  const size_t start = pos_;
   while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
-    text += advance();
+    ++pos_;  // identifiers cannot span lines; column is fixed up below
   }
+  column_ += static_cast<uint32_t>(pos_ - start);
+  std::string_view text = source_.substr(start, pos_ - start);
   auto it = keywords().find(text);
   if (it != keywords().end()) {
     tok.kind = it->second;
   } else {
     tok.kind = TokenKind::Identifier;
-    tok.text = std::move(text);
+    tok.text = std::string(text);
   }
   return tok;
 }
@@ -246,6 +251,9 @@ std::vector<Token> Lexer::tokenize(std::string_view source,
                                    support::DiagnosticEngine& diags) {
   Lexer lexer(source, diags);
   std::vector<Token> tokens;
+  // ~5 bytes per token is typical for this grammar; one up-front reservation
+  // avoids log(n) grow-and-move cycles of 64-byte Tokens.
+  tokens.reserve(source.size() / 5 + 16);
   for (;;) {
     tokens.push_back(lexer.next());
     if (tokens.back().kind == TokenKind::End) break;

@@ -1,0 +1,63 @@
+#include "incremental/update_stats.h"
+
+namespace sspar::incremental {
+
+void EngineTotals::add(const UpdateStats& stats) {
+  ++updates;
+  functions_total += stats.functions_total;
+  dirty += stats.dirty;
+  reanalyzed += stats.reanalyzed;
+  reused_summaries += stats.reused_summaries;
+  reused_verdicts += stats.reused_verdicts;
+}
+
+double EngineTotals::dirty_cone_ratio() const {
+  if (functions_total == 0) return 0.0;
+  return static_cast<double>(dirty) / static_cast<double>(functions_total);
+}
+
+support::json::Object to_json(const UpdateStats& stats) {
+  support::json::Object o;
+  o["functions_total"] = stats.functions_total;
+  o["dirty"] = stats.dirty;
+  o["reanalyzed"] = stats.reanalyzed;
+  o["reused_summaries"] = stats.reused_summaries;
+  o["reused_verdicts"] = stats.reused_verdicts;
+  o["update_ms"] = stats.update_ms;
+  return o;
+}
+
+support::json::Object diagnostic_to_json(const support::Diagnostic& diag) {
+  support::json::Object o;
+  o["line"] = static_cast<int64_t>(diag.location.line);
+  o["column"] = static_cast<int64_t>(diag.location.column);
+  o["code"] = support::diag_code_name(diag.code);
+  o["severity"] = support::severity_name(diag.severity);
+  o["message"] = diag.message;
+  return o;
+}
+
+support::json::Object to_json(const DiagDelta& delta) {
+  support::json::Object o;
+  support::json::Array added, removed;
+  for (const auto& d : delta.added) added.emplace_back(diagnostic_to_json(d));
+  for (const auto& d : delta.removed) removed.emplace_back(diagnostic_to_json(d));
+  o["added"] = std::move(added);
+  o["removed"] = std::move(removed);
+  o["unchanged"] = delta.unchanged;
+  return o;
+}
+
+support::json::Object to_json(const EngineTotals& totals) {
+  support::json::Object o;
+  o["updates"] = totals.updates;
+  o["functions_total"] = totals.functions_total;
+  o["dirty"] = totals.dirty;
+  o["reanalyzed"] = totals.reanalyzed;
+  o["reused_summaries"] = totals.reused_summaries;
+  o["reused_verdicts"] = totals.reused_verdicts;
+  o["dirty_cone_ratio"] = totals.dirty_cone_ratio();
+  return o;
+}
+
+}  // namespace sspar::incremental

@@ -13,16 +13,22 @@
 
 #include "driver/json_report.h"
 #include "driver/store_session.h"
+#include "incremental/incremental_engine.h"
 #include "server/protocol.h"
+#include "server/session_manager.h"
 #include "support/faultpoint.h"
 #include "support/json.h"
 
 namespace sspar::server {
 
+using support::json::Array;
 using support::json::Object;
 using support::json::Value;
 
-AnalysisServer::AnalysisServer(ServerOptions options) : options_(std::move(options)) {}
+AnalysisServer::AnalysisServer(ServerOptions options)
+    : options_(std::move(options)),
+      sessions_(std::make_unique<SessionManager>(options_.max_sessions,
+                                                 options_.session_idle_ms)) {}
 
 AnalysisServer::~AnalysisServer() { stop(); }
 
@@ -151,6 +157,8 @@ void AnalysisServer::accept_loop() {
     }
     if (fds[1].revents != 0 || stop_requested_.load()) break;
     size_t live = reap_connections();
+    // Same periodic tick also garbage-collects idle incremental sessions.
+    sessions_->purge_idle();
     if ((fds[0].revents & POLLIN) == 0) continue;
     int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) {
@@ -327,6 +335,9 @@ std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown)
       resilience.emplace("timed_out", static_cast<int64_t>(timed_out_.load()));
       resilience.emplace("recovered", static_cast<int64_t>(recovered_.load()));
       o.emplace("resilience", std::move(resilience));
+      // Cumulative incremental-session totals — per-update deterministic
+      // stats live in each update response instead.
+      o.emplace("incremental", sessions_->stats_json());
       return Value(std::move(o)).dump();
     }
     case Method::Shutdown: {
@@ -336,6 +347,12 @@ std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown)
       o.emplace("method", "shutdown");
       return Value(std::move(o)).dump();
     }
+    case Method::OpenSession:
+      return handle_open_session(*request);
+    case Method::Update:
+      return handle_update(*request);
+    case Method::CloseSession:
+      return handle_close_session(*request);
     case Method::Analyze:
       break;
   }
@@ -377,6 +394,87 @@ std::string AnalysisServer::handle_line(const std::string& line, bool* shutdown)
   Object o;
   o.emplace("ok", true);
   o.emplace("report", driver::batch_report_to_json(report, threads, request->emit));
+  return Value(std::move(o)).dump();
+}
+
+std::string AnalysisServer::handle_open_session(const Request& request) {
+  SSPAR_FAULTPOINT("server.session.open");
+  incremental::EngineOptions engine_options;
+  engine_options.analyzer = options_.analyzer;
+  engine_options.assumptions = request.assumptions;
+  engine_options.store = options_.store;
+  sessions_->open(request.session, std::move(engine_options));
+  Object o;
+  o.emplace("ok", true);
+  o.emplace("method", "open_session");
+  o.emplace("session", request.session);
+  return Value(std::move(o)).dump();
+}
+
+std::string AnalysisServer::handle_update(const Request& request) {
+  std::shared_ptr<SessionManager::Slot> slot = sessions_->find(request.session);
+  if (!slot) {
+    return error_response(ErrorCode::NoSession,
+                          "no session named \"" + request.session + "\" (never opened, "
+                          "evicted, or idle-expired)");
+  }
+  incremental::UpdateResult result;
+  try {
+    SSPAR_FAULTPOINT("server.session.update.pre_run");
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    result = slot->engine.update(request.source);
+    // Same durability contract as analyze: the update's new summaries reach
+    // the persistent store before the response goes out.
+    if (result.ok) slot->engine.flush_store();
+  } catch (const std::exception& e) {
+    // The engine commits its snapshot only after a fully successful update,
+    // so the session survives and serves the next update from the previous
+    // state.
+    recovered_.fetch_add(1);
+    return error_response(ErrorCode::Internal, std::string("update failed: ") + e.what());
+  } catch (...) {
+    recovered_.fetch_add(1);
+    return error_response(ErrorCode::Internal, "update failed: unknown exception");
+  }
+  if (result.ok) sessions_->record_update(result.stats);
+  Object update;
+  update.emplace("ok", result.ok);
+  if (!result.ok) {
+    update.emplace("error", result.error);
+  } else {
+    update.emplace("annotated", result.annotated);
+    int parallel = 0;
+    for (const core::LoopVerdict& v : result.verdicts) parallel += v.parallel ? 1 : 0;
+    update.emplace("loops", static_cast<int64_t>(result.verdicts.size()));
+    update.emplace("parallel", parallel);
+    update.emplace("stats", incremental::to_json(result.stats));
+    update.emplace("delta", incremental::to_json(result.delta));
+    if (request.emit) update.emplace("output", result.output);
+  }
+  Array diagnostics;
+  for (const auto& d : result.diagnostics) {
+    diagnostics.emplace_back(incremental::diagnostic_to_json(d));
+  }
+  update.emplace("diagnostics", std::move(diagnostics));
+  Object o;
+  o.emplace("ok", true);
+  o.emplace("method", "update");
+  o.emplace("session", request.session);
+  o.emplace("update", std::move(update));
+  return Value(std::move(o)).dump();
+}
+
+std::string AnalysisServer::handle_close_session(const Request& request) {
+  SSPAR_FAULTPOINT("server.session.close");
+  if (!sessions_->close(request.session)) {
+    return error_response(ErrorCode::NoSession,
+                          "no session named \"" + request.session + "\" (never opened, "
+                          "evicted, or idle-expired)");
+  }
+  Object o;
+  o.emplace("ok", true);
+  o.emplace("method", "close_session");
+  o.emplace("session", request.session);
   return Value(std::move(o)).dump();
 }
 

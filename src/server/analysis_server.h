@@ -56,6 +56,8 @@
 
 namespace sspar::server {
 
+class SessionManager;
+
 struct ServerOptions {
   std::string socket_path;
   // Analysis threads per request (BatchOptions::threads semantics: 0 = one
@@ -79,6 +81,13 @@ struct ServerOptions {
   int write_timeout_ms = 10000;
   // Request-line byte cap -> E_REQ_TOO_LARGE + close.
   size_t max_request_bytes = 8u << 20;
+  // --- Incremental sessions (open_session / update / close_session) ---
+  // LRU cap on warm sessions; opening past the cap evicts the least
+  // recently used one.
+  size_t max_sessions = 8;
+  // Idle GC: sessions untouched for this long are purged by the accept
+  // loop's tick (and refused at access time); <= 0 disables.
+  int session_idle_ms = 0;
 };
 
 class AnalysisServer {
@@ -139,6 +148,10 @@ class AnalysisServer {
   // One request line -> one response line (no trailing newline). Sets
   // `shutdown` when the request asked the server to exit.
   std::string handle_line(const std::string& line, bool* shutdown);
+  // The session-family handlers (split out of handle_line).
+  std::string handle_open_session(const struct Request& request);
+  std::string handle_update(const struct Request& request);
+  std::string handle_close_session(const struct Request& request);
   bool send_with_timeout(int fd, std::string_view bytes);
 
   ServerOptions options_;
@@ -154,6 +167,8 @@ class AnalysisServer {
   std::mutex connections_mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::mutex stop_mutex_;  // serializes stop() callers
+  // Warm incremental sessions (open_session / update / close_session).
+  std::unique_ptr<SessionManager> sessions_;
 };
 
 }  // namespace sspar::server

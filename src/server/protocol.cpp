@@ -16,6 +16,12 @@ const char* method_name(Method method) {
       return "stats";
     case Method::Shutdown:
       return "shutdown";
+    case Method::OpenSession:
+      return "open_session";
+    case Method::Update:
+      return "update";
+    case Method::CloseSession:
+      return "close_session";
   }
   return "ping";
 }
@@ -46,6 +52,38 @@ std::optional<Request> parse_request(std::string_view line, std::string* error) 
   }
   if (name == "shutdown") {
     request.method = Method::Shutdown;
+    return request;
+  }
+  if (name == "open_session" || name == "update" || name == "close_session") {
+    const Value* session = doc->find("session");
+    if (!session || !session->is_string() || session->as_string().empty()) {
+      return fail("session methods need a non-empty \"session\" string");
+    }
+    request.session = session->as_string();
+    if (name == "open_session") {
+      request.method = Method::OpenSession;
+      if (const Value* assume = doc->find("assume")) {
+        if (!assume->is_array()) return fail("\"assume\" must be an array of NAME=VALUE");
+        for (const Value& spec : assume->as_array()) {
+          if (!spec.is_string() || !request.assumptions.add_spec(spec.as_string())) {
+            return fail("bad \"assume\" spec (want NAME=VALUE)");
+          }
+        }
+      }
+      return request;
+    }
+    if (name == "close_session") {
+      request.method = Method::CloseSession;
+      return request;
+    }
+    request.method = Method::Update;
+    const Value* source = doc->find("source");
+    if (!source || !source->is_string()) return fail("update needs a \"source\" string");
+    request.source = source->as_string();
+    if (const Value* emit = doc->find("emit")) {
+      if (!emit->is_bool()) return fail("\"emit\" must be a bool");
+      request.emit = emit->as_bool();
+    }
     return request;
   }
   if (name != "analyze") return fail("unknown method");
@@ -115,6 +153,38 @@ std::string make_simple_request(Method method) {
   return Value(std::move(o)).dump();
 }
 
+std::string make_open_session_request(const std::string& session,
+                                      const pipeline::Assumptions& assumptions) {
+  Object o;
+  o.emplace("method", "open_session");
+  o.emplace("session", session);
+  if (!assumptions.empty()) {
+    Array assume;
+    for (const pipeline::Assumption& a : assumptions.items()) {
+      assume.emplace_back(a.name + "=" + std::to_string(a.value));
+    }
+    o.emplace("assume", std::move(assume));
+  }
+  return Value(std::move(o)).dump();
+}
+
+std::string make_update_request(const std::string& session, const std::string& source,
+                                bool emit) {
+  Object o;
+  o.emplace("method", "update");
+  o.emplace("session", session);
+  o.emplace("source", source);
+  o.emplace("emit", emit);
+  return Value(std::move(o)).dump();
+}
+
+std::string make_close_session_request(const std::string& session) {
+  Object o;
+  o.emplace("method", "close_session");
+  o.emplace("session", session);
+  return Value(std::move(o)).dump();
+}
+
 const char* error_code_name(ErrorCode code) {
   switch (code) {
     case ErrorCode::BadRequest:
@@ -129,6 +199,8 @@ const char* error_code_name(ErrorCode code) {
       return "E_OVERLOADED";
     case ErrorCode::Internal:
       return "E_INTERNAL";
+    case ErrorCode::NoSession:
+      return "E_NO_SESSION";
   }
   return "E_INTERNAL";
 }

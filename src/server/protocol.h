@@ -10,6 +10,13 @@
 //   {"method":"stats"}
 //   {"method":"shutdown"}
 //
+// Session family (incremental re-analysis; one warm IncrementalEngine per
+// named session, LRU-capped and idle-collected):
+//
+//   {"method":"open_session","session":"s","assume":["N=100"]}
+//   {"method":"update","session":"s","source":"...","emit":false}
+//   {"method":"close_session","session":"s"}
+//
 // `assume` entries use the CLI's NAME=VALUE spec (pipeline::Assumptions::
 // add_spec). `emit` includes the transformed OpenMP source per program;
 // `threads` overrides the server's per-request analysis parallelism (0 =
@@ -30,6 +37,8 @@
 //   E_DEADLINE       the analyze ran past --request-timeout-ms
 //   E_OVERLOADED     connection cap reached; retry later (load shedding)
 //   E_INTERNAL       analyze pipeline threw; the daemon survives
+//   E_NO_SESSION     update/close_session names an unknown, evicted, or
+//                    idle-expired session
 //
 // The report object is byte-identical to one-shot `sspar-analyze --json` for
 // the same inputs and persistent-store state (both run through
@@ -46,7 +55,7 @@
 
 namespace sspar::server {
 
-enum class Method { Analyze, Ping, Stats, Shutdown };
+enum class Method { Analyze, Ping, Stats, Shutdown, OpenSession, Update, CloseSession };
 
 // Stable machine-readable error codes — part of the wire protocol; clients
 // match on these, never on message text.
@@ -57,6 +66,7 @@ enum class ErrorCode {
   Deadline,     // E_DEADLINE
   Overloaded,   // E_OVERLOADED
   Internal,     // E_INTERNAL
+  NoSession,    // E_NO_SESSION
 };
 
 const char* error_code_name(ErrorCode code);
@@ -67,6 +77,10 @@ struct Request {
   std::vector<driver::ProgramInput> programs;
   bool emit = false;
   unsigned threads = 0;  // 0 = server default
+  // Session-family payload.
+  std::string session;               // open_session / update / close_session
+  std::string source;                // update
+  pipeline::Assumptions assumptions; // open_session
 };
 
 // Parses one request line. Null on malformed JSON, unknown method, or a
@@ -79,6 +93,13 @@ std::string make_analyze_request(const std::vector<driver::ProgramInput>& progra
                                  bool emit, unsigned threads);
 // Builder for the payload-free methods ("ping", "stats", "shutdown").
 std::string make_simple_request(Method method);
+
+// Session-family builders.
+std::string make_open_session_request(const std::string& session,
+                                      const pipeline::Assumptions& assumptions = {});
+std::string make_update_request(const std::string& session, const std::string& source,
+                                bool emit = false);
+std::string make_close_session_request(const std::string& session);
 
 // {"ok":false,"error":{"code":...,"message":...}} — the server's reply to
 // anything it refuses or fails to serve.

@@ -1,0 +1,103 @@
+#include "server/session_manager.h"
+
+namespace sspar::server {
+
+std::shared_ptr<SessionManager::Slot> SessionManager::open(const std::string& name,
+                                                           incremental::EngineOptions options) {
+  auto slot = std::make_shared<Slot>(std::move(options));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++opened_;
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) {
+    // Re-opening a live name resets it to a cold engine (the client asked
+    // for a fresh session, not the old dirty-cone state).
+    it->second = slot;
+  } else {
+    while (sessions_.size() >= max_sessions_) evict_lru_locked();
+    sessions_.emplace(name, slot);
+  }
+  slot->last_used = std::chrono::steady_clock::now();
+  slot->lru_seq = ++next_seq_;
+  return slot;
+}
+
+bool SessionManager::expired_locked(const Slot& slot,
+                                    std::chrono::steady_clock::time_point now) const {
+  if (idle_ms_ <= 0) return false;
+  return now - slot.last_used > std::chrono::milliseconds(idle_ms_);
+}
+
+std::shared_ptr<SessionManager::Slot> SessionManager::find(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return nullptr;
+  const auto now = std::chrono::steady_clock::now();
+  if (expired_locked(*it->second, now)) {
+    ++expired_;
+    sessions_.erase(it);
+    return nullptr;
+  }
+  it->second->last_used = now;
+  it->second->lru_seq = ++next_seq_;
+  return it->second;
+}
+
+bool SessionManager::close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) return false;
+  ++closed_;
+  sessions_.erase(it);
+  return true;
+}
+
+void SessionManager::evict_lru_locked() {
+  auto lru = sessions_.end();
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (lru == sessions_.end() || it->second->lru_seq < lru->second->lru_seq) lru = it;
+  }
+  if (lru != sessions_.end()) {
+    ++evicted_;
+    sessions_.erase(lru);
+  }
+}
+
+size_t SessionManager::purge_idle() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (idle_ms_ <= 0) return 0;
+  const auto now = std::chrono::steady_clock::now();
+  size_t purged = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (expired_locked(*it->second, now)) {
+      ++expired_;
+      ++purged;
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+void SessionManager::record_update(const incremental::UpdateStats& stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  totals_.add(stats);
+}
+
+size_t SessionManager::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+support::json::Object SessionManager::stats_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  support::json::Object o = incremental::to_json(totals_);
+  o["sessions_open"] = static_cast<int64_t>(sessions_.size());
+  o["sessions_opened"] = static_cast<int64_t>(opened_);
+  o["sessions_closed"] = static_cast<int64_t>(closed_);
+  o["sessions_evicted"] = static_cast<int64_t>(evicted_);
+  o["sessions_expired"] = static_cast<int64_t>(expired_);
+  return o;
+}
+
+}  // namespace sspar::server

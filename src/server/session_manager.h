@@ -1,0 +1,92 @@
+// Named incremental-analysis sessions for the analysis server.
+//
+// A session is one warm incremental::IncrementalEngine held between requests
+// so an editor front end can stream source versions ("update") against a
+// persistent dirty-cone state. The manager bounds daemon memory two ways:
+//
+//   * LRU cap — opening a session past max_sessions evicts the least
+//     recently used one (its engine is dropped; a later update on the
+//     evicted name answers E_NO_SESSION),
+//   * idle GC — sessions untouched for longer than idle_ms are purged by the
+//     server's accept-loop tick (and rejected at access time, so an expired
+//     session can never serve a stale update even before the tick runs).
+//
+// Thread safety: the manager's map is mutex-guarded; each session carries
+// its own mutex serializing engine use, so two connections updating one
+// session never interleave inside the engine, while different sessions run
+// concurrently. Slots are handed out as shared_ptr — a slot being evicted
+// while a handler still runs its update stays alive until the handler drops
+// it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "incremental/incremental_engine.h"
+#include "support/json.h"
+
+namespace sspar::server {
+
+class SessionManager {
+ public:
+  struct Slot {
+    explicit Slot(incremental::EngineOptions options) : engine(std::move(options)) {}
+    incremental::IncrementalEngine engine;
+    std::mutex mutex;  // serializes engine use per session
+    // Guarded by the manager's mutex, not the slot's.
+    std::chrono::steady_clock::time_point last_used{};
+    uint64_t lru_seq = 0;
+  };
+
+  // `max_sessions` must be >= 1; `idle_ms` <= 0 disables idle GC.
+  SessionManager(size_t max_sessions, int idle_ms)
+      : max_sessions_(max_sessions != 0 ? max_sessions : 1), idle_ms_(idle_ms) {}
+
+  // Creates (or replaces — re-opening a name starts a fresh engine) a
+  // session, evicting the least recently used session when over the cap.
+  std::shared_ptr<Slot> open(const std::string& name, incremental::EngineOptions options);
+
+  // The named session, with its LRU clock touched; null when the name is
+  // unknown, evicted, or idle-expired (expiry is enforced here too, so a
+  // stale session is refused even before the next purge tick).
+  std::shared_ptr<Slot> find(const std::string& name);
+
+  // True when the session existed and was closed.
+  bool close(const std::string& name);
+
+  // Drops every session idle past idle_ms; returns the number purged.
+  // Called from the server's accept-loop tick.
+  size_t purge_idle();
+
+  // Cumulative totals of one update, recorded by the caller after a
+  // successful engine.update() (the engine's own totals die with the slot).
+  void record_update(const incremental::UpdateStats& stats);
+
+  size_t open_sessions() const;
+
+  // The "incremental" object of the stats response and --json reports:
+  // sessions open + lifetime opened/closed/evicted/expired counts, updates
+  // served, and the cumulative dirty-cone/reuse totals.
+  support::json::Object stats_json() const;
+
+ private:
+  void evict_lru_locked();
+  bool expired_locked(const Slot& slot, std::chrono::steady_clock::time_point now) const;
+
+  const size_t max_sessions_;
+  const int idle_ms_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Slot>> sessions_;
+  uint64_t next_seq_ = 0;
+  uint64_t opened_ = 0;
+  uint64_t closed_ = 0;
+  uint64_t evicted_ = 0;
+  uint64_t expired_ = 0;
+  incremental::EngineTotals totals_;
+};
+
+}  // namespace sspar::server

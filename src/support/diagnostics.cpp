@@ -1,5 +1,8 @@
 #include "support/diagnostics.h"
 
+#include <algorithm>
+#include <tuple>
+
 #include "support/text.h"
 
 namespace sspar::support {
@@ -42,6 +45,19 @@ std::string DiagnosticEngine::dump() const {
     out += '\n';
   }
   return out;
+}
+
+bool diag_canonical_less(const Diagnostic& a, const Diagnostic& b) {
+  auto key = [](const Diagnostic& d) {
+    return std::make_tuple(d.location.line, d.location.column, static_cast<int>(d.code),
+                           static_cast<int>(d.severity), std::cref(d.message));
+  };
+  return key(a) < key(b);
+}
+
+void canonicalize_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(), diag_canonical_less);
+  diags.erase(std::unique(diags.begin(), diags.end()), diags.end());
 }
 
 void DiagnosticEngine::clear() {

@@ -66,7 +66,22 @@ struct Diagnostic {
 
   // "3:12: error: use of undeclared identifier 'y' [E0302]"
   std::string to_string() const;
+
+  friend bool operator==(const Diagnostic& a, const Diagnostic& b) {
+    return a.severity == b.severity && a.code == b.code &&
+           a.location.line == b.location.line && a.location.column == b.location.column &&
+           a.message == b.message;
+  }
 };
+
+// Canonical diagnostic order: (line, column, code, severity, message).
+bool diag_canonical_less(const Diagnostic& a, const Diagnostic& b);
+
+// Stable emission order for diagnostics: sorts by diag_canonical_less and
+// drops exact duplicates. Analysis passes may visit functions in any order
+// (batch shards, incremental dirty cones); canonical order makes their
+// reports byte-comparable.
+void canonicalize_diagnostics(std::vector<Diagnostic>& diags);
 
 class DiagnosticEngine {
  public:

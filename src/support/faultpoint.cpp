@@ -21,6 +21,9 @@ constexpr const char* kKnownPoints[] = {
     "server.accept.post_accept",   // connection admitted, handler not yet started
     "server.analyze.pre_run",      // request parsed, pipeline not yet entered
     "server.read.post_poll",       // bytes readable on a connection
+    "server.session.close",        // close_session parsed, session not yet dropped
+    "server.session.open",         // open_session parsed, engine not yet created
+    "server.session.update.pre_run",  // update parsed, engine not yet entered
     "server.write.pre_send",       // response built, first byte not yet sent
     "store.flush.post_rename",     // base file replaced, journal not yet truncated
     "store.flush.pre_rename",      // tmp file durable, rename not yet issued

@@ -15,10 +15,15 @@ SymbolId SymbolTable::intern(std::string_view name) {
 
 SymbolId SymbolTable::fresh(std::string_view base) {
   std::string candidate(base);
-  int n = 0;
-  while (index_.contains(candidate)) {
-    candidate = std::string(base) + "." + std::to_string(n++);
+  if (!index_.contains(candidate)) return intern(candidate);
+  auto it = fresh_suffix_.find(base);
+  if (it == fresh_suffix_.end()) {
+    it = fresh_suffix_.emplace(std::string(base), 0).first;
   }
+  int& n = it->second;
+  do {
+    candidate = std::string(base) + "." + std::to_string(n++);
+  } while (index_.contains(candidate));
   return intern(candidate);
 }
 

@@ -39,6 +39,11 @@ class SymbolTable {
 
   std::vector<std::string> names_;
   std::unordered_map<std::string, SymbolId, StringHash, std::equal_to<>> index_;
+  // First ".<n>" suffix fresh() should try per base name. Suffixes are only
+  // ever consumed (the index never shrinks), so scanning forward from the
+  // cached point produces the same names as scanning from zero — without the
+  // quadratic re-probing when one base ("i") is declared hundreds of times.
+  std::unordered_map<std::string, int, StringHash, std::equal_to<>> fresh_suffix_;
 };
 
 }  // namespace sspar::sym

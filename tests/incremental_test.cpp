@@ -1,0 +1,413 @@
+// Incremental re-analysis engine: the correctness contract is that after ANY
+// update sequence the verdicts, annotated output, and canonical diagnostics
+// are byte-identical to a cold full analysis of the final source — at any
+// thread count of the cold reference (the engine itself is single-threaded).
+// The mutation matrix below drives every edit class through one engine and
+// checks that contract plus the dirty-cone accounting after each step.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/batch_analyzer.h"
+#include "incremental/incremental_engine.h"
+#include "store/summary_store.h"
+#include "support/diagnostics.h"
+
+namespace sspar::incremental {
+namespace {
+
+// Stable, pointer-free projection of a verdict so engine verdicts compare
+// against a cold run's (the `loop` pointers necessarily differ).
+std::vector<std::string> verdict_lines(const std::vector<core::LoopVerdict>& verdicts) {
+  std::vector<std::string> out;
+  for (const core::LoopVerdict& v : verdicts) {
+    std::string line = std::to_string(v.loop != nullptr ? v.loop->location.line : 0);
+    line += v.parallel ? " parallel" : " serial";
+    if (v.hybrid) line += " hybrid:" + v.hybrid_index_array;
+    line += " [" + v.reason + "]";
+    for (const std::string& s : v.summaries_used) line += " via:" + s;
+    for (const std::string& b : v.blockers) line += " blocked:" + b;
+    for (const ast::VarDecl* p : v.privates) line += " private:" + p->name;
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+// Cold full analysis of `source` through the batch driver at the given
+// thread count — the reference every incremental update must match.
+driver::ProgramReport cold_reference(const std::string& source,
+                                     const pipeline::Assumptions& assumptions,
+                                     unsigned threads) {
+  driver::BatchOptions options;
+  options.threads = threads;
+  driver::BatchAnalyzer batch(options);
+  driver::BatchReport report = batch.run({{"prog", source, assumptions}});
+  return std::move(report.programs.at(0));
+}
+
+// Asserts the update is byte-identical to cold analysis of the same source
+// at 1 and 8 threads (verdicts, output, annotation count, canonical diags).
+void expect_matches_cold(const UpdateResult& update, const std::string& source,
+                         const pipeline::Assumptions& assumptions,
+                         const std::string& label) {
+  ASSERT_TRUE(update.ok) << label << ": " << update.error;
+  for (unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE(label + " vs cold@" + std::to_string(threads) + " threads");
+    driver::ProgramReport cold = cold_reference(source, assumptions, threads);
+    ASSERT_TRUE(cold.ok) << cold.error;
+    EXPECT_EQ(update.output, cold.result.output);
+    EXPECT_EQ(verdict_lines(update.verdicts), verdict_lines(cold.result.verdicts));
+    EXPECT_EQ(update.annotated, cold.result.parallelized);
+    std::vector<support::Diagnostic> diags = cold.result.diags;
+    support::canonicalize_diagnostics(diags);
+    EXPECT_EQ(update.diagnostics, diags);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Mutation matrix: every edit class, one engine, cold byte-identity after
+// each step plus exact dirty-cone accounting.
+// --------------------------------------------------------------------------
+
+TEST(IncrementalEngine, MutationMatrixStaysByteIdenticalToColdAnalysis) {
+  const pipeline::Assumptions assume = {{"n", 1}};
+  const std::string base = R"(int n;
+int a[100];
+int b[100];
+int idx[100];
+int clamp(int v) {
+  if (v < 0) { v = 0; }
+  return v;
+}
+void fill(void) {
+  for (int i = 0; i < n; i++) {
+    idx[i] = i + 1;
+  }
+}
+void scale(void) {
+  for (int i = 0; i < n; i++) {
+    a[idx[i]] = clamp(b[i]);
+  }
+}
+void driver(void) {
+  fill();
+  scale();
+}
+)";
+
+  EngineOptions options;
+  options.assumptions = assume;
+  IncrementalEngine engine(options);
+
+  UpdateResult r = engine.update(base);
+  expect_matches_cold(r, base, assume, "base");
+  EXPECT_EQ(r.stats.functions_total, 4);
+  EXPECT_EQ(r.stats.dirty, 4) << "first update analyzes everything";
+
+  // Body edit: only the edited function and its (transitive) callers dirty.
+  std::string body_edit = base;
+  body_edit.replace(body_edit.find("clamp(b[i])"), 11, "clamp(b[i] + 1)");
+  r = engine.update(body_edit);
+  expect_matches_cold(r, body_edit, assume, "body edit");
+  EXPECT_EQ(r.stats.dirty, 2) << "scale + driver";
+  EXPECT_EQ(r.stats.reanalyzed, 2) << "line counts unchanged: nothing relocated";
+  EXPECT_GT(r.stats.reused_verdicts, 0);
+
+  // Helper edit: callers are dirty via callee-key folding.
+  std::string helper_edit = body_edit;
+  helper_edit.replace(helper_edit.find("{ v = 0; }"), 10, "{ v = 1; }");
+  r = engine.update(helper_edit);
+  expect_matches_cold(r, helper_edit, assume, "helper edit");
+  EXPECT_EQ(r.stats.dirty, 3) << "clamp + scale + driver";
+
+  // Signature change (arity): the callee AND the call site change.
+  std::string sig_change = helper_edit;
+  sig_change.replace(sig_change.find("int clamp(int v)"), 16, "int clamp(int v, int lo)");
+  sig_change.replace(sig_change.find("{ v = 1; }"), 10, "{ v = lo; }");
+  sig_change.replace(sig_change.find("clamp(b[i] + 1)"), 15, "clamp(b[i] + 1, 1)");
+  r = engine.update(sig_change);
+  expect_matches_cold(r, sig_change, assume, "signature change");
+  EXPECT_EQ(r.stats.dirty, 3) << "clamp + scale + driver";
+
+  // Added function (called from driver): new + driver dirty, others reuse.
+  std::string added = sig_change;
+  added += R"(void extra(void) {
+  for (int i = 0; i < n; i++) {
+    b[i] = i;
+  }
+}
+)";
+  added.replace(added.find("  scale();"), 10, "  scale();\n  extra();");
+  r = engine.update(added);
+  expect_matches_cold(r, added, assume, "added function");
+  EXPECT_EQ(r.stats.functions_total, 5);
+  EXPECT_EQ(r.stats.dirty, 2) << "extra (new) + driver";
+
+  // Removed function: only the caller that lost the call is dirty.
+  r = engine.update(sig_change);
+  expect_matches_cold(r, sig_change, assume, "removed function");
+  EXPECT_EQ(r.stats.functions_total, 4);
+  EXPECT_EQ(r.stats.dirty, 1) << "driver";
+
+  // Renamed function (definition + call site).
+  std::string renamed = sig_change;
+  renamed.replace(renamed.find("int clamp(int v, int lo)"), 24, "int bound(int v, int lo)");
+  renamed.replace(renamed.find("clamp(b[i] + 1, 1)"), 18, "bound(b[i] + 1, 1)");
+  r = engine.update(renamed);
+  expect_matches_cold(r, renamed, assume, "renamed function");
+  EXPECT_EQ(r.stats.dirty, 3) << "bound (new name) + scale + driver";
+
+  // Comment-only edit (appended, so no location shifts): nothing re-runs.
+  std::string comment_only = renamed + "// trailing note\n";
+  r = engine.update(comment_only);
+  expect_matches_cold(r, comment_only, assume, "comment-only edit");
+  EXPECT_EQ(r.stats.dirty, 0);
+  EXPECT_EQ(r.stats.reanalyzed, 0);
+  EXPECT_EQ(static_cast<size_t>(r.stats.reused_verdicts), r.verdicts.size())
+      << "every verdict rebinds from cache";
+  EXPECT_EQ(r.delta.added.size(), 0u);
+  EXPECT_EQ(r.delta.removed.size(), 0u);
+}
+
+TEST(IncrementalEngine, FailedParseKeepsTheSessionIncremental) {
+  const pipeline::Assumptions assume = {{"n", 1}};
+  const std::string base = R"(int n;
+int a[100];
+void fill(void) {
+  for (int i = 0; i < n; i++) {
+    a[i] = i;
+  }
+}
+void driver(void) {
+  fill();
+}
+)";
+  EngineOptions options;
+  options.assumptions = assume;
+  IncrementalEngine engine(options);
+  ASSERT_TRUE(engine.update(base).ok);
+
+  // A syntax error mid-edit: the update fails with diagnostics, the previous
+  // snapshot is released (program() is null until the next good update)...
+  UpdateResult bad = engine.update("void broken( {");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_FALSE(bad.diagnostics.empty());
+  EXPECT_EQ(engine.program(), nullptr);
+
+  // ...but the incremental state survives: the next good update only
+  // re-analyzes the edited cone, not the whole program.
+  std::string edited = base;
+  edited.replace(edited.find("a[i] = i;"), 9, "a[i] = i + 2;");
+  UpdateResult r = engine.update(edited);
+  expect_matches_cold(r, edited, assume, "update after failed parse");
+  EXPECT_EQ(r.stats.dirty, 2) << "fill + driver; the syntax error cost nothing";
+  EXPECT_NE(engine.program(), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// Edge cases from the dirty-cone design
+// --------------------------------------------------------------------------
+
+TEST(IncrementalEngine, EditingOneSccMemberDirtiesTheWholeScc) {
+  const pipeline::Assumptions assume = {{"n", 1}};
+  const std::string base = R"(int n;
+int a[100];
+void even(int v) {
+  if (v > 0) { odd(v - 1); }
+}
+void odd(int v) {
+  if (v > 0) { even(v - 1); }
+}
+void work(void) {
+  for (int i = 0; i < n; i++) {
+    a[i] = i;
+  }
+  even(n);
+}
+)";
+  EngineOptions options;
+  options.assumptions = assume;
+  IncrementalEngine engine(options);
+  ASSERT_TRUE(engine.update(base).ok);
+
+  // Editing `odd` must dirty `even` too (the SCC is keyed as a group) and
+  // `work` (caller of the SCC) — the entire program here.
+  std::string edited = base;
+  edited.replace(edited.find("even(v - 1)"), 11, "even(v - 2)");
+  UpdateResult r = engine.update(edited);
+  expect_matches_cold(r, edited, assume, "SCC member edit");
+  EXPECT_EQ(r.stats.functions_total, 3);
+  EXPECT_EQ(r.stats.dirty, 3) << "odd + even (same SCC) + work (caller)";
+}
+
+TEST(IncrementalEngine, DirtyCallerInvalidatesContextFingerprintedSummaries) {
+  // `build_rowstr` is only provably monotonic under the entry facts the
+  // caller projects into it (nzz >= 0 from fill_nzz); that proof lives in a
+  // context-fingerprinted cache slot. Editing fill_nzz leaves build_rowstr's
+  // content key UNCHANGED, but the caller's new entry facts hash to a new
+  // fingerprint — so the stale specialized summary must not be served.
+  const pipeline::Assumptions assume = {{"nrows", 1}};
+  const std::string base = R"(int nrows;
+int cols[512];
+int nzz[512];
+int rowstr[513];
+double data[8192];
+void fill_nzz(void) {
+  for (int i = 0; i < nrows; i++) {
+    nzz[i] = cols[i] > 0 ? 1 : 0;
+  }
+}
+void build_rowstr(void) {
+  rowstr[0] = 0;
+  for (int i = 1; i < nrows + 1; i++) {
+    rowstr[i] = rowstr[i-1] + nzz[i-1];
+  }
+}
+void consume(void) {
+  fill_nzz();
+  build_rowstr();
+  for (int i = 0; i < nrows; i++) {
+    for (int k = rowstr[i]; k < rowstr[i+1]; k++) {
+      data[k] = data[k] * 0.5;
+    }
+  }
+}
+)";
+  EngineOptions options;
+  options.assumptions = assume;
+  IncrementalEngine engine(options);
+  UpdateResult before = engine.update(base);
+  ASSERT_TRUE(before.ok) << before.error;
+  const std::vector<std::string> before_verdicts = verdict_lines(before.verdicts);
+
+  // nzz entries may now be negative: the projected facts change, the rowstr
+  // monotonicity proof must be re-derived (and fail), and the consume loop's
+  // verdict must match a cold analysis — a stale fingerprint slot would
+  // keep the old (now unsound) parallel verdict.
+  std::string edited = base;
+  edited.replace(edited.find("cols[i] > 0 ? 1 : 0"), 19, "cols[i] - 5        ");
+  UpdateResult after = engine.update(edited);
+  expect_matches_cold(after, edited, assume, "dirty caller, clean callee");
+  EXPECT_EQ(after.stats.dirty, 2) << "fill_nzz + consume; build_rowstr stays clean";
+  EXPECT_NE(verdict_lines(after.verdicts), before_verdicts)
+      << "the edit must actually change an analysis result, or this test "
+         "proves nothing about fingerprint invalidation";
+}
+
+TEST(IncrementalEngine, StorePreloadedSummariesServeAndSurviveUpdates) {
+  const pipeline::Assumptions assume = {{"n", 1}};
+  const std::string base = R"(int n;
+int idx[100];
+int a[100];
+void fill(void) {
+  for (int i = 0; i < n; i++) {
+    idx[i] = i + 1;
+  }
+}
+void scale(void) {
+  fill();
+  for (int i = 0; i < n; i++) {
+    a[idx[i]] = i;
+  }
+}
+void driver(void) {
+  scale();
+}
+)";
+  const std::string store_path = testing::TempDir() + "sspar_incremental_store.bin";
+  std::remove(store_path.c_str());
+
+  // First engine warms the persistent store with fill's summary.
+  {
+    store::SummaryStore store(store_path);
+    ASSERT_TRUE(store.open());
+    EngineOptions options;
+    options.assumptions = assume;
+    options.store = &store;
+    IncrementalEngine warmup(options);
+    ASSERT_TRUE(warmup.update(base).ok);
+    warmup.flush_store();
+  }
+
+  // A fresh engine preloads the store at construction: even its FIRST update
+  // (everything dirty) rehydrates fill's summary instead of recomputing it.
+  store::SummaryStore store(store_path);
+  ASSERT_TRUE(store.open());
+  EngineOptions options;
+  options.assumptions = assume;
+  options.store = &store;
+  IncrementalEngine engine(options);
+  UpdateResult r = engine.update(base);
+  expect_matches_cold(r, base, assume, "store-preloaded first update");
+  EXPECT_GT(r.stats.reused_summaries, 0) << "fill's summary must come from the store";
+
+  // The preloaded entry survives updates: editing scale re-analyzes it, and
+  // its fill() call is answered by the same cached summary again.
+  std::string edited = base;
+  edited.replace(edited.find("a[idx[i]] = i;"), 14, "a[idx[i]] = i + 1;");
+  r = engine.update(edited);
+  expect_matches_cold(r, edited, assume, "edit against preloaded store");
+  EXPECT_EQ(r.stats.dirty, 2) << "scale + driver";
+  EXPECT_GT(r.stats.reused_summaries, 0)
+      << "dirty scale consults fill's summary, which must still be cached";
+  std::remove(store_path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Diagnostics: canonical order, dedup, and the delta
+// --------------------------------------------------------------------------
+
+TEST(IncrementalEngine, DiagnosticsStayCanonicalWhenCachedAndFreshMerge) {
+  // zz_noisy comes FIRST in the source but LAST in name order; after editing
+  // only aa_noisy, its cached diagnostics must interleave with aa_noisy's
+  // fresh ones in (line, column, code) order — not in map/name order and not
+  // cached-then-fresh.
+  const pipeline::Assumptions assume = {{"n", 1}};
+  const std::string base = R"(int n;
+int a[100];
+void zz_noisy(void) {
+  for (int i = 0; i < n; i++) {
+    while (a[i] > 0) { a[i] = a[i] - 1; }
+  }
+}
+void aa_noisy(void) {
+  for (int i = 0; i < n; i++) {
+    while (a[i] > 1) { a[i] = a[i] - 2; }
+  }
+}
+)";
+  EngineOptions options;
+  options.assumptions = assume;
+  IncrementalEngine engine(options);
+  UpdateResult r = engine.update(base);
+  expect_matches_cold(r, base, assume, "two-warning base");
+  ASSERT_GE(r.diagnostics.size(), 2u) << "both while loops must warn";
+  for (size_t i = 1; i < r.diagnostics.size(); ++i) {
+    EXPECT_LE(r.diagnostics[i - 1].location.line, r.diagnostics[i].location.line)
+        << "diagnostics out of canonical order at index " << i;
+  }
+
+  // Edit only aa_noisy: zz_noisy's warning is cached, aa_noisy's is fresh.
+  std::string edited = base;
+  edited.replace(edited.find("a[i] - 2"), 8, "a[i] - 3");
+  r = engine.update(edited);
+  expect_matches_cold(r, edited, assume, "cached + fresh diagnostics");
+  EXPECT_EQ(r.delta.added.size(), 0u);
+  EXPECT_EQ(r.delta.removed.size(), 0u);
+  EXPECT_EQ(r.delta.unchanged, static_cast<int>(r.diagnostics.size()));
+
+  // Removing zz_noisy's while loop shows up as a removed diagnostic.
+  std::string calmed = edited;
+  calmed.replace(calmed.find("while (a[i] > 0) { a[i] = a[i] - 1; }"), 37,
+                 "a[i] = 0;                            ");
+  r = engine.update(calmed);
+  expect_matches_cold(r, calmed, assume, "warning removed");
+  EXPECT_EQ(r.delta.removed.size(), 1u);
+  EXPECT_EQ(r.delta.added.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sspar::incremental

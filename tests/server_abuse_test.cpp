@@ -344,6 +344,24 @@ TEST(ServerAbuse, KilledAtEveryServerFaultPointLeavesTheStoreConsistent) {
 
   const std::vector<std::string> points = support::faultpoint::known_points("server.");
   ASSERT_GE(points.size(), 4u);
+  // The request sequence that actually reaches `point`: session-family fault
+  // sites only fire on session requests, everything else on an analyze. All
+  // but the LAST request of a sequence must succeed; the last dies with the
+  // daemon.
+  auto requests_for = [](const std::string& point) -> std::vector<std::string> {
+    if (point == "server.session.open") {
+      return {make_open_session_request("victim", {{"n", 1}})};
+    }
+    if (point == "server.session.update.pre_run") {
+      return {make_open_session_request("victim", {{"n", 1}}),
+              make_update_request("victim", abuse_inputs()[0].source)};
+    }
+    if (point == "server.session.close") {
+      return {make_open_session_request("victim", {{"n", 1}}),
+              make_close_session_request("victim")};
+    }
+    return {make_analyze_request(abuse_inputs(), false, 1)};
+  };
   for (const std::string& point : points) {
     SCOPED_TRACE(point);
     const std::string socket_path = fresh_path("killmatrix.sock");
@@ -382,7 +400,13 @@ TEST(ServerAbuse, KilledAtEveryServerFaultPointLeavesTheStoreConsistent) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     ASSERT_TRUE(connected);
-    auto response = client.request(make_analyze_request(abuse_inputs(), false, 1));
+    const std::vector<std::string> requests = requests_for(point);
+    for (size_t i = 0; i + 1 < requests.size(); ++i) {
+      auto setup = client.request(requests[i]);
+      ASSERT_TRUE(setup.has_value()) << "setup request " << i << " got no response";
+      ASSERT_TRUE(setup->find("ok")->as_bool());
+    }
+    auto response = client.request(requests.back());
     EXPECT_FALSE(response.has_value());
 
     int status = 0;

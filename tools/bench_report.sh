@@ -4,10 +4,12 @@
 # preface (summary-cache hit rates), the E5 inspector-overhead table, a
 # corpus coverage run ({static_parallel, hybrid_parallel, serial}), a
 # cold-vs-warm persistent-store pair (the warm run MUST report store hits,
-# or the script fails), and a journal-overhead guard (a warm run with the
+# or the script fails), a journal-overhead guard (a warm run with the
 # crash-safe WAL on must cost < 5% over one without, outside the timer noise
-# floor), and merges them into one JSON document — the perf trajectory
-# snapshot checked in at the repo root (BENCH_pr<N>.json).
+# floor), and the incremental-latency bench (single-function edit through a
+# warm IncrementalEngine; an update that reuses NO summaries or verdicts
+# fails the run), and merges them into one JSON document — the perf
+# trajectory snapshot checked in at the repo root (BENCH_pr<N>.json).
 #
 # usage: bench_report.sh <build-dir> <output.json> [min_time_seconds]
 set -eu
@@ -20,6 +22,7 @@ MICRO="$BUILD_DIR/bench_micro_symbolic"
 ANALYSIS="$BUILD_DIR/bench_analysis_time"
 FIG10="$BUILD_DIR/bench_fig10_cg_speedup"
 INSPECTOR="$BUILD_DIR/bench_inspector_overhead"
+INCREMENTAL="$BUILD_DIR/bench_incremental_latency"
 ANALYZE="$BUILD_DIR/sspar-analyze"
 
 if [ ! -x "$MICRO" ]; then
@@ -37,7 +40,8 @@ TMP_STORE_WARM=$(mktemp)
 TMP_STORE_FILE=$(mktemp)
 TMP_JOURNAL_WARM=$(mktemp)
 TMP_JOURNAL_FILE=$(mktemp)
-trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_STORE_FILE" "$TMP_JOURNAL_WARM" "$TMP_JOURNAL_FILE" "$TMP_JOURNAL_FILE.journal"' EXIT
+TMP_INCREMENTAL=$(mktemp)
+trap 'rm -f "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_STORE_FILE" "$TMP_JOURNAL_WARM" "$TMP_JOURNAL_FILE" "$TMP_JOURNAL_FILE.journal" "$TMP_INCREMENTAL"' EXIT
 
 # Older google-benchmark rejects the "0.01s" suffix form; pass a plain double.
 "$MICRO" --benchmark_format=json --benchmark_min_time="$MIN_TIME" >"$TMP_MICRO"
@@ -106,13 +110,22 @@ else
   : >"$TMP_JOURNAL_WARM"
 fi
 
-python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_JOURNAL_WARM" "${PLAIN_WARM_MS:-}" "${JOURNAL_WARM_MS:-}" "$OUT" <<'EOF'
+# Incremental-latency bench: exits nonzero itself (failing this script via
+# set -e) when the warm update reuses nothing, diverges from cold analysis,
+# or shows no speedup at the largest size.
+if [ -x "$INCREMENTAL" ]; then
+  "$INCREMENTAL" >"$TMP_INCREMENTAL"
+else
+  : >"$TMP_INCREMENTAL"
+fi
+
+python3 - "$TMP_MICRO" "$TMP_ANALYSIS" "$TMP_IPA" "$TMP_INSPECTOR" "$TMP_COVERAGE" "$TMP_STORE_COLD" "$TMP_STORE_WARM" "$TMP_JOURNAL_WARM" "${PLAIN_WARM_MS:-}" "${JOURNAL_WARM_MS:-}" "$TMP_INCREMENTAL" "$OUT" <<'EOF'
 import json
 import sys
 
 (micro_path, analysis_path, ipa_path, inspector_path, coverage_path,
  store_cold_path, store_warm_path, journal_warm_path,
- plain_warm_ms, journal_warm_ms, out_path) = sys.argv[1:12]
+ plain_warm_ms, journal_warm_ms, incremental_path, out_path) = sys.argv[1:13]
 
 with open(micro_path) as f:
     micro = json.load(f)
@@ -238,6 +251,38 @@ if journal_warm is not None:
         "overhead_pct": round(overhead_pct, 1),
     }
 
+# Incremental-latency table: "blocks functions loops cold update speedup
+# dirty reanalyzed reused_summaries reused_verdicts" data rows. Re-enforce
+# the reuse invariant here too (the bench binary already failed on it, but
+# a stale/empty capture must not slip a hollow report through).
+with open(incremental_path) as f:
+    incremental_text = f.read()
+
+incremental_rows = []
+for line in incremental_text.splitlines():
+    cells = line.split()
+    if len(cells) == 10 and cells[0].isdigit():
+        incremental_rows.append({
+            "blocks": int(cells[0]),
+            "functions": int(cells[1]),
+            "loops": int(cells[2]),
+            "cold_ms": float(cells[3]),
+            "update_ms": float(cells[4]),
+            "speedup": float(cells[5].rstrip("x")),
+            "dirty": int(cells[6]),
+            "reanalyzed": int(cells[7]),
+            "reused_summaries": int(cells[8]),
+            "reused_verdicts": int(cells[9]),
+        })
+
+if incremental_text.strip():
+    if not incremental_rows:
+        sys.exit("bench_report.sh: incremental-latency output had no data rows")
+    for row in incremental_rows:
+        if row["reused_summaries"] + row["reused_verdicts"] <= 0:
+            sys.exit("bench_report.sh: incremental update at %d blocks reused "
+                     "nothing — dirty-cone reuse is broken" % row["blocks"])
+
 doc = {
     "context": micro.get("context", {}),
     "micro_symbolic": micro.get("benchmarks", []),
@@ -250,6 +295,8 @@ doc = {
     "coverage": coverage,
     "persistent_store": {"cold": store_cold, "warm": store_warm,
                          "journal": journal},
+    "incremental_latency": incremental_rows,
+    "incremental_latency_raw": incremental_text,
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2, sort_keys=True)
