@@ -1,6 +1,8 @@
 // Phase 2: aggregation of one-iteration effects across the iteration space
 // (paper Section 3.4, including the "forthcoming algebra" extensions).
 #include "core/body_interp.h"
+#include "symbolic/arena.h"
+#include "symbolic/recurrence.h"
 
 namespace sspar::core {
 
@@ -337,6 +339,37 @@ LoopEffect Analyzer::aggregate(const ast::For& loop, const LoopInfo& info,
           fact.injective = InjectiveFact{sec_lo, sec_hi, std::nullopt};
         }
         matched = true;
+      }
+    }
+
+    // Chain injectivity: a[s] = v where the recurrence chain of v over i has
+    // a provably nonzero *symbolic* stride, e.g. idx[i] = m*i + q with
+    // m >= 1. The affine-value rule above cannot see this (split_affine_in
+    // only yields integer coefficients); the chain layer carries the stride
+    // as an expression and discharges its sign through the prover.
+    if (!matched && options_.enable_chain_injectivity_rule && !w.conditional && trip_nonneg &&
+        w.value.is_exact()) {
+      const ExprPtr v = w.value.exact_value();
+      sym::RecurrenceBuilder& rec = sym::ExprArena::current().recurrences();
+      const sym::RecChain* chain = rec.chain_for(v, index_sym, lb);
+      if (chain && !sym::is_const(chain->stride) &&
+          !sym::contains_kind(chain->stride, sym::ExprKind::ArrayElem)) {
+        // Value step per +1 array position (subscript advances by c per
+        // iteration, c is ±1 here).
+        ExprPtr pos_step = sym::mul_const(chain->stride, c);
+        bool inc = prove_ge(pos_step, sym::make_const(1), ctx_i) == Truth::True;
+        bool dec =
+            !inc && prove_le(pos_step, sym::make_const(-1), ctx_i) == Truth::True;
+        if (inc || dec) {
+          Range vals = widen(w.value);
+          if (!vals.is_bottom()) fact.value = ValueFact{sec_lo, sec_hi, vals};
+          // Injectivity is the chain's claim; deliberately no Monotonic step
+          // fact here — ordering proofs stay with the paper's per-element
+          // catalogue, so verdicts credit the layer that actually proved them.
+          fact.injective =
+              InjectiveFact{sec_lo, sec_hi, std::nullopt, /*from_chain=*/true};
+          matched = true;
+        }
       }
     }
 

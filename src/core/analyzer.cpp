@@ -952,20 +952,20 @@ FactDB Analyzer::project_entry_facts(
   for (const auto& [array, facts] : caller_facts.all()) {
     if (!read_arrays.count(array) || stale_arrays.count(array)) continue;
     ArrayFacts kept;
-    for (const ValueFact& f : facts.values) {
+    for (const ValueFact& f : facts->values) {
       if (visible(f.lo) && visible(f.hi) && visible_range(f.value)) {
         kept.values.push_back(f);
       }
     }
-    for (const StepFact& f : facts.steps) {
+    for (const StepFact& f : facts->steps) {
       if (visible(f.lo) && visible(f.hi) && visible_range(f.step)) {
         kept.steps.push_back(f);
       }
     }
-    for (const InjectiveFact& f : facts.injectives) {
+    for (const InjectiveFact& f : facts->injectives) {
       if (visible(f.lo) && visible(f.hi)) kept.injectives.push_back(f);
     }
-    for (const IdentityFact& f : facts.identities) {
+    for (const IdentityFact& f : facts->identities) {
       if (visible(f.lo) && visible(f.hi)) kept.identities.push_back(f);
     }
     if (!kept.empty()) projected.restore(array, std::move(kept));

@@ -140,6 +140,7 @@ struct AnalyzerOptions {
   bool enable_branch_rules = true;        // subset-injective / disjoint strided
   bool enable_copy_rule = true;           // a[i] = b[i] propagates facts
   bool enable_lambda_sum_rule = true;     // λ+g(i) closed-form aggregation
+  bool enable_chain_injectivity_rule = true;  // x[i] = m*i+q, m != 0 => injective
 
   // Equality lets pipeline::Session reuse a cached analysis when asked to
   // re-analyze under options it has already run.

@@ -578,7 +578,8 @@ Range BodyInterp::apply_call(const ast::Call& call) {
   // from calls inside a loop iteration or branch are dropped, like
   // inner-loop facts.
   if (!index_ && cond_depth_ == 0) {
-    for (const auto& [array, facts] : s->end_facts.all()) {
+    for (const auto& [array, facts_ptr] : s->end_facts.all()) {
+      const ArrayFacts& facts = *facts_ptr;
       const sym::SymbolId mapped = applier.remap_array_symbol(array);
       auto push = [this, s](LoopEffect::ProducedFact fact) {
         pending_facts.push_back(PendingFact{std::move(fact), s->function, writes.size()});
@@ -614,7 +615,7 @@ Range BodyInterp::apply_call(const ast::Call& call) {
         if (!lo || !hi) continue;
         LoopEffect::ProducedFact fact;
         fact.array = mapped;
-        fact.injective = InjectiveFact{lo, hi, f.min_value};
+        fact.injective = InjectiveFact{lo, hi, f.min_value, f.from_chain};
         push(std::move(fact));
       }
     }

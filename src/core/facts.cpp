@@ -1,5 +1,7 @@
 #include "core/facts.h"
 
+#include <algorithm>
+
 #include "support/text.h"
 
 namespace sspar::core {
@@ -28,51 +30,72 @@ bool provably_disjoint(const ExprPtr& alo, const ExprPtr& ahi, const ExprPtr& bl
 
 }  // namespace
 
+ArrayFacts& FactDB::mutate(sym::SymbolId array) {
+  FactsPtr& slot = facts_[array];
+  if (!slot) {
+    slot = std::make_shared<ArrayFacts>();
+  } else if (slot.use_count() > 1) {
+    slot = std::make_shared<ArrayFacts>(*slot);
+  }
+  // The set is uniquely owned here, so dropping const is safe.
+  return const_cast<ArrayFacts&>(*slot);
+}
+
 void FactDB::add_value(sym::SymbolId array, ValueFact fact) {
   if (!fact.lo || !fact.hi || fact.value.is_bottom()) return;
   // Exact duplicates arise when a callee's exit facts re-state entry facts
   // the caller still holds; admitting them would bloat the database and
-  // perturb entry-fact fingerprints.
-  for (const ValueFact& f : facts_[array].values) {
-    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) && f.value == fact.value) {
-      return;
+  // perturb entry-fact fingerprints. Checked before mutate(): a duplicate
+  // must not trigger a copy-on-write clone.
+  if (const ArrayFacts* existing = find(array)) {
+    for (const ValueFact& f : existing->values) {
+      if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) && f.value == fact.value) {
+        return;
+      }
     }
   }
-  facts_[array].values.push_back(std::move(fact));
+  mutate(array).values.push_back(std::move(fact));
 }
 
 void FactDB::add_step(sym::SymbolId array, StepFact fact) {
   if (!fact.lo || !fact.hi || fact.step.is_bottom()) return;
-  for (const StepFact& f : facts_[array].steps) {
-    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) && f.step == fact.step) {
-      return;
+  if (const ArrayFacts* existing = find(array)) {
+    for (const StepFact& f : existing->steps) {
+      if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) && f.step == fact.step) {
+        return;
+      }
     }
   }
-  facts_[array].steps.push_back(std::move(fact));
+  mutate(array).steps.push_back(std::move(fact));
 }
 
 void FactDB::add_injective(sym::SymbolId array, InjectiveFact fact) {
   if (!fact.lo || !fact.hi) return;
-  for (const InjectiveFact& f : facts_[array].injectives) {
-    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) &&
-        f.min_value == fact.min_value) {
-      return;
+  // Dedup ignores from_chain: the first-added fact wins, deterministically.
+  if (const ArrayFacts* existing = find(array)) {
+    for (const InjectiveFact& f : existing->injectives) {
+      if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi) &&
+          f.min_value == fact.min_value) {
+        return;
+      }
     }
   }
-  facts_[array].injectives.push_back(std::move(fact));
+  mutate(array).injectives.push_back(std::move(fact));
 }
 
 void FactDB::add_identity(sym::SymbolId array, IdentityFact fact) {
   if (!fact.lo || !fact.hi) return;
-  for (const IdentityFact& f : facts_[array].identities) {
-    if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi)) return;
+  if (const ArrayFacts* existing = find(array)) {
+    for (const IdentityFact& f : existing->identities) {
+      if (sym::equal(f.lo, fact.lo) && sym::equal(f.hi, fact.hi)) return;
+    }
   }
   // Identity implies value == index, unit step, and injectivity.
   add_value(array, ValueFact{fact.lo, fact.hi, Range::of(fact.lo, fact.hi)});
   add_step(array, StepFact{sym::add(fact.lo, sym::make_const(1)), fact.hi,
                            Range::of_consts(1, 1)});
   add_injective(array, InjectiveFact{fact.lo, fact.hi, std::nullopt});
-  facts_[array].identities.push_back(std::move(fact));
+  mutate(array).identities.push_back(std::move(fact));
 }
 
 void FactDB::restore(sym::SymbolId array, ArrayFacts facts) {
@@ -80,29 +103,41 @@ void FactDB::restore(sym::SymbolId array, ArrayFacts facts) {
     facts_.erase(array);
     return;
   }
-  facts_[array] = std::move(facts);
+  facts_[array] = std::make_shared<ArrayFacts>(std::move(facts));
 }
 
 const ArrayFacts* FactDB::find(sym::SymbolId array) const {
   auto it = facts_.find(array);
-  return it == facts_.end() ? nullptr : &it->second;
+  return it == facts_.end() ? nullptr : it->second.get();
 }
 
 void FactDB::kill_overlapping(sym::SymbolId array, const ExprPtr& lo, const ExprPtr& hi,
                               const AssumptionContext& ctx) {
   auto it = facts_.find(array);
   if (it == facts_.end()) return;
-  ArrayFacts& facts = it->second;
+  const ArrayFacts& facts = *it->second;
   auto survives = [&](const ExprPtr& flo, const ExprPtr& fhi) {
     return provably_disjoint(flo, fhi, lo, hi, ctx);
   };
-  std::erase_if(facts.values, [&](const ValueFact& f) { return !survives(f.lo, f.hi); });
-  // A step fact about links [lo:hi] reads elements [lo-1:hi].
-  std::erase_if(facts.steps, [&](const StepFact& f) {
-    return !survives(sym::sub(f.lo, sym::make_const(1)), f.hi);
-  });
-  std::erase_if(facts.injectives, [&](const InjectiveFact& f) { return !survives(f.lo, f.hi); });
-  std::erase_if(facts.identities, [&](const IdentityFact& f) { return !survives(f.lo, f.hi); });
+  auto step_survives = [&](const StepFact& f) {
+    // A step fact about links [lo:hi] reads elements [lo-1:hi].
+    return survives(sym::sub(f.lo, sym::make_const(1)), f.hi);
+  };
+  bool any_killed =
+      std::any_of(facts.values.begin(), facts.values.end(),
+                  [&](const ValueFact& f) { return !survives(f.lo, f.hi); }) ||
+      std::any_of(facts.steps.begin(), facts.steps.end(),
+                  [&](const StepFact& f) { return !step_survives(f); }) ||
+      std::any_of(facts.injectives.begin(), facts.injectives.end(),
+                  [&](const InjectiveFact& f) { return !survives(f.lo, f.hi); }) ||
+      std::any_of(facts.identities.begin(), facts.identities.end(),
+                  [&](const IdentityFact& f) { return !survives(f.lo, f.hi); });
+  if (!any_killed) return;  // no clone when every fact survives
+  ArrayFacts& own = mutate(array);
+  std::erase_if(own.values, [&](const ValueFact& f) { return !survives(f.lo, f.hi); });
+  std::erase_if(own.steps, [&](const StepFact& f) { return !step_survives(f); });
+  std::erase_if(own.injectives, [&](const InjectiveFact& f) { return !survives(f.lo, f.hi); });
+  std::erase_if(own.identities, [&](const IdentityFact& f) { return !survives(f.lo, f.hi); });
 }
 
 void FactDB::kill_all(sym::SymbolId array) { facts_.erase(array); }
@@ -176,12 +211,14 @@ std::optional<Range> FactDB::elem_value(sym::SymbolId array, const ExprPtr& idx,
 
 bool FactDB::injective_over(sym::SymbolId array, const ExprPtr& lo, const ExprPtr& hi,
                             const AssumptionContext& ctx,
-                            std::optional<int64_t>* min_value_out) const {
+                            std::optional<int64_t>* min_value_out,
+                            bool* from_chain_out) const {
   const ArrayFacts* facts = find(array);
   if (!facts) return false;
   for (const InjectiveFact& f : facts->injectives) {
     if (covers(f.lo, f.hi, lo, hi, ctx)) {
       if (min_value_out) *min_value_out = f.min_value;
+      if (from_chain_out) *from_chain_out = f.from_chain;
       return true;
     }
   }
@@ -193,6 +230,7 @@ bool FactDB::injective_over(sym::SymbolId array, const ExprPtr& lo, const ExprPt
         f.step.hi() && sym::prove_le(f.step.hi(), sym::make_const(-1), ctx) == Truth::True;
     if (strict_inc || strict_dec) {
       if (min_value_out) *min_value_out = std::nullopt;
+      if (from_chain_out) *from_chain_out = false;
       return true;
     }
   }
@@ -226,7 +264,8 @@ std::string FactDB::to_string(const sym::SymbolTable& syms) const {
   auto section = [&syms](const ExprPtr& lo, const ExprPtr& hi) {
     return "[" + sym::to_string(lo, syms) + " : " + sym::to_string(hi, syms) + "]";
   };
-  for (const auto& [array, facts] : facts_) {
+  for (const auto& [array, facts_ptr] : facts_) {
+    const ArrayFacts& facts = *facts_ptr;
     const std::string& name = syms.name(array);
     for (const auto& f : facts.identities) {
       out += name + ": " + section(f.lo, f.hi) + ", Identity\n";

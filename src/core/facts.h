@@ -22,6 +22,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +45,10 @@ struct StepFact {
 struct InjectiveFact {
   sym::ExprPtr lo = nullptr, hi = nullptr;
   std::optional<int64_t> min_value;  // subset injectivity threshold
+  // Derived by the recurrence-chain layer (a provably nonzero symbolic
+  // stride); proofs discharged through such a fact report the
+  // "affine-injective" enabling property instead of plain "injective".
+  bool from_chain = false;
 };
 
 struct IdentityFact {
@@ -62,6 +67,12 @@ struct ArrayFacts {
 };
 
 // Flow-sensitive fact database for one program point.
+//
+// Copy-on-write: copying a FactDB shares the per-array fact sets and only
+// clones an array's set when a mutation actually lands on it. The analyzer
+// snapshots the whole database at every loop entry (LoopSnapshot), which made
+// database copies the superlinear term of large-program analysis; under COW a
+// snapshot is a map of pointers. Not thread-safe (one FactDB per session).
 class FactDB {
  public:
   void add_value(sym::SymbolId array, ValueFact fact);
@@ -101,10 +112,12 @@ class FactDB {
 
   // True if an injectivity fact (possibly subset-restricted) covers [lo:hi].
   // When the covering fact is subset-restricted, `min_value_out` receives the
-  // threshold.
+  // threshold; `from_chain_out` (if given) reports whether the discharging
+  // fact came from the recurrence-chain layer.
   bool injective_over(sym::SymbolId array, const sym::ExprPtr& lo, const sym::ExprPtr& hi,
                       const sym::AssumptionContext& ctx,
-                      std::optional<int64_t>* min_value_out = nullptr) const;
+                      std::optional<int64_t>* min_value_out = nullptr,
+                      bool* from_chain_out = nullptr) const;
 
   bool identity_over(sym::SymbolId array, const sym::ExprPtr& lo, const sym::ExprPtr& hi,
                      const sym::AssumptionContext& ctx) const;
@@ -116,10 +129,14 @@ class FactDB {
 
   std::string to_string(const sym::SymbolTable& syms) const;
 
-  const std::map<sym::SymbolId, ArrayFacts>& all() const { return facts_; }
+  using FactsPtr = std::shared_ptr<const ArrayFacts>;
+  const std::map<sym::SymbolId, FactsPtr>& all() const { return facts_; }
 
  private:
-  std::map<sym::SymbolId, ArrayFacts> facts_;
+  // Clone-on-write access for mutations; creates the entry if absent.
+  ArrayFacts& mutate(sym::SymbolId array);
+
+  std::map<sym::SymbolId, FactsPtr> facts_;
 };
 
 }  // namespace sspar::core

@@ -5,6 +5,8 @@
 
 #include "core/body_interp.h"
 #include "support/text.h"
+#include "symbolic/arena.h"
+#include "symbolic/recurrence.h"
 
 namespace sspar::core {
 
@@ -378,18 +380,21 @@ LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* h
   // SubsetInjective hypothesis can vouch for the hypothesized array.
   auto injective_over = [&](sym::SymbolId array, const ExprPtr& qlo, const ExprPtr& qhi,
                             const sym::AssumptionContext& ctx,
-                            std::optional<int64_t>* min_value) -> bool {
+                            std::optional<int64_t>* min_value,
+                            bool* from_chain = nullptr) -> bool {
     if (hypothesis && array == hypothesis->array &&
         (hypothesis->property == EnablingProperty::Injective ||
          hypothesis->property == EnablingProperty::SubsetInjective)) {
       if (min_value) *min_value = hypothesis->min_value;
+      if (from_chain) *from_chain = false;
       return true;
     }
-    return snap->facts_at_entry.injective_over(array, qlo, qhi, ctx, min_value);
+    return snap->facts_at_entry.injective_over(array, qlo, qhi, ctx, min_value, from_chain);
   };
 
   bool used_monotonic_facts = false;
   bool used_injectivity = false;
+  bool used_chain_injectivity = false;
   bool used_subset = false;
   bool used_peel = !peel.empty();
   // Index arrays whose facts discharged a passing test (for provenance).
@@ -412,6 +417,33 @@ LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* h
   auto range_test = [&](const Range& u) -> bool {
     if (u.is_bottom() || !u.lo_bounded() || !u.hi_bounded()) return false;
     ExprPtr lo_i = u.lo(), hi_i = u.hi();
+    // Chain fast path: when both bounds have constant-stride recurrence
+    // chains over i and the range width folds to a constant, the adjacent
+    // comparisons below reduce to constant tests — the canonical affine form
+    // makes both differences Const nodes, on which the prover is exact, so
+    // the outcome here is definitive in both directions and the subst +
+    // prover machinery is skipped entirely.
+    {
+      sym::RecurrenceBuilder& rec = sym::ExprArena::current().recurrences();
+      const sym::RecChain* clo = rec.chain_for(lo_i, index_sym, general_lb);
+      const sym::RecChain* chi = clo ? rec.chain_for(hi_i, index_sym, general_lb) : nullptr;
+      if (clo && chi) {
+        auto slo = sym::RecurrenceBuilder::const_stride(*clo);
+        auto shi = sym::RecurrenceBuilder::const_stride(*chi);
+        auto width = sym::const_value(sym::sub(hi_i, lo_i));
+        if (slo && shi && width) {
+          // Forward: hi(i) < lo(i+1) && lo(i+1) >= lo(i); backward mirrored.
+          bool forward = *width < *slo && *slo >= 0;
+          bool backward = *width + *shi < 0 && *slo <= 0;
+          if (!forward && !backward) return false;
+          if (range_mentions_elem(u)) {
+            used_monotonic_facts = true;
+            note_fact_arrays(u);
+          }
+          return true;
+        }
+      }
+    }
     ExprPtr lo_next = shift_index(lo_i, index_sym, 1);
     ExprPtr hi_next = shift_index(hi_i, index_sym, 1);
     // Forward: ranges advance with i.
@@ -461,13 +493,16 @@ LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* h
     ExprPtr span_hi = domain.hi() ? sym::bound_range(domain.hi(), ctx_facts_any).hi() : nullptr;
     if (!span_lo || !span_hi) return false;
     std::optional<int64_t> min_value;
-    if (!injective_over(via->symbol, span_lo, span_hi, ctx_facts_any, &min_value) ||
+    bool from_chain = false;
+    if (!injective_over(via->symbol, span_lo, span_hi, ctx_facts_any, &min_value,
+                        &from_chain) ||
         min_value) {
       // Subset injectivity needs guard matching; handled by injectivity_test.
       return false;
     }
     if (!range_test(domain)) return false;
     used_injectivity = true;
+    used_chain_injectivity = used_chain_injectivity || from_chain;
     fact_arrays_used.insert(via->symbol);
     return true;
   };
@@ -496,11 +531,14 @@ LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* h
     Range domain = eval_range(s->operands[0], env);
     if (!domain.lo_bounded() || !domain.hi_bounded()) return false;
     std::optional<int64_t> min_value;
-    if (!injective_over(b_sym, domain.lo(), domain.hi(), ctx_facts_any, &min_value)) {
+    bool from_chain = false;
+    if (!injective_over(b_sym, domain.lo(), domain.hi(), ctx_facts_any, &min_value,
+                        &from_chain)) {
       return false;
     }
     if (!min_value) {
       used_injectivity = true;
+      used_chain_injectivity = used_chain_injectivity || from_chain;
       fact_arrays_used.insert(b_sym);
       return true;
     }
@@ -628,6 +666,9 @@ LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* h
     if (used_subset) {
       verdict.property = EnablingProperty::SubsetInjective;
       reason = "subset-injective index array with matching guard";
+    } else if (used_chain_injectivity) {
+      verdict.property = EnablingProperty::AffineInjective;
+      reason = "affine-injective index array (provably nonzero chain stride)";
     } else if (used_injectivity) {
       verdict.property = EnablingProperty::Injective;
       reason = "injective index array subscript";
@@ -641,6 +682,41 @@ LoopVerdict Parallelizer::analyze_impl(const ast::For& loop, const Hypothesis* h
     verdict.peeled = used_peel;
     if (used_peel) reason += " + peeled first iteration";
     verdict.reason = reason;
+
+    // Schedule hint from the access-range chains: per-iteration work is
+    // uniform (static) when every access range advances by a compile-time
+    // constant stride; it varies (dynamic) as soon as a range bound depends
+    // on index-array contents — rowstr[i]..rowstr[i+1] style inner trip
+    // counts are exactly the imbalanced case the paper's CSR kernels hit.
+    {
+      sym::RecurrenceBuilder& rec = sym::ExprArena::current().recurrences();
+      bool variable_work = false;
+      bool all_const_stride = !groups.empty();
+      for (auto& [array, set] : groups) {
+        Range u = combined_range(set);
+        if (u.is_bottom() || !u.lo_bounded() || !u.hi_bounded()) {
+          all_const_stride = false;
+          continue;
+        }
+        if (range_mentions_elem(u)) {
+          variable_work = true;
+          break;
+        }
+        const sym::RecChain* clo = rec.chain_for(u.lo(), index_sym, general_lb);
+        const sym::RecChain* chi = clo ? rec.chain_for(u.hi(), index_sym, general_lb) : nullptr;
+        if (!clo || !chi || !sym::RecurrenceBuilder::const_stride(*clo) ||
+            !sym::RecurrenceBuilder::const_stride(*chi)) {
+          all_const_stride = false;
+        }
+      }
+      if (variable_work) {
+        verdict.schedule = LoopVerdict::ScheduleHint::Dynamic;
+        verdict.schedule_reason = "variable per-iteration work from index-array-dependent ranges";
+      } else if (all_const_stride) {
+        verdict.schedule = LoopVerdict::ScheduleHint::Static;
+        verdict.schedule_reason = "constant-stride access chains, uniform per-iteration work";
+      }
+    }
   }
   return verdict;
 }
@@ -714,6 +790,8 @@ const char* property_name(EnablingProperty property) {
       return "injective";
     case EnablingProperty::SubsetInjective:
       return "subset-injective";
+    case EnablingProperty::AffineInjective:
+      return "affine-injective";
   }
   return "";
 }

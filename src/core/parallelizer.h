@@ -35,11 +35,13 @@ enum class EnablingProperty {
   Monotonic,        // monotonic index array ranges (extended Range Test)
   Injective,        // injective index array subscript (Fig. 2)
   SubsetInjective,  // subset-injective with matching guard (Fig. 5)
+  AffineInjective,  // injective via a nonzero-stride recurrence chain — the
+                    // chain layer's addition beyond the paper's catalogue
 };
 
 // Stable lowercase spelling ("affine", "monotonic", "injective",
-// "subset-injective"); empty string for None. Used as the histogram key in
-// driver::BatchStats and in the JSON reports.
+// "subset-injective", "affine-injective"); empty string for None. Used as the
+// histogram key in driver::BatchStats and in the JSON reports.
 const char* property_name(EnablingProperty property);
 
 struct LoopVerdict {
@@ -65,6 +67,15 @@ struct LoopVerdict {
   std::vector<std::string> blockers;
   // Scalars to privatize in the OpenMP clause (declared outside the loop).
   std::vector<const ast::VarDecl*> privates;
+  // Emitter guidance read off the access-range recurrence chains (parallel
+  // verdicts only): Static when every access range advances by a
+  // compile-time-constant stride (uniform, coalesced per-iteration work),
+  // Dynamic when access ranges depend on index-array contents (variable
+  // inner trip counts, e.g. rowstr[i]..rowstr[i+1]). None when neither is
+  // established. Rendered as a provenance comment, never into the pragma.
+  enum class ScheduleHint { None, Static, Dynamic };
+  ScheduleHint schedule = ScheduleHint::None;
+  std::string schedule_reason;
   // Hybrid inspector–executor candidate: the loop stays serial only because a
   // single enabling property of a single index array is statically unproven —
   // re-running the dependence tests under the hypothesis that the property

@@ -590,6 +590,53 @@ void f(void) {
       {{"n", 96, 1}},
       3, 2, 1, 1, true});
 
+  // Symbolic-stride fill: idx[i] = m*i + 2 with m >= 1 is injective, but the
+  // stride is not an integer constant, so only the recurrence-chain layer's
+  // affine-injectivity proof (not the affine-value rule) parallelizes the
+  // scatter loop. Statically parallel — no runtime check needed.
+  corpus.push_back(Entry{
+      "rec_affine_stride", Suite::Paper,
+      "scatter through a symbolic-stride affine fill: injective via the "
+      "nonzero-stride recurrence chain",
+      R"(int n;
+int m;
+int idx[4096];
+double x[4096];
+double y[4096];
+void f(void) {
+  for (int i = 0; i < n; i++) {
+    idx[i] = m * i + 2;
+  }
+  for (int i = 0; i < n; i++) {
+    y[idx[i]] = x[i] + 1.0;
+  }
+}
+)",
+      {{"n", 64, 1}, {"m", 3, 1}},
+      2, 1, 2, 1, true});
+
+  // Decreasing variant: stride -m <= -1 per position, still injective.
+  corpus.push_back(Entry{
+      "rec_affine_stride_dec", Suite::Paper,
+      "scatter through a decreasing symbolic-stride fill (q - m*i)",
+      R"(int n;
+int m;
+int q;
+int idx[4096];
+double x[4096];
+double y[4096];
+void f(void) {
+  for (int i = 0; i < n; i++) {
+    idx[i] = q - m * i;
+  }
+  for (int i = 0; i < n; i++) {
+    y[idx[i]] = x[i] * 2.0;
+  }
+}
+)",
+      {{"n", 64, 1}, {"m", 3, 1}, {"q", 256, 200}},
+      2, 1, 2, 1, true});
+
   // ==========================================================================
   // NAS Parallel Benchmarks v3.3.1 (6 of 10 programs exhibit the pattern)
   // ==========================================================================

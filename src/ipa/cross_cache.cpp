@@ -53,7 +53,7 @@ uint64_t fingerprint_facts(const core::FactDB& facts, const sym::SymbolTable& sy
   }
   std::sort(arrays.begin(), arrays.end());
   ContentHasher h;
-  h.mix("sspar-facts-v1");
+  h.mix("sspar-facts-v2");
   auto mix_expr = [&](const ExprPtr& e) {
     h.mix(e ? sym::to_string(e, symbols) : std::string("#"));
   };
@@ -85,6 +85,7 @@ uint64_t fingerprint_facts(const core::FactDB& facts, const sym::SymbolTable& sy
       // with the no-threshold case.
       h.mix(f.min_value ? "m" : "-");
       if (f.min_value) h.mix(static_cast<uint64_t>(*f.min_value));
+      h.mix(f.from_chain ? "c" : "-");
     }
     for (const auto& f : af->identities) {
       h.mix("D");
@@ -109,8 +110,9 @@ std::set<sym::SymbolId> collect_fact_scalar_symbols(const core::FactDB& facts) {
     collect(r.lo());
     collect(r.hi());
   };
-  for (const auto& [array, af] : facts.all()) {
+  for (const auto& [array, af_ptr] : facts.all()) {
     (void)array;
+    const core::ArrayFacts& af = *af_ptr;
     for (const auto& f : af.values) {
       collect(f.lo);
       collect(f.hi);
@@ -295,7 +297,8 @@ std::optional<PortableSummary> to_portable(const FunctionSummary& summary,
     if (!effect_to_portable(r, names, e)) return std::nullopt;
     out.reads.push_back(std::move(e));
   }
-  for (const auto& [array, facts] : summary.end_facts.all()) {
+  for (const auto& [array, facts_ptr] : summary.end_facts.all()) {
+    const core::ArrayFacts& facts = *facts_ptr;
     const std::string* array_name = names.name_of(array);
     if (!array_name) return std::nullopt;
     PortableArrayFacts pf;
@@ -318,6 +321,7 @@ std::optional<PortableSummary> to_portable(const FunctionSummary& summary,
       if (!expr_to_portable(f.lo, names, s.lo)) return std::nullopt;
       if (!expr_to_portable(f.hi, names, s.hi)) return std::nullopt;
       s.min_value = f.min_value;
+      s.from_chain = f.from_chain;
       pf.injectives.push_back(std::move(s));
     }
     for (const auto& f : facts.identities) {
@@ -552,6 +556,7 @@ std::optional<FunctionSummary> rehydrate(const PortableSummary& portable,
       s.lo = expr_from_portable(f.lo, decls);
       s.hi = expr_from_portable(f.hi, decls);
       s.min_value = f.min_value;
+      s.from_chain = f.from_chain;
       if (!s.lo || !s.hi) return std::nullopt;
       facts.injectives.push_back(std::move(s));
     }

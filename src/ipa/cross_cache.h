@@ -111,6 +111,7 @@ struct PortableStepFact {
 struct PortableInjectiveFact {
   PortableExpr lo, hi;
   std::optional<int64_t> min_value;
+  bool from_chain = false;
 };
 struct PortableIdentityFact {
   PortableExpr lo, hi;

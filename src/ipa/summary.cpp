@@ -17,6 +17,7 @@ uint32_t SummaryDB::encode(const core::AnalyzerOptions& o) {
   push(o.enable_branch_rules);
   push(o.enable_copy_rule);
   push(o.enable_lambda_sum_rule);
+  push(o.enable_chain_injectivity_rule);
   return bits;
 }
 

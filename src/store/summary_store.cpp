@@ -243,6 +243,7 @@ void put_facts(Writer& w, const ipa::PortableArrayFacts& f) {
     put_expr(w, i.hi);
     w.boolean(i.min_value.has_value());
     if (i.min_value) w.i64(*i.min_value);
+    w.boolean(i.from_chain);
   }
   w.u32(static_cast<uint32_t>(f.identities.size()));
   for (const auto& i : f.identities) {
@@ -276,6 +277,7 @@ bool get_facts(Reader& r, ipa::PortableArrayFacts& f) {
     } else {
       i.min_value.reset();
     }
+    if (!r.boolean(i.from_chain)) return false;
   }
   if (!r.count(n)) return false;
   f.identities.resize(n);
@@ -383,7 +385,9 @@ uint64_t payload_checksum(std::string_view bytes) {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'S', 'P', 'S'};
-constexpr uint32_t kVersion = 1;
+// v2: injective facts carry the from_chain (affine-injective provenance)
+// flag. v1 stores quarantine wholesale on open, per the robustness contract.
+constexpr uint32_t kVersion = 2;
 
 // Journal record types ("<path>.journal" sidecar, little-endian framing:
 // u8 type | u32 body_size | u64 body_fnv | body).

@@ -7,7 +7,7 @@
 // `--serve` daemon restart) starts from a warm cache instead of paying full
 // re-summarization.
 //
-// File format (little-endian, version 1):
+// File format (little-endian, version 2):
 //
 //   header:  magic "SSPS" | u32 version | u64 next_generation
 //   record*: u64 key.hi | u64 key.lo | u64 generation

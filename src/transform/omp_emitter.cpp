@@ -73,6 +73,12 @@ int annotate_parallel_loops(ast::Program& program,
         if (v && v->parallel) {
           loop->annotations.push_back(build_pragma(*v));
           loop->annotations.push_back("// sspar: " + v->reason);
+          if (v->schedule != core::LoopVerdict::ScheduleHint::None) {
+            const char* kind =
+                v->schedule == core::LoopVerdict::ScheduleHint::Static ? "static" : "dynamic";
+            loop->annotations.push_back(support::format("// sspar: schedule(%s) — %s", kind,
+                                                        v->schedule_reason.c_str()));
+          }
           ++annotated;
           return;  // don't annotate nested loops
         }

@@ -28,12 +28,13 @@ struct Pipeline {
 };
 
 Pipeline build(const char* source,
-               const std::vector<std::pair<const char*, int64_t>>& assumptions = {}) {
+               const std::vector<std::pair<const char*, int64_t>>& assumptions = {},
+               AnalyzerOptions options = {}) {
   Pipeline p;
   support::DiagnosticEngine diags;
   p.parsed = ast::parse_and_resolve(source, diags);
   EXPECT_TRUE(p.parsed.ok) << diags.dump();
-  p.analyzer = std::make_unique<Analyzer>(*p.parsed.program, *p.parsed.symbols);
+  p.analyzer = std::make_unique<Analyzer>(*p.parsed.program, *p.parsed.symbols, options);
   for (const auto& [name, lo] : assumptions) {
     p.analyzer->assume_ge(p.parsed.program->find_global(name), lo);
   }
@@ -610,6 +611,107 @@ TEST(BodyInterpForceBranches, PeeledFirstIterationCoexistsWithGuardedPairs) {
   auto scatter = p.verdict_of("f", 2);
   EXPECT_TRUE(scatter.parallel) << blockers(scatter);
   EXPECT_EQ(scatter.property, EnablingProperty::SubsetInjective);
+}
+
+// --------------------------------------------------------------------------
+// Chain injectivity (recurrence layer)
+// --------------------------------------------------------------------------
+
+constexpr const char* kSymbolicStrideScatter = R"(
+  int n; int m; int idx[4096]; double x[4096]; double y[4096];
+  void f() {
+    for (int i = 0; i < n; i++) {
+      idx[i] = m * i + 2;
+    }
+    for (int i = 0; i < n; i++) {
+      y[idx[i]] = x[i] + 1.0;
+    }
+  }
+)";
+
+TEST(Parallelizer, SymbolicStrideFillProvesChainInjectivity) {
+  auto p = build(kSymbolicStrideScatter, {{"n", 1}, {"m", 1}});
+  auto v = p.verdict_of("f", 1);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_EQ(v.property, EnablingProperty::AffineInjective);
+  EXPECT_EQ(v.reason, "affine-injective index array (provably nonzero chain stride)");
+  EXPECT_TRUE(v.uses_subscripted_subscripts);
+}
+
+TEST(Parallelizer, ChainInjectivityIsLoadBearing) {
+  // The symbolic stride m*i is invisible to the integer-coefficient affine
+  // rule, so with the chain rule disabled the scatter must not be statically
+  // parallel — the entry parallelizes only via the new proof.
+  AnalyzerOptions options;
+  options.enable_chain_injectivity_rule = false;
+  auto p = build(kSymbolicStrideScatter, {{"n", 1}, {"m", 1}}, options);
+  auto v = p.verdict_of("f", 1);
+  EXPECT_FALSE(v.parallel);
+  // It stays a hybrid candidate: injectivity of idx is the single unproven
+  // property, discharged at runtime instead.
+  EXPECT_TRUE(v.hybrid);
+  EXPECT_EQ(v.hybrid_property, EnablingProperty::Injective);
+}
+
+TEST(Parallelizer, ChainInjectivityUnprovableStrideSignStaysSerial) {
+  // Without the m >= 1 assumption the stride could be zero, so the chain
+  // rule must not fire (idx could be constant and the scatter colliding).
+  auto p = build(kSymbolicStrideScatter, {{"n", 1}});
+  auto v = p.verdict_of("f", 1);
+  EXPECT_FALSE(v.parallel);
+}
+
+TEST(Parallelizer, DecreasingSymbolicStrideChainInjectivity) {
+  auto p = build(R"(
+    int n; int m; int q; int idx[4096]; double x[4096]; double y[4096];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        idx[i] = q - m * i;
+      }
+      for (int i = 0; i < n; i++) {
+        y[idx[i]] = x[i] * 2.0;
+      }
+    }
+  )", {{"n", 1}, {"m", 1}, {"q", 200}});
+  auto v = p.verdict_of("f", 1);
+  EXPECT_TRUE(v.parallel) << blockers(v);
+  EXPECT_EQ(v.property, EnablingProperty::AffineInjective);
+}
+
+TEST(Parallelizer, ScheduleHintStaticForConstantStrideChains) {
+  auto p = build(R"(
+    int n; int a[100]; int b[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        a[i] = b[i] + 1;
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  ASSERT_TRUE(v.parallel) << blockers(v);
+  EXPECT_EQ(v.schedule, LoopVerdict::ScheduleHint::Static);
+  EXPECT_FALSE(v.schedule_reason.empty());
+}
+
+TEST(Parallelizer, ScheduleHintDynamicForIndexArrayDependentRanges) {
+  // CSR-style traversal: per-iteration work is rowstr[i+1] - rowstr[i],
+  // which varies with index-array contents.
+  auto p = build(R"(
+    int n; int rowstr[100]; int colidx[1000]; double a[1000];
+    double x[100]; double y[100];
+    void f() {
+      for (int i = 0; i < n; i++) {
+        double sum = 0.0;
+        for (int k = rowstr[i]; k < rowstr[i+1]; k++) {
+          sum = sum + a[k] * x[colidx[k]];
+        }
+        y[i] = sum;
+      }
+    }
+  )", {{"n", 1}});
+  auto v = p.verdict_of("f", 0);
+  ASSERT_TRUE(v.parallel) << blockers(v);
+  EXPECT_EQ(v.schedule, LoopVerdict::ScheduleHint::Dynamic);
 }
 
 }  // namespace

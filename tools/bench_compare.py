@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Compare two bench_report.sh snapshots and fail on perf regressions.
+
+usage: bench_compare.py <baseline.json> <candidate.json>
+           [--threshold 0.25] [--noise-floor-ms 5.0]
+
+The two snapshots usually come from different machines (a checked-in
+BENCH_pr<N>.json vs a CI runner), so raw wall-clock deltas are meaningless.
+The gate self-normalizes instead: it computes the candidate/baseline ratio
+for every time-based metric, takes the median ratio as the machine-speed
+factor, and flags a metric only when its ratio exceeds the median by more
+than --threshold AND the absolute delta clears --noise-floor-ms. A uniform
+slowdown (slower CI box) moves the median and trips nothing; a single hot
+path regressing moves one ratio away from the pack and trips the gate.
+
+A metric must regress BOTH after normalization AND in raw terms (ratio and
+absolute delta). Normalization alone would manufacture regressions out of
+flat metrics whenever a PR genuinely improves the median (the improvements
+read as a "faster machine", making everything else look relatively slower);
+raw ratios alone would flag everything on a slower runner. Requiring both
+keeps the gate quiet in each failure mode while still catching a real
+regression on a slower runner, where raw ratios only grow.
+
+Quality metrics (cross-cache hit rate, warm persistent-store hits, static
+coverage) are machine-independent and gated directly: a drop of more than
+--threshold from baseline fails, and warm store hits must stay positive.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/input error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare.py: cannot read {path}: {e}")
+
+
+def time_metrics(doc):
+    """Flat {name: milliseconds} map of every wall-clock metric in a report."""
+    out = {}
+    for row in doc.get("analysis_time", []):
+        blocks = row.get("blocks")
+        for key in ("analyze_ms", "range_test_ms", "reanalyze_ms"):
+            if key in row:
+                out[f"analysis_time[{blocks}].{key}"] = row[key]
+    for row in doc.get("incremental_latency", []):
+        blocks = row.get("blocks")
+        for key in ("cold_ms", "update_ms"):
+            if key in row:
+                out[f"incremental[{blocks}].{key}"] = row[key]
+    warm = (doc.get("persistent_store") or {}).get("warm") or {}
+    if "stage_ms" in warm:
+        out["store.warm.stage_ms"] = warm["stage_ms"]
+    return out
+
+
+def quality_metrics(doc):
+    """Machine-independent metrics where LOWER is worse."""
+    out = {}
+    shared = (doc.get("interprocedural_cg") or {}).get("shared") or {}
+    if "hit_rate" in shared:
+        out["cross_cache.shared.hit_rate"] = shared["hit_rate"]
+    warm = (doc.get("persistent_store") or {}).get("warm") or {}
+    hits = (warm.get("persistent_store") or {}).get("hits")
+    if hits is not None:
+        out["store.warm.hits"] = hits
+    agg = (doc.get("coverage") or {}).get("aggregate") or {}
+    if "static_parallel" in agg:
+        out["coverage.static_parallel"] = agg["static_parallel"]
+    return out
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fraction above the normalized baseline"
+                             " (default 0.25)")
+    parser.add_argument("--noise-floor-ms", type=float, default=5.0,
+                        help="absolute delta a time metric must exceed to"
+                             " count as a regression (default 5.0)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+
+    base_times = time_metrics(base)
+    cand_times = time_metrics(cand)
+    shared_names = sorted(set(base_times) & set(cand_times))
+    # Zero-ms baseline entries can't form a ratio; ignore them (they are far
+    # below any noise floor anyway).
+    ratios = {n: cand_times[n] / base_times[n]
+              for n in shared_names if base_times[n] > 0}
+    if not ratios:
+        sys.exit("bench_compare.py: no comparable time metrics between "
+                 f"{args.baseline} and {args.candidate}")
+    speed = median(ratios.values())
+
+    failures = []
+    report = [f"machine-speed factor (median candidate/baseline ratio over "
+              f"{len(ratios)} time metrics): {speed:.2f}x",
+              "",
+              f"{'metric':44s} {'base':>9s} {'cand':>9s} {'ratio':>6s} "
+              f"{'norm':>6s}  verdict"]
+    for name in shared_names:
+        if name not in ratios:
+            continue
+        ratio = ratios[name]
+        normalized = ratio / speed
+        raw_delta = cand_times[name] - base_times[name]
+        regressed = (normalized > 1.0 + args.threshold
+                     and ratio > 1.0 + args.threshold
+                     and raw_delta > args.noise_floor_ms)
+        verdict = "REGRESSED" if regressed else "ok"
+        if regressed:
+            failures.append(
+                f"{name}: {base_times[name]:.2f} ms -> {cand_times[name]:.2f} ms "
+                f"({normalized:.2f}x after speed normalization, raw {ratio:.2f}x, "
+                f"+{raw_delta:.1f} ms beyond the {args.noise_floor_ms:.0f} ms floor)")
+        report.append(f"{name:44s} {base_times[name]:9.2f} {cand_times[name]:9.2f} "
+                      f"{ratio:6.2f} {normalized:6.2f}  {verdict}")
+
+    report.append("")
+    base_quality = quality_metrics(base)
+    cand_quality = quality_metrics(cand)
+    for name in sorted(set(base_quality) & set(cand_quality)):
+        b, c = base_quality[name], cand_quality[name]
+        floor = b * (1.0 - args.threshold)
+        regressed = c < floor or (name == "store.warm.hits" and c <= 0)
+        verdict = "REGRESSED" if regressed else "ok"
+        if regressed:
+            failures.append(f"{name}: {b} -> {c} (floor {floor:.2f})")
+        report.append(f"{name:44s} {b!s:>9s} {c!s:>9s} {'':6s} {'':6s}  {verdict}")
+
+    print("\n".join(report))
+    if failures:
+        print("\nbench_compare.py: PERF REGRESSION vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare.py: no regressions vs {args.baseline} "
+          f"(threshold {args.threshold:.0%}, noise floor "
+          f"{args.noise_floor_ms:.0f} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
